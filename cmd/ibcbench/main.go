@@ -1,0 +1,22 @@
+// Command ibcbench runs the inter-blockchain-communication experiments of
+// §VIII: it moves the five benchmark applications (SCoin, ScalableKitties,
+// Store 1/10/100) between the Ethereum-like and Burrow-like chains in both
+// directions and prints the per-phase latency (Fig. 8) and gas/monetary
+// cost (Fig. 9) tables.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"scmove/internal/bench"
+)
+
+func main() {
+	res, err := bench.RunFig8And9()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibcbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+}

@@ -1,0 +1,61 @@
+// Command minisol compiles MiniSol contracts (the repository's Solidity-
+// extension stand-in, §III-D) to EVM bytecode.
+//
+// Usage:
+//
+//	minisol [-asm] [-dis] file.msol
+//
+// Prints the bytecode as hex; -asm also prints the generated assembly and
+// -dis the disassembly of the final bytecode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scmove/internal/evm/asm"
+	"scmove/internal/lang"
+)
+
+func main() {
+	showAsm := flag.Bool("asm", false, "print the generated assembly")
+	showDis := flag.Bool("dis", false, "print the bytecode disassembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minisol [-asm] [-dis] file.msol")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *showAsm, *showDis); err != nil {
+		fmt.Fprintln(os.Stderr, "minisol:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, showAsm, showDis bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if showAsm {
+		text, err := lang.CompileToAssembly(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Println("; generated assembly")
+		fmt.Print(text)
+		fmt.Println()
+	}
+	code, err := lang.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bytecode (%d bytes):\n%x\n", len(code), code)
+	if showDis {
+		fmt.Println("\ndisassembly:")
+		for _, line := range asm.Disassemble(code) {
+			fmt.Println(line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Command movebench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations] [-scale 1.0]
+//
+// Scale shrinks population sizes and measurement windows uniformly (0.08 is
+// the CI scale; 1.0 approximates the paper's populations). Results print as
+// the tables described in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scmove/internal/bench"
+	"scmove/internal/workload"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance")
+	scale := flag.Float64("scale", 1.0, "population/duration scale (0.08 = CI, 1.0 = paper-like)")
+	flag.Parse()
+	if err := run(*experiment, bench.Scale(*scale)); err != nil {
+		fmt.Fprintln(os.Stderr, "movebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale bench.Scale) error {
+	runs := map[string]func(bench.Scale) error{
+		"fig5":      runFig5,
+		"fig6":      runFig6,
+		"fig7":      runFig7,
+		"fig8":      runFig89,
+		"fig9":      runFig89,
+		"ablations": runAblations,
+		"rebalance": runRebalance,
+	}
+	if experiment == "all" {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "ablations", "rebalance"} {
+			if err := runs[name](scale); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fn, ok := runs[experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return fn(scale)
+}
+
+func timed(name string, fn func() error) error {
+	start := time.Now()
+	if err := fn(); err != nil {
+		return err
+	}
+	fmt.Printf("[%s finished in %v wall-clock]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFig5(scale bench.Scale) error {
+	return timed("fig5", func() error {
+		res, err := bench.RunFig5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+}
+
+func runFig6(scale bench.Scale) error {
+	return timed("fig6", func() error {
+		res, err := bench.RunFig6(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+}
+
+func runFig7(scale bench.Scale) error {
+	return timed("fig7", func() error {
+		for _, retries := range []bool{false, true} {
+			res, err := bench.RunFig7(scale, retries)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+		return nil
+	})
+}
+
+func runFig89(bench.Scale) error {
+	return timed("fig8+fig9", func() error {
+		res, err := bench.RunFig8And9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+}
+
+func runAblations(bench.Scale) error {
+	return timed("ablations", func() error {
+		rows, err := bench.RunAblationGranularity([]uint64{1, 10, 100, 1000})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.GranularityTable(rows))
+		twopc, err := bench.RunAblation2PC()
+		if err != nil {
+			return err
+		}
+		fmt.Println(twopc)
+		return nil
+	})
+}
+
+func runRebalance(bench.Scale) error {
+	return timed("rebalance", func() error {
+		for _, enabled := range []bool{false, true} {
+			res, err := workload.RunRebalance(workload.DefaultRebalanceConfig(4, enabled))
+			if err != nil {
+				return err
+			}
+			mode := "hot shard (no balancing)"
+			if enabled {
+				mode = "with Move-based rebalancer"
+			}
+			fmt.Printf("%s: %.1f tx/s, %d moves, distribution %v\n",
+				mode, res.Throughput, res.MovesIssued, res.FinalDistribution)
+		}
+		return nil
+	})
+}

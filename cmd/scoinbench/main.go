@@ -1,0 +1,68 @@
+// Command scoinbench runs the SCoin closed-loop token benchmark of §VII-B
+// (Figs. 6 and 7): configurable shard count and cross-shard rate, with an
+// optional conflict/retry mode, printing throughput, latency statistics,
+// the CDF, and the retry histogram.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scmove/internal/metrics"
+	"scmove/internal/workload"
+)
+
+func main() {
+	shards := flag.Int("shards", 4, "number of Burrow-like shards")
+	clients := flag.Int("clients", 250, "closed-loop clients per shard")
+	cross := flag.Float64("cross", 0.10, "cross-shard operation fraction (0..1)")
+	duration := flag.Duration("duration", 5*time.Minute, "measured (simulated) window")
+	retries := flag.Bool("retries", false, "conflict mode: clients race moving targets and retry")
+	seed := flag.Int64("seed", 11, "simulation seed")
+	flag.Parse()
+
+	res, err := workload.RunSCoin(workload.SCoinConfig{
+		Shards:          *shards,
+		ClientsPerShard: *clients,
+		CrossFraction:   *cross,
+		Duration:        *duration,
+		Retries:         *retries,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoinbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("SCoin: %d shards, %.0f%% cross-shard, retries=%v\n",
+		*shards, *cross*100, *retries)
+	fmt.Printf("throughput: %.1f tx/s   ops: %.1f/s   realized cross rate: %.2f%%   failed ops: %d\n",
+		res.Throughput, res.OpsPerSec, res.MeasuredCrossFraction*100, res.FailedOps)
+	fmt.Printf("latency: single-shard mean %v, cross-shard mean %v, >30s fraction %.2f\n\n",
+		res.Single.Mean().Round(100*time.Millisecond),
+		res.Cross.Mean().Round(100*time.Millisecond),
+		res.All.FractionAbove(30*time.Second))
+
+	tbl := metrics.NewTable("latency", "CDF")
+	for _, p := range res.All.CDF(20) {
+		tbl.AddRow(p.Latency.Round(100*time.Millisecond), fmt.Sprintf("%.2f", p.Fraction))
+	}
+	fmt.Println(tbl)
+
+	if *retries {
+		total := 0
+		for _, n := range res.RetryCounts {
+			total += n
+		}
+		if total > 0 {
+			fmt.Println("retry histogram:")
+			for k := 1; k <= 12; k++ {
+				if n := res.RetryCounts[k]; n > 0 {
+					fmt.Printf("  retried %dx: %d (%.0f%%)\n", k, n, 100*float64(n)/float64(total))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: deploy a movable contract on the Burrow-like chain and move
+// it to the Ethereum-like chain with one call, watching the protocol's
+// phases (Move1 lock → p-block proof wait → Move2 recreation).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"scmove"
+	"scmove/internal/contracts"
+	"scmove/internal/u256"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A two-chain universe: chain 1 is Ethereum-like (PoW, 15 s blocks,
+	// p = 6), chain 2 is Burrow-like (BFT, 5 s blocks, p = 2). One funded
+	// client. Everything runs on a simulated clock, so this finishes in
+	// milliseconds of wall time.
+	u, err := scmove.NewUniverse(scmove.TwoChainConfig(1))
+	if err != nil {
+		return err
+	}
+	client := u.Client(0)
+	burrow, ethereum := u.Chain(2), u.Chain(1)
+
+	// Deploy a Store contract with ten 32-byte state variables on Burrow.
+	store, err := u.MustDeploy(client, burrow, scmove.StoreContract,
+		contracts.StoreConstructorArgs(client.Address(), 10), u256.Zero(), time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed Store at %s on %s\n", store, burrow.ChainID())
+
+	before, err := burrow.StaticCall(client.Address(), store,
+		contracts.EncodeCall("get", contracts.ArgUint(3)))
+	if err != nil {
+		return err
+	}
+
+	// Move it: Move1 locks it on Burrow, the relayer builds the Merkle
+	// proof, waits until Ethereum's light client holds the source header
+	// p blocks deep, and submits Move2.
+	res, err := u.MoveAndWait(client, 2, 1, store, 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("moved %s to %s:\n", store, ethereum.ChainID())
+	fmt.Printf("  move1 (lock)        %8.1fs   gas %d\n", res.Move1Latency().Seconds(), res.Move1Gas)
+	fmt.Printf("  wait p blocks+proof %8.1fs\n", res.WaitProofLatency().Seconds())
+	fmt.Printf("  move2 (recreate)    %8.1fs   gas %d\n", res.Move2Latency().Seconds(), res.Move2Gas)
+	fmt.Printf("  total               %8.1fs (simulated)\n", res.Total().Seconds())
+
+	// The state is identical on the target chain, and the source copy is
+	// locked but still readable.
+	after, err := ethereum.StaticCall(client.Address(), store,
+		contracts.EncodeCall("get", contracts.ArgUint(3)))
+	if err != nil {
+		return err
+	}
+	if string(before) != string(after) {
+		return fmt.Errorf("state mismatch after move")
+	}
+	fmt.Printf("state variable 3 survived the move: %x…\n", after[:8])
+	fmt.Printf("locations: chain 1 says %s, chain 2 tombstone says %s\n",
+		ethereum.StateDB().GetLocation(store), burrow.StateDB().GetLocation(store))
+	return nil
+}

@@ -1,0 +1,3 @@
+module scmove
+
+go 1.23

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"scmove/internal/contracts"
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/metrics"
+	"scmove/internal/u256"
+)
+
+// GranularityRow compares moving one monolithic contract holding N users'
+// state against the per-user contract design (DESIGN.md ablation 2; the
+// paper's introduction argues for per-user granularity).
+type GranularityRow struct {
+	Users uint64
+	// MonolithicGas is the Move2 gas of one contract holding all N entries.
+	MonolithicGas uint64
+	// PerUserGas is the Move2 gas of moving a single user's contract — the
+	// cost actually paid when only one user migrates.
+	PerUserGas uint64
+}
+
+// RunAblationGranularity measures both designs for growing user counts by
+// moving Store contracts from the Burrow-like to the Ethereum-like chain.
+func RunAblationGranularity(userCounts []uint64) ([]GranularityRow, error) {
+	var perUserGas uint64
+	rows := make([]GranularityRow, 0, len(userCounts))
+	moveGas := func(slots uint64) (uint64, error) {
+		u, err := ibcUniverse()
+		if err != nil {
+			return 0, err
+		}
+		u.Start()
+		cl := u.Client(0)
+		store, err := u.MustDeploy(cl, u.Chain(2), contracts.StoreName,
+			contracts.StoreConstructorArgs(cl.Address(), slots), u256.Zero(), 10*time.Minute)
+		if err != nil {
+			return 0, err
+		}
+		res, err := u.MoveAndWait(cl, 2, 1, store, 30*time.Minute)
+		if err != nil {
+			return 0, err
+		}
+		return res.Move2Gas, nil
+	}
+	var err error
+	if perUserGas, err = moveGas(1); err != nil {
+		return nil, fmt.Errorf("granularity per-user: %w", err)
+	}
+	for _, n := range userCounts {
+		mono, err := moveGas(n)
+		if err != nil {
+			return nil, fmt.Errorf("granularity n=%d: %w", n, err)
+		}
+		rows = append(rows, GranularityRow{Users: n, MonolithicGas: mono, PerUserGas: perUserGas})
+	}
+	return rows, nil
+}
+
+// GranularityTable renders the ablation.
+func GranularityTable(rows []GranularityRow) string {
+	tbl := metrics.NewTable("users", "monolithic move2 gas", "per-user move2 gas", "ratio")
+	for _, r := range rows {
+		tbl.AddRow(r.Users, r.MonolithicGas, r.PerUserGas,
+			fmt.Sprintf("%.1fx", float64(r.MonolithicGas)/float64(r.PerUserGas)))
+	}
+	return "Ablation: contract granularity (per-user contracts vs one map)\n" + tbl.String()
+}
+
+// TwoPCResult compares the Move protocol's two-step design against a
+// 2PC-style atomic commit that coordinates both chains (DESIGN.md ablation
+// 1; the paper's §III-B argues against 2PC coordination).
+type TwoPCResult struct {
+	// MoveLatency is the end-to-end Move1 → Move2 time.
+	MoveLatency time.Duration
+	// TwoPCLatency is the simulated atomic commit: a prepare transaction on
+	// both chains (wait for both), then a commit transaction on both (wait
+	// for both) — four cross-coordinated inclusions.
+	TwoPCLatency time.Duration
+}
+
+// RunAblation2PC measures both protocols between the Burrow-like and
+// Ethereum-like chains.
+//
+// The 2PC baseline is generous to 2PC: it charges no vote-exchange rounds
+// between the two validator sets, only the two lock-step transaction
+// inclusions per phase that any atomic-commit embedding needs. Even so,
+// the slower chain gates both phases of 2PC, while the Move protocol pays
+// the slow chain's confirmation depth only once.
+func RunAblation2PC() (*TwoPCResult, error) {
+	u, err := ibcUniverse()
+	if err != nil {
+		return nil, err
+	}
+	u.Start()
+	cl := u.Client(0)
+	res := &TwoPCResult{}
+
+	// Move protocol: Store 1 from Burrow to Ethereum.
+	store, err := u.MustDeploy(cl, u.Chain(2), contracts.StoreName,
+		contracts.StoreConstructorArgs(cl.Address(), 1), u256.Zero(), 10*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	moveRes, err := u.MoveAndWait(cl, 2, 1, store, 30*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	res.MoveLatency = moveRes.Total()
+
+	// 2PC baseline: phase transactions on both chains, barrier between
+	// phases. Stand-in state writes exercise the same commit path. The
+	// participants must see each phase final before acting, so each phase
+	// waits out both chains' confirmation depths (p blocks each).
+	targets := map[hashing.ChainID]hashing.Address{}
+	for _, id := range u.ChainIDs() {
+		addr, err := u.MustDeploy(cl, u.Chain(id), contracts.StoreName,
+			contracts.StoreConstructorArgs(cl.Address(), 1), u256.Zero(), 10*time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		targets[id] = addr
+	}
+	start := u.Sched.Now()
+	for phase := byte(1); phase <= 2; phase++ {
+		type pending struct {
+			id     hashing.ChainID
+			height uint64
+		}
+		var waits []pending
+		for _, id := range u.ChainIDs() {
+			var v evm.Word
+			v[31] = phase
+			rec, err := u.MustCall(cl, u.Chain(id), targets[id],
+				contracts.EncodeCall("set", contracts.ArgUint(0), contracts.ArgWord(v)),
+				u256.Zero(), 30*time.Minute)
+			if err != nil {
+				return nil, fmt.Errorf("2pc phase %d on %s: %w", phase, id, err)
+			}
+			h, _ := u.Chain(id).TxHeight(rec.TxID)
+			waits = append(waits, pending{id: id, height: h})
+		}
+		// Barrier: both inclusions must be p blocks deep before the next
+		// phase (participants act only on finalized outcomes).
+		ok := u.RunUntil(func() bool {
+			for _, w := range waits {
+				c := u.Chain(w.id)
+				if c.Head().Height < w.height+c.Config().ConfirmationDepth {
+					return false
+				}
+			}
+			return true
+		}, time.Hour)
+		if !ok {
+			return nil, fmt.Errorf("2pc phase %d did not finalize", phase)
+		}
+	}
+	res.TwoPCLatency = u.Sched.Now() - start
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *TwoPCResult) String() string {
+	return fmt.Sprintf("Ablation: Move protocol vs 2PC-style atomic commit\n"+
+		"  move (Move1 + p-wait + Move2): %s\n"+
+		"  2PC (prepare both + finalize, commit both + finalize): %s\n",
+		fmtDur(r.MoveLatency), fmtDur(r.TwoPCLatency))
+}

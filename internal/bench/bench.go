@@ -1,0 +1,74 @@
+// Package bench regenerates every figure of the paper's evaluation:
+//
+//	Fig. 5 — ScalableKitties throughput vs shard count, and the 8-shard
+//	         throughput timeline with per-shard starvation markers.
+//	Fig. 6 — SCoin throughput vs cross-shard rate for 1/2/4/8 shards.
+//	Fig. 7 — SCoin latency CDFs with and without conflicts/retries.
+//	Fig. 8 — per-phase IBC latency for five applications, both directions.
+//	Fig. 9 — per-phase IBC gas and monetary cost, both directions.
+//
+// plus the ablations called out in DESIGN.md (state granularity and a
+// 2PC-style coordination baseline). Results carry the raw series so tests
+// assert on shapes and the cmd tools print paper-style tables.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"scmove/internal/metrics"
+)
+
+// Scale shrinks experiment sizes uniformly: 1.0 is the paper-like default
+// used by the CLI tools; tests use smaller scales. Scale affects client
+// counts and trace sizes, never protocol parameters.
+type Scale float64
+
+// Common scales.
+const (
+	// ScaleFull approximates the paper's population sizes.
+	ScaleFull Scale = 1.0
+	// ScaleCI is small enough for continuous-integration runs.
+	ScaleCI Scale = 0.08
+)
+
+func (s Scale) clients(base int) int {
+	n := int(float64(base) * float64(s))
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+func (s Scale) count(base int) int {
+	n := int(float64(base) * float64(s))
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+func (s Scale) window(base time.Duration) time.Duration {
+	d := time.Duration(float64(base) * float64(s))
+	if d < time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// fmtDur renders a duration with one decimal of seconds.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+
+// fmtTPS renders a throughput value.
+func fmtTPS(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// cdfTable renders a CDF as a two-column table.
+func cdfTable(name string, points []metrics.CDFPoint) string {
+	tbl := metrics.NewTable("latency", name+" fraction")
+	for _, p := range points {
+		tbl.AddRow(fmtDur(p.Latency), fmt.Sprintf("%.2f", p.Fraction))
+	}
+	return tbl.String()
+}

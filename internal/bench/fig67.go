@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"scmove/internal/metrics"
+	"scmove/internal/workload"
+)
+
+// Fig6Cell is one bar of Fig. 6: SCoin throughput for a shard count at a
+// cross-shard transaction rate.
+type Fig6Cell struct {
+	Shards       int
+	CrossPercent float64
+	Throughput   float64
+}
+
+// Fig6Result reproduces Fig. 6.
+type Fig6Result struct {
+	Cells []Fig6Cell
+}
+
+// RunFig6 measures SCoin throughput for 1/2/4/8 shards at the paper's
+// cross-shard rates (0, 1, 5, 10, 30 %).
+func RunFig6(scale Scale) (*Fig6Result, error) {
+	return RunFig6Grid(scale, []int{1, 2, 4, 8}, []float64{0, 0.01, 0.05, 0.10, 0.30})
+}
+
+// RunFig6Grid measures the given grid.
+func RunFig6Grid(scale Scale, shardCounts []int, crossRates []float64) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	for _, cross := range crossRates {
+		for _, shards := range shardCounts {
+			if shards == 1 && cross > 0 {
+				// The paper shows the one-shard bar once as a reference.
+				continue
+			}
+			cfg := workload.SCoinConfig{
+				Shards:            shards,
+				ClientsPerShard:   scale.clients(250),
+				ReceiversPerShard: 16,
+				CrossFraction:     cross,
+				Duration:          scale.window(5 * time.Minute),
+				Seed:              11,
+			}
+			out, err := workload.RunSCoin(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 shards=%d cross=%v: %w", shards, cross, err)
+			}
+			res.Cells = append(res.Cells, Fig6Cell{
+				Shards:       shards,
+				CrossPercent: cross * 100,
+				Throughput:   out.Throughput,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Throughput returns the cell value for a configuration.
+func (r *Fig6Result) Throughput(shards int, crossPercent float64) (float64, bool) {
+	for _, c := range r.Cells {
+		if c.Shards == shards && c.CrossPercent == crossPercent {
+			return c.Throughput, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the paper-style output.
+func (r *Fig6Result) String() string {
+	tbl := metrics.NewTable("cross-shard %", "shards", "tx/s")
+	for _, c := range r.Cells {
+		tbl.AddRow(fmt.Sprintf("%.0f", c.CrossPercent), c.Shards, fmtTPS(c.Throughput))
+	}
+	return "Fig. 6: SCoin throughput vs cross-shard rate\n" + tbl.String()
+}
+
+// Fig7Result reproduces Fig. 7: latency CDFs for 4 shards at 10 %
+// cross-shard rate, in the conflict-free (right panel) and conflict/retry
+// (left panel) modes.
+type Fig7Result struct {
+	Retries bool
+	// CDFs for single-shard, cross-shard, and all operations.
+	Single, Cross, Aggregated []metrics.CDFPoint
+	// Means for the §VII-B quotes (≈7 s single, ≈34 s cross).
+	SingleMean, CrossMean time.Duration
+	// FractionAbove30s backs the paper's "around 10 % of the transactions
+	// takes more than 30 seconds" observation.
+	FractionAbove30s float64
+	// RetryCounts histograms retries (conflict mode): the paper reports
+	// 66 % of retried transactions retried once, ~1 % more than 3 times.
+	RetryCounts map[int]int
+}
+
+// RunFig7 measures the latency CDF in the requested mode.
+func RunFig7(scale Scale, retries bool) (*Fig7Result, error) {
+	duration := scale.window(5 * time.Minute)
+	if retries {
+		// Conflicts are rare events; give the conflict mode a longer window
+		// so the retry histogram has enough samples at small scales.
+		duration *= 3
+	}
+	cfg := workload.SCoinConfig{
+		Shards:            4,
+		ClientsPerShard:   scale.clients(250),
+		ReceiversPerShard: 16,
+		CrossFraction:     0.10,
+		Duration:          duration,
+		Retries:           retries,
+		Seed:              13,
+	}
+	out, err := workload.RunSCoin(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 retries=%v: %w", retries, err)
+	}
+	return &Fig7Result{
+		Retries:          retries,
+		Single:           out.Single.CDF(40),
+		Cross:            out.Cross.CDF(40),
+		Aggregated:       out.All.CDF(40),
+		SingleMean:       out.Single.Mean(),
+		CrossMean:        out.Cross.Mean(),
+		FractionAbove30s: out.All.FractionAbove(30 * time.Second),
+		RetryCounts:      out.RetryCounts,
+	}, nil
+}
+
+// String renders the paper-style output.
+func (r *Fig7Result) String() string {
+	mode := "no conflicts (right panel)"
+	if r.Retries {
+		mode = "with conflicts and retries (left panel)"
+	}
+	out := fmt.Sprintf("Fig. 7: latency CDF, 4 shards, 10%% cross-shard, %s\n", mode)
+	out += fmt.Sprintf("single-shard mean %s, cross-shard mean %s, >30s fraction %.2f\n",
+		fmtDur(r.SingleMean), fmtDur(r.CrossMean), r.FractionAbove30s)
+	out += cdfTable("aggregated", r.Aggregated)
+	if r.Retries && len(r.RetryCounts) > 0 {
+		out += "retries histogram:\n"
+		total := 0
+		for _, n := range r.RetryCounts {
+			total += n
+		}
+		for k := 1; k <= 10; k++ {
+			if n := r.RetryCounts[k]; n > 0 {
+				out += fmt.Sprintf("  %dx: %d (%.0f%%)\n", k, n, 100*float64(n)/float64(total))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+// Package chain implements a blockchain node's ledger and execution layer:
+// genesis, transaction application through the EVM (including Move2
+// verification and recreation), block assembly with the chain's state-root
+// rule, receipts, and block subscriptions. Consensus drivers (BFT and PoW)
+// in this package decide *when* ApplyBlock runs.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scmove/internal/codec"
+	"scmove/internal/core"
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/state"
+	"scmove/internal/trie"
+	"scmove/internal/txpool"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+)
+
+// Config describes one blockchain.
+type Config struct {
+	ChainID  hashing.ChainID
+	TreeKind trie.Kind
+	Schedule evm.Schedule
+	// BlockGasLimit caps the gas of one block.
+	BlockGasLimit uint64
+	// MaxBlockTxs caps the transactions per block.
+	MaxBlockTxs int
+	// LaggingStateRoot marks Tendermint-style chains whose header at h+1
+	// carries the state root of h (§VI).
+	LaggingStateRoot bool
+	// BlockInterval is the target block spacing (5 s BFT / 15 s PoW).
+	BlockInterval time.Duration
+	// ConfirmationDepth is the p peers must wait before trusting a header.
+	ConfirmationDepth uint64
+	// Natives is the native contract registry (may be nil).
+	Natives *evm.Registry
+	// PoolLimit bounds the pending transaction pool.
+	PoolLimit int
+}
+
+// Params returns the interoperability parameters peers configure (§IV-A).
+func (c Config) Params() core.ChainParams {
+	return core.ChainParams{
+		ID:                c.ChainID,
+		TreeKind:          c.TreeKind,
+		ConfirmationDepth: c.ConfirmationDepth,
+		LaggingStateRoot:  c.LaggingStateRoot,
+	}
+}
+
+// BlockListener observes committed blocks.
+type BlockListener func(block *types.Block, receipts []*types.Receipt)
+
+// Chain is the ledger of one blockchain. It is single-threaded, driven by
+// the simulation scheduler.
+type Chain struct {
+	cfg     Config
+	db      *state.DB
+	headers *core.HeaderStore
+
+	blocks    []*types.Block // height-indexed, genesis at 0
+	rootsAt   []hashing.Hash // state root after executing height i
+	receipts  map[hashing.Hash]*types.Receipt
+	txHeights map[hashing.Hash]uint64
+	pool      *txpool.Pool
+	listeners []BlockListener
+	txWaiters map[hashing.Hash][]TxListener
+}
+
+// TxListener observes one transaction's execution.
+type TxListener func(rec *types.Receipt, block *types.Block)
+
+// New creates a chain with the given peer header store and genesis
+// allocation function (may be nil).
+func New(cfg Config, headers *core.HeaderStore, genesis func(db *state.DB)) (*Chain, error) {
+	db, err := state.NewDB(cfg.ChainID, cfg.TreeKind)
+	if err != nil {
+		return nil, fmt.Errorf("chain %s: %w", cfg.ChainID, err)
+	}
+	if genesis != nil {
+		genesis(db)
+	}
+	root := db.Commit()
+	genesisHeader := &types.Header{
+		ChainID:   cfg.ChainID,
+		Height:    0,
+		StateRoot: root,
+		TxRoot:    types.TxRoot(nil),
+		GasLimit:  cfg.BlockGasLimit,
+	}
+	if cfg.LaggingStateRoot {
+		// Header h carries the root of h-1; the genesis header has none.
+		genesisHeader.StateRoot = hashing.ZeroHash
+	}
+	return &Chain{
+		cfg:       cfg,
+		db:        db,
+		headers:   headers,
+		blocks:    []*types.Block{{Header: genesisHeader}},
+		rootsAt:   []hashing.Hash{root},
+		receipts:  make(map[hashing.Hash]*types.Receipt),
+		txHeights: make(map[hashing.Hash]uint64),
+		pool:      txpool.New(cfg.ChainID, cfg.PoolLimit),
+		txWaiters: make(map[hashing.Hash][]TxListener),
+	}, nil
+}
+
+// Config returns the chain configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+// ChainID returns the chain identifier.
+func (c *Chain) ChainID() hashing.ChainID { return c.cfg.ChainID }
+
+// StateDB exposes the chain's world state (used by proof builders and
+// experiment harnesses; a real node would guard this behind RPC).
+func (c *Chain) StateDB() *state.DB { return c.db }
+
+// Headers returns the chain's light-client view of its peers.
+func (c *Chain) Headers() *core.HeaderStore { return c.headers }
+
+// Head returns the current head header.
+func (c *Chain) Head() *types.Header { return c.blocks[len(c.blocks)-1].Header }
+
+// HeaderAt returns the header at a height.
+func (c *Chain) HeaderAt(height uint64) (*types.Header, bool) {
+	if height >= uint64(len(c.blocks)) {
+		return nil, false
+	}
+	return c.blocks[height].Header, true
+}
+
+// BlockAt returns the block at a height.
+func (c *Chain) BlockAt(height uint64) (*types.Block, bool) {
+	if height >= uint64(len(c.blocks)) {
+		return nil, false
+	}
+	return c.blocks[height], true
+}
+
+// RootAt returns the state root after executing the block at a height.
+func (c *Chain) RootAt(height uint64) (hashing.Hash, bool) {
+	if height >= uint64(len(c.rootsAt)) {
+		return hashing.Hash{}, false
+	}
+	return c.rootsAt[height], true
+}
+
+// Receipt returns the receipt of an executed transaction.
+func (c *Chain) Receipt(id hashing.Hash) (*types.Receipt, bool) {
+	r, ok := c.receipts[id]
+	return r, ok
+}
+
+// TxHeight returns the height at which a transaction executed.
+func (c *Chain) TxHeight(id hashing.Hash) (uint64, bool) {
+	h, ok := c.txHeights[id]
+	return h, ok
+}
+
+// StaticCall runs a read-only contract call against the current state (the
+// equivalent of an RPC eth_call; experiment harnesses and examples use it
+// to read contract views without a transaction).
+func (c *Chain) StaticCall(from, to hashing.Address, input []byte) ([]byte, error) {
+	blockCtx := evm.BlockContext{
+		ChainID:   c.cfg.ChainID,
+		Number:    c.Head().Height,
+		Time:      c.Head().Time,
+		GasLimit:  c.cfg.BlockGasLimit,
+		BlockHash: c.blockHashFn(),
+	}
+	vm := evm.New(c.cfg.Schedule, c.db, blockCtx, evm.TxContext{Origin: from}, c.cfg.Natives)
+	ret, _, err := vm.StaticCall(from, to, input, c.cfg.BlockGasLimit)
+	return ret, err
+}
+
+// SubmitTx admits a transaction to the pending pool.
+func (c *Chain) SubmitTx(tx *types.Transaction) error {
+	return c.pool.Add(tx)
+}
+
+// PendingTxs returns the pool size.
+func (c *Chain) PendingTxs() int { return c.pool.Len() }
+
+// OnBlock registers a committed-block listener.
+func (c *Chain) OnBlock(l BlockListener) {
+	c.listeners = append(c.listeners, l)
+}
+
+// NotifyTx registers a one-shot listener fired when the transaction with
+// the given id executes. If it already executed, the listener fires
+// immediately.
+func (c *Chain) NotifyTx(id hashing.Hash, l TxListener) {
+	if rec, ok := c.receipts[id]; ok {
+		height := c.txHeights[id]
+		l(rec, c.blocks[height])
+		return
+	}
+	c.txWaiters[id] = append(c.txWaiters[id], l)
+}
+
+// ProposeBatch selects the next block's transactions from the pool.
+func (c *Chain) ProposeBatch() []*types.Transaction {
+	return c.pool.NextBatch(c.cfg.MaxBlockTxs, c.db.GetNonce)
+}
+
+// ApplyBlock executes txs as the next block at simulated unix time now,
+// proposed by the given address, and commits it.
+func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashing.Address) (*types.Block, []*types.Receipt) {
+	height := c.Head().Height + 1
+	blockCtx := evm.BlockContext{
+		ChainID:   c.cfg.ChainID,
+		Number:    height,
+		Time:      now,
+		Coinbase:  proposer,
+		GasLimit:  c.cfg.BlockGasLimit,
+		BlockHash: c.blockHashFn(),
+	}
+	receipts := make([]*types.Receipt, 0, len(txs))
+	var gasUsed uint64
+	for _, tx := range txs {
+		rec := c.applyTx(tx, blockCtx)
+		gasUsed += rec.GasUsed
+		receipts = append(receipts, rec)
+	}
+	root := c.db.Commit()
+	c.rootsAt = append(c.rootsAt, root)
+
+	headerRoot := root
+	if c.cfg.LaggingStateRoot {
+		headerRoot = c.rootsAt[height-1]
+	}
+	header := &types.Header{
+		ChainID:    c.cfg.ChainID,
+		Height:     height,
+		ParentHash: c.Head().Hash(),
+		StateRoot:  headerRoot,
+		TxRoot:     types.TxRoot(txs),
+		Time:       now,
+		Proposer:   proposer,
+		GasUsed:    gasUsed,
+		GasLimit:   c.cfg.BlockGasLimit,
+	}
+	block := &types.Block{Header: header, Txs: txs}
+	c.blocks = append(c.blocks, block)
+	for _, rec := range receipts {
+		c.receipts[rec.TxID] = rec
+		c.txHeights[rec.TxID] = height
+	}
+	for _, l := range c.listeners {
+		l(block, receipts)
+	}
+	for _, rec := range receipts {
+		if waiters, ok := c.txWaiters[rec.TxID]; ok {
+			delete(c.txWaiters, rec.TxID)
+			for _, l := range waiters {
+				l(rec, block)
+			}
+		}
+	}
+	return block, receipts
+}
+
+func (c *Chain) blockHashFn() func(uint64) hashing.Hash {
+	return func(height uint64) hashing.Hash {
+		h, ok := c.HeaderAt(height)
+		if !ok {
+			return hashing.ZeroHash
+		}
+		return h.Hash()
+	}
+}
+
+// applyTx executes one transaction, charging fees and producing a receipt.
+// Failed transactions still pay for the gas they consumed.
+func (c *Chain) applyTx(tx *types.Transaction, blockCtx evm.BlockContext) *types.Receipt {
+	rec := &types.Receipt{TxID: tx.ID(), Status: types.ReceiptFailed}
+	sender := tx.From
+	sched := &c.cfg.Schedule
+
+	if got := c.db.GetNonce(sender); tx.Nonce != got {
+		rec.Err = fmt.Sprintf("bad nonce %d, account at %d", tx.Nonce, got)
+		return rec
+	}
+	intrinsic := sched.IntrinsicGas(tx.Data, tx.Kind == types.TxCreate)
+	if intrinsic > tx.GasLimit {
+		rec.Err = "intrinsic gas exceeds limit"
+		return rec
+	}
+	fee := u256.FromUint64(tx.GasLimit).Mul(tx.GasPrice)
+	if c.db.GetBalance(sender).Lt(fee.Add(tx.Value)) {
+		rec.Err = "insufficient funds for gas * price + value"
+		return rec
+	}
+	c.db.SubBalance(sender, fee)
+	if tx.Kind != types.TxCreate {
+		// For creates, vm.Create consumes the nonce itself (the deployed
+		// address is derived from it); bumping here would double-count.
+		c.db.SetNonce(sender, tx.Nonce+1)
+	}
+
+	vm := evm.New(c.cfg.Schedule, c.db, blockCtx,
+		evm.TxContext{Origin: sender, GasPrice: tx.GasPrice}, c.cfg.Natives)
+	gas := tx.GasLimit - intrinsic
+
+	var (
+		gasLeft uint64
+		execErr error
+	)
+	switch tx.Kind {
+	case types.TxCall:
+		_, gasLeft, execErr = vm.Call(sender, tx.To, tx.Data, tx.Value, gas)
+	case types.TxCreate:
+		rec.Created, gasLeft, execErr = vm.Create(sender, tx.Data, tx.Value, gas)
+	case types.TxMove2:
+		gasLeft, execErr = c.applyMove2(vm, tx, gas)
+	default:
+		execErr = fmt.Errorf("unknown tx kind %d", tx.Kind)
+	}
+
+	rec.GasUsed = tx.GasLimit - gasLeft
+	refund := u256.FromUint64(gasLeft).Mul(tx.GasPrice)
+	c.db.AddBalance(sender, refund)
+	c.db.AddBalance(blockCtx.Coinbase, u256.FromUint64(rec.GasUsed).Mul(tx.GasPrice))
+	rec.Logs = c.db.TakeLogs()
+	if execErr != nil {
+		rec.Err = execErr.Error()
+		rec.Status = types.ReceiptFailed
+		rec.Created = hashing.ZeroAddress
+	} else {
+		rec.Status = types.ReceiptSuccess
+	}
+	return rec
+}
+
+// applyMove2 charges the recreation gas of Alg. 1 (contract creation plus
+// one SSTORE per storage entry plus proof verification), verifies the
+// payload, imports the contract, and runs moveFinish(·).
+func (c *Chain) applyMove2(vm *evm.EVM, tx *types.Transaction, gas uint64) (uint64, error) {
+	if !tx.Value.IsZero() {
+		return gas, errors.New("move2 transaction must not carry value")
+	}
+	p := tx.Move2
+	cost := c.move2Gas(p)
+	if cost > gas {
+		return 0, fmt.Errorf("%w: move2 needs %d", evm.ErrOutOfGas, cost)
+	}
+	gas -= cost
+	snap := c.db.Snapshot()
+	acct, err := core.VerifyMove2(c.cfg.ChainID, c.db, c.headers, p)
+	if err != nil {
+		return gas, err
+	}
+	core.ApplyMove2(c.db, p, acct)
+	// moveFinish(·): the custom completion routine (Alg. 1 line 13). Its
+	// failure aborts the whole Move2.
+	_, left, err := vm.Call(tx.From, p.Contract, core.MoveFinishInput, u256.Zero(), gas)
+	if err != nil {
+		c.db.RevertToSnapshot(snap)
+		return left, fmt.Errorf("moveFinish: %w", err)
+	}
+	return left, nil
+}
+
+// move2Gas prices a Move2 payload: contract recreation (Create base +
+// per-byte code deposit where the schedule charges it), one storage write
+// per recreated entry, and hashing work proportional to the proof size.
+func (c *Chain) move2Gas(p *types.Move2Payload) uint64 {
+	s := &c.cfg.Schedule
+	codeSize := evm.BillableCodeSize(c.cfg.Natives, p.Code)
+	proofWords := uint64(len(p.AccountProof)+31) / 32
+	return s.Create +
+		s.CodeByte*codeSize +
+		s.SStoreSet*uint64(len(p.Storage)) +
+		s.Sha3 + s.Sha3Word*proofWords
+}
+
+// EncodeTxList serializes a consensus payload (the proposed tx batch).
+func EncodeTxList(txs []*types.Transaction) []byte {
+	w := codec.NewWriter(256 * (len(txs) + 1))
+	w.WriteUvarint(uint64(len(txs)))
+	for _, tx := range txs {
+		w.WriteBytes(tx.Encode())
+	}
+	return w.Bytes()
+}
+
+// DecodeTxList parses a consensus payload.
+func DecodeTxList(b []byte) ([]*types.Transaction, error) {
+	r := codec.NewReader(b)
+	n := r.ReadUvarint()
+	if n > 1<<20 {
+		return nil, errors.New("chain: oversized tx list")
+	}
+	txs := make([]*types.Transaction, 0, n)
+	for i := uint64(0); i < n; i++ {
+		enc := r.ReadBytes()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		tx, err := types.DecodeTransaction(enc)
+		if err != nil {
+			return nil, err
+		}
+		txs = append(txs, tx)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return txs, nil
+}

@@ -1,0 +1,131 @@
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"scmove/internal/hashing"
+	"scmove/internal/pow"
+	"scmove/internal/simclock"
+	"scmove/internal/simnet"
+	"scmove/internal/tendermint"
+	"scmove/internal/types"
+)
+
+// ProposerAddress derives a deterministic address for a chain's validator
+// or miner by index (simulation identities; fee recipients).
+func ProposerAddress(chain hashing.ChainID, index int) hashing.Address {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(chain))
+	binary.BigEndian.PutUint64(buf[8:], uint64(index))
+	return hashing.AddressFromHash(hashing.SumTagged(0xbb, buf[:]))
+}
+
+// BFTNode runs a chain under Tendermint consensus: the validator cluster
+// agrees on each transaction batch over the simulated WAN, and the chain
+// executes the decided batch once per height.
+type BFTNode struct {
+	Chain   *Chain
+	Cluster *tendermint.Cluster
+	sched   *simclock.Scheduler
+}
+
+// bftApp adapts Chain to the tendermint.App interface.
+type bftApp struct {
+	chain *Chain
+	sched *simclock.Scheduler
+}
+
+func (a *bftApp) Propose(height uint64) []byte {
+	return EncodeTxList(a.chain.ProposeBatch())
+}
+
+func (a *bftApp) Commit(height uint64, payload []byte) {
+	txs, err := DecodeTxList(payload)
+	if err != nil {
+		// Payloads are produced by Propose; a decode failure is a protocol
+		// invariant violation, not a runtime condition.
+		panic(fmt.Sprintf("chain: undecodable consensus payload at height %d: %v", height, err))
+	}
+	proposer := ProposerAddress(a.chain.ChainID(), int(height)%10)
+	a.chain.ApplyBlock(txs, a.sched.NowUnix(), proposer)
+}
+
+// NewBFTNode creates a chain with a validator cluster of len(ids) members
+// placed in the given regions. Call Start to begin producing blocks.
+func NewBFTNode(sched *simclock.Scheduler, net *simnet.Network, c *Chain,
+	cfg tendermint.Config, ids []simnet.NodeID, regions []simnet.Region) (*BFTNode, error) {
+	app := &bftApp{chain: c, sched: sched}
+	cluster, err := tendermint.NewCluster(sched, net, app, cfg, ids, regions)
+	if err != nil {
+		return nil, fmt.Errorf("bft node: %w", err)
+	}
+	return &BFTNode{Chain: c, Cluster: cluster, sched: sched}, nil
+}
+
+// Start launches consensus.
+func (n *BFTNode) Start() { n.Cluster.Start() }
+
+// PoWNode runs a chain under simulated proof-of-work: blocks are produced
+// at exponentially distributed intervals (15 s mean in the paper's
+// configuration) by a rotating set of miners.
+type PoWNode struct {
+	Chain *Chain
+	sched *simclock.Scheduler
+	timer *pow.Timer
+
+	minerCount int
+	nextMiner  int
+	stopped    bool
+}
+
+// NewPoWNode creates a PoW-driven chain with the given miner count and a
+// seeded block timer.
+func NewPoWNode(sched *simclock.Scheduler, c *Chain, seed int64, minerCount int) *PoWNode {
+	if minerCount <= 0 {
+		minerCount = 1
+	}
+	return &PoWNode{
+		Chain:      c,
+		sched:      sched,
+		timer:      pow.NewTimer(seed, c.cfg.BlockInterval),
+		minerCount: minerCount,
+	}
+}
+
+// Start schedules block production.
+func (n *PoWNode) Start() { n.scheduleNext() }
+
+// Stop halts block production after the next tick.
+func (n *PoWNode) Stop() { n.stopped = true }
+
+func (n *PoWNode) scheduleNext() {
+	n.sched.After(n.timer.Next(), func() {
+		if n.stopped {
+			return
+		}
+		miner := ProposerAddress(n.Chain.ChainID(), n.nextMiner)
+		n.nextMiner = (n.nextMiner + 1) % n.minerCount
+		n.Chain.ApplyBlock(n.Chain.ProposeBatch(), n.sched.NowUnix(), miner)
+		n.scheduleNext()
+	})
+}
+
+// ConnectHeaderRelay wires the light-client header feed from src to dst:
+// every block committed on src is relayed (header plus head height) to
+// dst's header store after the given network delay. Miners/validators of
+// interoperating chains run exactly this kind of relay (paper §IV-A).
+func ConnectHeaderRelay(sched *simclock.Scheduler, src, dst *Chain, delay time.Duration) {
+	src.OnBlock(func(b *types.Block, _ []*types.Receipt) {
+		header := b.Header
+		sched.After(delay, func() {
+			// Errors indicate a misconfigured relay (unknown chain); the
+			// universe wiring registers params up front, so drop silently
+			// is never expected — surface loudly.
+			if err := dst.Headers().Update(src.ChainID(), []*types.Header{header}, header.Height); err != nil {
+				panic(fmt.Sprintf("chain: header relay %s->%s: %v", src.ChainID(), dst.ChainID(), err))
+			}
+		})
+	})
+}

@@ -1,0 +1,205 @@
+package contracts
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"scmove/internal/core"
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/u256"
+)
+
+// Errors shared by the contract standard library.
+var (
+	ErrNotOwner     = errors.New("contracts: caller is not the owner")
+	ErrResidency    = errors.New("contracts: minimum residency not yet satisfied")
+	ErrUnknownCall  = errors.New("contracts: unknown method")
+	ErrBadOrigin    = errors.New("contracts: counterparty origin attestation failed")
+	ErrInsufficient = errors.New("contracts: insufficient balance")
+)
+
+// Reserved storage slots used by the movable-contract machinery. The 0xFE
+// prefix keeps them disjoint from application slots.
+func reservedSlot(n byte) evm.Word {
+	var w evm.Word
+	w[0] = 0xFE
+	w[31] = n
+	return w
+}
+
+var (
+	slotOwner   = reservedSlot(1)
+	slotMovedAt = reservedSlot(2)
+	slotSalt    = reservedSlot(3)
+	slotParent  = reservedSlot(4) // the creating contract (token / registry)
+)
+
+// wordOfAddress right-aligns an address in a storage word.
+func wordOfAddress(a hashing.Address) evm.Word {
+	var w evm.Word
+	copy(w[12:], a[:])
+	return w
+}
+
+func addressOfWord(w evm.Word) hashing.Address {
+	return hashing.AddressFromBytes(w[:])
+}
+
+func wordOfUint(v uint64) evm.Word {
+	var w evm.Word
+	binary.BigEndian.PutUint64(w[24:], v)
+	return w
+}
+
+func uintOfWord(w evm.Word) uint64 {
+	return binary.BigEndian.Uint64(w[24:])
+}
+
+// mapSlot derives the storage slot of a map entry, domain-separated by a
+// per-map prefix (the Solidity keccak(key . slot) idiom).
+func mapSlot(prefix byte, key []byte) evm.Word {
+	h := hashing.SumTagged(prefix, key)
+	var w evm.Word
+	copy(w[:], h[:])
+	w[0] = 0xFD // map region, disjoint from reserved and app slots
+	return w
+}
+
+// Movable implements the Listing-1 pattern shared by every movable
+// contract: an owner field, a movedAt timestamp, a moveTo guard (only the
+// owner may move it, and only after MinResidency seconds in place), and the
+// moveFinish stamp.
+type Movable struct {
+	// MinResidency is the Listing-1 "3 days" guard; zero disables it.
+	MinResidency uint64
+}
+
+// Dispatch intercepts the protocol-level moveTo/moveFinish calldata. It
+// reports whether the input was handled.
+func (m Movable) Dispatch(call *evm.NativeCall, input []byte) (bool, error) {
+	if core.IsMoveFinishInput(input) {
+		return true, m.MoveFinish(call)
+	}
+	if target, ok := core.ParseMoveToInput(input); ok {
+		return true, m.MoveTo(call, target)
+	}
+	return false, nil
+}
+
+// MoveTo is Listing 1's moveTo(uint _blockchainId): require(owner ==
+// msg.sender); require(now - movedAt >= MinResidency); then OP_MOVE.
+func (m Movable) MoveTo(call *evm.NativeCall, target hashing.ChainID) error {
+	owner, err := Owner(call)
+	if err != nil {
+		return err
+	}
+	if !owner.IsZero() && call.Caller() != owner {
+		return fmt.Errorf("%w: %s", ErrNotOwner, call.Caller())
+	}
+	if m.MinResidency > 0 {
+		movedAtW, err := call.GetStorage(slotMovedAt)
+		if err != nil {
+			return err
+		}
+		if movedAt := uintOfWord(movedAtW); call.Time()-movedAt < m.MinResidency {
+			return fmt.Errorf("%w: %ds of %ds", ErrResidency, call.Time()-movedAt, m.MinResidency)
+		}
+	}
+	return call.Move(target)
+}
+
+// MoveFinish is Listing 1's moveFinish(): movedAt = now.
+func (m Movable) MoveFinish(call *evm.NativeCall) error {
+	return call.SetStorage(slotMovedAt, wordOfUint(call.Time()))
+}
+
+// SetOwner stores the owner field.
+func SetOwner(call *evm.NativeCall, owner hashing.Address) error {
+	return call.SetStorage(slotOwner, wordOfAddress(owner))
+}
+
+// Owner reads the owner field.
+func Owner(call *evm.NativeCall) (hashing.Address, error) {
+	w, err := call.GetStorage(slotOwner)
+	if err != nil {
+		return hashing.Address{}, err
+	}
+	return addressOfWord(w), nil
+}
+
+// requireOwner aborts unless the caller is the stored owner.
+func requireOwner(call *evm.NativeCall) error {
+	owner, err := Owner(call)
+	if err != nil {
+		return err
+	}
+	if call.Caller() != owner {
+		return fmt.Errorf("%w: %s", ErrNotOwner, call.Caller())
+	}
+	return nil
+}
+
+// storeParentAndSalt records the creating contract and creation salt —
+// the material of the CREATE2 origin attestation of §V-A.
+func storeParentAndSalt(call *evm.NativeCall, salt uint64) error {
+	if err := call.SetStorage(slotParent, wordOfAddress(call.Caller())); err != nil {
+		return err
+	}
+	return call.SetStorage(slotSalt, wordOfUint(salt))
+}
+
+// parentAndSalt reads the attestation material back.
+func parentAndSalt(call *evm.NativeCall) (hashing.Address, uint64, error) {
+	p, err := call.GetStorage(slotParent)
+	if err != nil {
+		return hashing.Address{}, 0, err
+	}
+	s, err := call.GetStorage(slotSalt)
+	if err != nil {
+		return hashing.Address{}, 0, err
+	}
+	return addressOfWord(p), uintOfWord(s), nil
+}
+
+// expectedSibling computes the CREATE2 address a sibling contract (same
+// parent, given salt, same code) must have. One hash — the paper's
+// "inexpensive hash operation" (§V-A). The gas for it is charged to the
+// calling frame.
+func expectedSibling(call *evm.NativeCall, parent hashing.Address, salt uint64, nativeName string) (hashing.Address, error) {
+	if err := call.UseGas(30 + 6*3); err != nil { // SHA3 base + 3 words
+		return hashing.Address{}, err
+	}
+	var saltWord [32]byte
+	binary.BigEndian.PutUint64(saltWord[24:], salt)
+	codeHash := hashing.Sum(evm.NativeCode(nativeName))
+	return hashing.Create2Address(0, parent, saltWord, codeHash), nil
+}
+
+// uniqueSalt combines a contract factory's local counter with its chain id,
+// so that factory instances deployed at the same address on different
+// shards never produce colliding CREATE2 identifiers.
+func uniqueSalt(chain hashing.ChainID, counter uint64) uint64 {
+	return uint64(chain)<<40 | counter
+}
+
+// saltWord converts a salt counter to the CREATE2 salt encoding.
+func saltWord(salt uint64) [32]byte {
+	var w [32]byte
+	binary.BigEndian.PutUint64(w[24:], salt)
+	return w
+}
+
+// getU256 / setU256 are storage helpers for 256-bit values.
+func getU256(call *evm.NativeCall, slot evm.Word) (u256.Int, error) {
+	w, err := call.GetStorage(slot)
+	if err != nil {
+		return u256.Int{}, err
+	}
+	return u256.FromBytes(w[:]), nil
+}
+
+func setU256(call *evm.NativeCall, slot evm.Word, v u256.Int) error {
+	return call.SetStorage(slot, v.Bytes32())
+}

@@ -1,0 +1,35 @@
+package contracts
+
+import "scmove/internal/evm"
+
+// NewRegistry returns the standard library registry deployed on every chain
+// in the experiments: the token (SCoin/SAccount), ScalableKitties, Store-N,
+// and the currency relay.
+func NewRegistry() *evm.Registry {
+	return evm.MustNewRegistry(
+		SCoin{},
+		SAccount{},
+		Store{},
+		KittyRegistry{},
+		Kitty{},
+		TokenRelay{},
+		PeggedToken{},
+		Swap{},
+	)
+}
+
+// NewRegistryWithResidency returns a registry whose movable contracts
+// enforce the given minimum residency in seconds (Listing 1's "3 days"
+// guard) before they may move again.
+func NewRegistryWithResidency(seconds uint64) *evm.Registry {
+	return evm.MustNewRegistry(
+		SCoin{},
+		SAccount{Residency: seconds},
+		Store{Residency: seconds},
+		KittyRegistry{},
+		Kitty{Residency: seconds},
+		TokenRelay{},
+		PeggedToken{},
+		Swap{},
+	)
+}

@@ -1,0 +1,120 @@
+package contracts
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+)
+
+// Store is the state-transfer benchmark contract of the IBC experiments
+// (§VIII, "State 1 / State 10 / State 100"): a movable contract holding N
+// 32-byte state variables and nothing else, so the cost of moving it
+// isolates the state-size dependence of Move2.
+type Store struct {
+	// Residency guards repeated moves (zero for the experiments).
+	Residency uint64
+}
+
+var _ evm.Native = Store{}
+
+// StoreName is the registry name of the Store contract.
+const StoreName = "Store"
+
+// Name implements evm.Native.
+func (Store) Name() string { return StoreName }
+
+// CodeSize emulates a small Solidity storage contract.
+func (Store) CodeSize() int { return 600 }
+
+// storeSlot is the i-th state variable's storage key.
+func storeSlot(i uint64) evm.Word {
+	var w evm.Word
+	w[0] = 0x01
+	binary.BigEndian.PutUint64(w[24:], i)
+	return w
+}
+
+// StoreConstructorArgs builds OnCreate args: the owner and the number of
+// 32-byte variables to populate.
+func StoreConstructorArgs(owner hashing.Address, count uint64) []byte {
+	return EncodeCall("init", ArgAddress(owner), ArgUint(count))
+}
+
+// OnCreate populates count state variables with derived non-zero values.
+func (s Store) OnCreate(call *evm.NativeCall, args []byte) error {
+	method, argv, err := DecodeCall(args)
+	if err != nil || method != "init" {
+		return fmt.Errorf("%w: store constructor", ErrBadCall)
+	}
+	if err := wantArgs("init", argv, 2); err != nil {
+		return err
+	}
+	owner, err := AsAddress(argv[0])
+	if err != nil {
+		return err
+	}
+	count, err := AsUint(argv[1])
+	if err != nil {
+		return err
+	}
+	if err := SetOwner(call, owner); err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		var value evm.Word
+		slot := storeSlot(i)
+		h := hashing.Sum(slot[:])
+		copy(value[:], h[:])
+		if err := call.SetStorage(storeSlot(i), value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run dispatches Store methods: get(i), set(i, value), count via iteration
+// is not provided (the contract is a benchmark fixture).
+func (s Store) Run(call *evm.NativeCall, input []byte) ([]byte, error) {
+	if handled, err := (Movable{MinResidency: s.Residency}).Dispatch(call, input); handled {
+		return nil, err
+	}
+	method, args, err := DecodeCall(input)
+	if err != nil {
+		return nil, err
+	}
+	switch method {
+	case "get":
+		if err := wantArgs(method, args, 1); err != nil {
+			return nil, err
+		}
+		i, err := AsUint(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := call.GetStorage(storeSlot(i))
+		if err != nil {
+			return nil, err
+		}
+		return v[:], nil
+	case "set":
+		if err := wantArgs(method, args, 2); err != nil {
+			return nil, err
+		}
+		if err := requireOwner(call); err != nil {
+			return nil, err
+		}
+		i, err := AsUint(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := AsWord(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return nil, call.SetStorage(storeSlot(i), v)
+	default:
+		return nil, fmt.Errorf("%w: Store.%s", ErrUnknownCall, method)
+	}
+}

@@ -1,0 +1,240 @@
+package contracts
+
+import (
+	"fmt"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/u256"
+)
+
+// SwapName is the registry name of the atomic-swap contract.
+const SwapName = "Swap"
+
+// TopicSwapped is emitted when a swap executes.
+var TopicSwapped = hashing.Sum([]byte("Swapped(uint)"))
+
+// Swap implements the paper's §IX observation that the Move protocol
+// subsumes atomic cross-chain swaps: instead of a two-phase cross-chain
+// protocol, both parties move their asset contracts to the chain hosting
+// the Swap contract, where the exchange is a single — trivially atomic —
+// transaction. Assets are anything with a transferOwner/owner interface
+// (Kitty contracts in the tests).
+//
+// Flow: the proposer transfers ownership of their asset to the swap and
+// calls propose(myAsset, wantedAsset, counterparty); the counterparty
+// transfers their asset's ownership and calls accept(id); the contract
+// hands each asset to the other party atomically. Until acceptance the
+// proposer can cancel(id) to reclaim ownership.
+type Swap struct{}
+
+var _ evm.Native = Swap{}
+
+// Swap storage slots (application region 0x06).
+func swapSlot(n byte) evm.Word {
+	var w evm.Word
+	w[0] = 0x06
+	w[31] = n
+	return w
+}
+
+var (
+	slotSwapSeq       = swapSlot(1)
+	prefixSwapGive    = byte(0xD0) // id -> proposer's asset
+	prefixSwapWant    = byte(0xD1) // id -> wanted asset
+	prefixSwapParty   = byte(0xD2) // id -> counterparty address
+	prefixSwapOwner   = byte(0xD3) // id -> proposer address
+	prefixSwapPending = byte(0xD4) // id -> 1 while open
+)
+
+// Name implements evm.Native.
+func (Swap) Name() string { return SwapName }
+
+// CodeSize emulates the deployed swap contract.
+func (Swap) CodeSize() int { return 1800 }
+
+// OnCreate needs no arguments.
+func (Swap) OnCreate(*evm.NativeCall, []byte) error { return nil }
+
+// Run dispatches swap methods.
+func (s Swap) Run(call *evm.NativeCall, input []byte) ([]byte, error) {
+	method, args, err := DecodeCall(input)
+	if err != nil {
+		return nil, err
+	}
+	switch method {
+	case "propose":
+		if err := wantArgs(method, args, 3); err != nil {
+			return nil, err
+		}
+		return s.propose(call, args)
+	case "accept":
+		if err := wantArgs(method, args, 1); err != nil {
+			return nil, err
+		}
+		return s.accept(call, args)
+	case "cancel":
+		if err := wantArgs(method, args, 1); err != nil {
+			return nil, err
+		}
+		return s.cancel(call, args)
+	default:
+		return nil, fmt.Errorf("%w: Swap.%s", ErrUnknownCall, method)
+	}
+}
+
+// assetOwner reads an asset contract's owner view.
+func assetOwner(call *evm.NativeCall, asset hashing.Address) (hashing.Address, error) {
+	ret, err := call.StaticCall(asset, EncodeCall("owner"))
+	if err != nil {
+		return hashing.Address{}, err
+	}
+	return AsAddress(ret)
+}
+
+// giveAsset transfers an asset the swap owns to a new owner.
+func giveAsset(call *evm.NativeCall, asset, to hashing.Address) error {
+	_, err := call.Call(asset, EncodeCall("transferOwner", ArgAddress(to)), u256.Zero())
+	return err
+}
+
+func (s Swap) propose(call *evm.NativeCall, args [][]byte) ([]byte, error) {
+	give, err := AsAddress(args[0])
+	if err != nil {
+		return nil, err
+	}
+	want, err := AsAddress(args[1])
+	if err != nil {
+		return nil, err
+	}
+	counterparty, err := AsAddress(args[2])
+	if err != nil {
+		return nil, err
+	}
+	// The proposer must already have escrowed the asset: the swap contract
+	// must be its owner, and the asset must be local (not mid-move).
+	owner, err := assetOwner(call, give)
+	if err != nil {
+		return nil, fmt.Errorf("contracts: swap cannot read asset %s: %w", give, err)
+	}
+	if owner != call.Self() {
+		return nil, fmt.Errorf("%w: asset %s not escrowed to the swap", ErrNotOwner, give)
+	}
+	seqW, err := call.GetStorage(slotSwapSeq)
+	if err != nil {
+		return nil, err
+	}
+	id := uintOfWord(seqW) + 1
+	if err := call.SetStorage(slotSwapSeq, wordOfUint(id)); err != nil {
+		return nil, err
+	}
+	idKey := wordOfUint(id)
+	caller := call.Caller()
+	writes := []struct {
+		prefix byte
+		value  evm.Word
+	}{
+		{prefixSwapGive, wordOfAddress(give)},
+		{prefixSwapWant, wordOfAddress(want)},
+		{prefixSwapParty, wordOfAddress(counterparty)},
+		{prefixSwapOwner, wordOfAddress(caller)},
+		{prefixSwapPending, wordOfUint(1)},
+	}
+	for _, w := range writes {
+		if err := call.SetStorage(mapSlot(w.prefix, idKey[:]), w.value); err != nil {
+			return nil, err
+		}
+	}
+	return RetUint(id), nil
+}
+
+// loadSwap reads an open proposal.
+func (s Swap) loadSwap(call *evm.NativeCall, id uint64) (give, want, party, proposer hashing.Address, err error) {
+	idKey := wordOfUint(id)
+	pending, err := call.GetStorage(mapSlot(prefixSwapPending, idKey[:]))
+	if err != nil {
+		return
+	}
+	if pending == (evm.Word{}) {
+		err = fmt.Errorf("contracts: no open swap #%d", id)
+		return
+	}
+	read := func(prefix byte) (evm.Word, error) {
+		return call.GetStorage(mapSlot(prefix, idKey[:]))
+	}
+	var g, w, p, o evm.Word
+	if g, err = read(prefixSwapGive); err != nil {
+		return
+	}
+	if w, err = read(prefixSwapWant); err != nil {
+		return
+	}
+	if p, err = read(prefixSwapParty); err != nil {
+		return
+	}
+	if o, err = read(prefixSwapOwner); err != nil {
+		return
+	}
+	return addressOfWord(g), addressOfWord(w), addressOfWord(p), addressOfWord(o), nil
+}
+
+// closeSwap deletes the pending marker.
+func (s Swap) closeSwap(call *evm.NativeCall, id uint64) error {
+	idKey := wordOfUint(id)
+	return call.SetStorage(mapSlot(prefixSwapPending, idKey[:]), evm.Word{})
+}
+
+func (s Swap) accept(call *evm.NativeCall, args [][]byte) ([]byte, error) {
+	id, err := AsUint(args[0])
+	if err != nil {
+		return nil, err
+	}
+	give, want, party, proposer, err := s.loadSwap(call, id)
+	if err != nil {
+		return nil, err
+	}
+	if call.Caller() != party {
+		return nil, fmt.Errorf("%w: swap #%d is for %s", ErrNotOwner, id, party)
+	}
+	// The counterparty must have escrowed the wanted asset too.
+	owner, err := assetOwner(call, want)
+	if err != nil {
+		return nil, err
+	}
+	if owner != call.Self() {
+		return nil, fmt.Errorf("%w: asset %s not escrowed to the swap", ErrNotOwner, want)
+	}
+	// The exchange: one transaction, atomic by construction.
+	if err := giveAsset(call, give, party); err != nil {
+		return nil, err
+	}
+	if err := giveAsset(call, want, proposer); err != nil {
+		return nil, err
+	}
+	if err := s.closeSwap(call, id); err != nil {
+		return nil, err
+	}
+	idKey := wordOfUint(id)
+	if err := call.Emit([]hashing.Hash{TopicSwapped}, idKey[:]); err != nil {
+		return nil, err
+	}
+	return RetBool(true), nil
+}
+
+func (s Swap) cancel(call *evm.NativeCall, args [][]byte) ([]byte, error) {
+	id, err := AsUint(args[0])
+	if err != nil {
+		return nil, err
+	}
+	give, _, _, proposer, err := s.loadSwap(call, id)
+	if err != nil {
+		return nil, err
+	}
+	if call.Caller() != proposer {
+		return nil, fmt.Errorf("%w: only the proposer cancels", ErrNotOwner)
+	}
+	if err := giveAsset(call, give, proposer); err != nil {
+		return nil, err
+	}
+	return RetBool(true), s.closeSwap(call, id)
+}

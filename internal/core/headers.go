@@ -1,0 +1,133 @@
+// Package core implements the Move protocol of the paper: proof
+// construction for locked contracts (Move1 side), verification and state
+// recreation (Move2 side, Alg. 1), replay protection (Fig. 2), and the
+// light-client header store that gives every chain a trusted view of its
+// peers' Merkle roots (§III-A, §IV-A).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"scmove/internal/hashing"
+	"scmove/internal/trie"
+	"scmove/internal/types"
+)
+
+// ChainParams are the per-chain parameters interoperating blockchains agree
+// on up front (paper §IV-A): identifier, state tree kind, the confirmation
+// depth p, and whether the chain publishes its state root with a one-block
+// lag (Tendermint's app-hash rule, §VI).
+type ChainParams struct {
+	ID       hashing.ChainID
+	TreeKind trie.Kind
+	// ConfirmationDepth is p: the minimum number of blocks a header must be
+	// behind the chain's head before peers accept it (6 for the PoW chain,
+	// 2 for the BFT chain in the paper's deployment).
+	ConfirmationDepth uint64
+	// LaggingStateRoot marks chains whose header at height h+1 carries the
+	// state root of height h.
+	LaggingStateRoot bool
+}
+
+// Errors returned by the header store and move verification.
+var (
+	ErrUnknownChain   = errors.New("core: chain not configured for interoperability")
+	ErrNoHeader       = errors.New("core: header not known to the light client")
+	ErrNotConfirmed   = errors.New("core: header not yet p blocks deep")
+	ErrBadProof       = errors.New("core: move proof verification failed")
+	ErrNotLocked      = errors.New("core: contract is not locked on the source chain")
+	ErrWrongTarget    = errors.New("core: contract is being moved to a different chain")
+	ErrReplay         = errors.New("core: stale move nonce (replayed Move2)")
+	ErrIncompleteCode = errors.New("core: code does not match the proven code hash")
+	ErrIncompleteSet  = errors.New("core: storage payload does not rebuild the proven storage root")
+)
+
+// HeaderStore is one chain's light-client view of its peers: block headers
+// received from header relays, plus each peer's current head height. Nodes
+// verify Merkle roots of other blockchains against this store (the VS
+// predicate of Alg. 1).
+type HeaderStore struct {
+	params  map[hashing.ChainID]ChainParams
+	headers map[hashing.ChainID]map[uint64]*types.Header
+	heads   map[hashing.ChainID]uint64
+}
+
+// NewHeaderStore returns a store configured with the given peer parameters.
+func NewHeaderStore(params ...ChainParams) *HeaderStore {
+	s := &HeaderStore{
+		params:  make(map[hashing.ChainID]ChainParams, len(params)),
+		headers: make(map[hashing.ChainID]map[uint64]*types.Header, len(params)),
+		heads:   make(map[hashing.ChainID]uint64, len(params)),
+	}
+	for _, p := range params {
+		s.params[p.ID] = p
+		s.headers[p.ID] = make(map[uint64]*types.Header)
+	}
+	return s
+}
+
+// Params returns the configured parameters of a peer chain.
+func (s *HeaderStore) Params(chain hashing.ChainID) (ChainParams, error) {
+	p, ok := s.params[chain]
+	if !ok {
+		return ChainParams{}, fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+	}
+	return p, nil
+}
+
+// Update ingests relayed canonical headers of a peer chain together with
+// the peer's current head height. Re-relayed heights overwrite previous
+// entries, which is how shallow PoW reorgs are absorbed — depth checks at
+// query time make only ≥p-deep headers trustworthy.
+func (s *HeaderStore) Update(chain hashing.ChainID, headers []*types.Header, head uint64) error {
+	if _, ok := s.params[chain]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+	}
+	byHeight := s.headers[chain]
+	for _, h := range headers {
+		if h.ChainID != chain {
+			return fmt.Errorf("%w: header from %s relayed as %s", ErrUnknownChain, h.ChainID, chain)
+		}
+		byHeight[h.Height] = h
+	}
+	if head > s.heads[chain] {
+		s.heads[chain] = head
+	}
+	return nil
+}
+
+// Head returns the last known head height of a peer chain.
+func (s *HeaderStore) Head(chain hashing.ChainID) uint64 { return s.heads[chain] }
+
+// TrustedStateRoot implements VS: it returns the peer chain's state root
+// for the given block height, provided the header carrying it is known and
+// at least p blocks deep. For lagging chains the root of height h is read
+// from header h+1 — the cause of the two-block Burrow wait (§VI).
+func (s *HeaderStore) TrustedStateRoot(chain hashing.ChainID, height uint64) (hashing.Hash, error) {
+	p, err := s.Params(chain)
+	if err != nil {
+		return hashing.Hash{}, err
+	}
+	rootHeight := height
+	if p.LaggingStateRoot {
+		rootHeight = height + 1
+	}
+	h, ok := s.headers[chain][rootHeight]
+	if !ok {
+		return hashing.Hash{}, fmt.Errorf("%w: %s height %d", ErrNoHeader, chain, rootHeight)
+	}
+	if head := s.heads[chain]; head < rootHeight+p.ConfirmationDepth {
+		return hashing.Hash{}, fmt.Errorf("%w: %s height %d is %d deep, need %d",
+			ErrNotConfirmed, chain, rootHeight, head-rootHeight, p.ConfirmationDepth)
+	}
+	return h.StateRoot, nil
+}
+
+// ConfirmedAt reports whether a proof against the given height would pass
+// the depth check right now — the relayer uses this to time Move2
+// submission.
+func (s *HeaderStore) ConfirmedAt(chain hashing.ChainID, height uint64) bool {
+	_, err := s.TrustedStateRoot(chain, height)
+	return err == nil
+}

@@ -1,0 +1,22 @@
+package evm
+
+import "errors"
+
+// Execution errors. ErrRevert carries no message itself; the revert payload
+// travels through the frame's return data.
+var (
+	ErrStackUnderflow      = errors.New("evm: stack underflow")
+	ErrStackOverflow       = errors.New("evm: stack overflow")
+	ErrInvalidJump         = errors.New("evm: jump to invalid destination")
+	ErrInvalidOpcode       = errors.New("evm: invalid opcode")
+	ErrRevert              = errors.New("evm: execution reverted")
+	ErrWriteProtection     = errors.New("evm: write inside static call")
+	ErrContractMoved       = errors.New("evm: contract is locked (moved to another chain)")
+	ErrCallDepth           = errors.New("evm: max call depth exceeded")
+	ErrInsufficientBalance = errors.New("evm: insufficient balance for transfer")
+	ErrContractCollision   = errors.New("evm: contract address collision")
+	ErrReturnDataOOB       = errors.New("evm: return data copy out of bounds")
+	ErrMemoryLimit         = errors.New("evm: memory expansion beyond limit")
+	ErrMoveSelfTarget      = errors.New("evm: move target is the current chain")
+	ErrNotContract         = errors.New("evm: account is not a contract")
+)

@@ -1,0 +1,82 @@
+package evm_test
+
+import (
+	"testing"
+
+	"scmove/internal/evm"
+	"scmove/internal/evm/asm"
+	"scmove/internal/u256"
+)
+
+// BenchmarkInterpreterLoop measures raw interpreter throughput on a tight
+// arithmetic loop (sum 1..100).
+func BenchmarkInterpreterLoop(b *testing.B) {
+	code := asm.MustAssemble(`
+		PUSH1 0
+		PUSH1 100
+	@loop:
+		JUMPDEST
+		DUP1
+		ISZERO
+		PUSH @done
+		JUMPI
+		DUP1
+		SWAP2
+		ADD
+		SWAP1
+		PUSH1 1
+		SWAP1
+		SUB
+		PUSH @loop
+		JUMP
+	@done:
+		JUMPDEST
+		POP
+		PUSH1 0
+		MSTORE
+		PUSH1 32
+		PUSH1 0
+		RETURN
+	`)
+	e := newBenchEnv(b, nil)
+	e.db.CreateContract(contract, code)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSStoreSLoad measures the storage round trip through the
+// journaled state.
+func BenchmarkSStoreSLoad(b *testing.B) {
+	code := asm.MustAssemble(`
+		PUSH1 0
+		CALLDATALOAD
+		PUSH1 0
+		SSTORE
+		PUSH1 0
+		SLOAD
+		PUSH1 0
+		MSTORE
+		PUSH1 32
+		PUSH1 0
+		RETURN
+	`)
+	e := newBenchEnv(b, nil)
+	e.db.CreateContract(contract, code)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arg := u256.FromUint64(uint64(i + 1)).Bytes32()
+		if _, _, err := e.evm.Call(origin, contract, arg[:], u256.Zero(), testGas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchEnv mirrors newEnv for benchmarks.
+func newBenchEnv(b *testing.B, natives *evm.Registry) *env {
+	b.Helper()
+	return newEnv(b, natives)
+}

@@ -1,0 +1,744 @@
+package evm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"scmove/internal/evm"
+	"scmove/internal/evm/asm"
+	"scmove/internal/hashing"
+	"scmove/internal/state"
+	"scmove/internal/trie"
+	"scmove/internal/u256"
+)
+
+const (
+	localChain  = hashing.ChainID(1)
+	remoteChain = hashing.ChainID(2)
+	testGas     = uint64(10_000_000)
+)
+
+var (
+	origin   = addr(0xee)
+	contract = addr(0xcc)
+)
+
+func addr(b byte) hashing.Address {
+	var a hashing.Address
+	a[0] = b
+	return a
+}
+
+func word(b byte) evm.Word {
+	var w evm.Word
+	w[31] = b
+	return w
+}
+
+type env struct {
+	db  *state.DB
+	evm *evm.EVM
+}
+
+func newEnv(t testing.TB, natives *evm.Registry) *env {
+	t.Helper()
+	db, err := state.NewDB(localChain, trie.KindMPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddBalance(origin, u256.FromUint64(1_000_000))
+	block := evm.BlockContext{
+		ChainID:  localChain,
+		Number:   10,
+		Time:     1_000_000,
+		GasLimit: 30_000_000,
+	}
+	tx := evm.TxContext{Origin: origin, GasPrice: u256.FromUint64(2)}
+	return &env{db: db, evm: evm.New(evm.EthereumSchedule(), db, block, tx, natives)}
+}
+
+// deploy installs code at the fixed test contract address.
+func (e *env) deploy(code []byte) { e.db.CreateContract(contract, code) }
+
+func (e *env) call(t *testing.T, input []byte) ([]byte, uint64) {
+	t.Helper()
+	ret, gasLeft, err := e.evm.Call(origin, contract, input, u256.Zero(), testGas)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	return ret, testGas - gasLeft
+}
+
+func TestArithmeticStoresResult(t *testing.T) {
+	e := newEnv(t, nil)
+	// (3+4)*5 stored at slot 0.
+	e.deploy(asm.MustAssemble(`
+		PUSH1 4
+		PUSH1 3
+		ADD
+		PUSH1 5
+		MUL
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	e.call(t, nil)
+	if got := e.db.GetStorage(contract, word(0)); got != word(35) {
+		t.Fatalf("slot0 = %x, want 35", got)
+	}
+}
+
+func TestLoopComputesSum(t *testing.T) {
+	e := newEnv(t, nil)
+	// sum = 0; i = 10; while i != 0 { sum += i; i-- }; store sum.
+	e.deploy(asm.MustAssemble(`
+		PUSH1 0      ; sum
+		PUSH1 10     ; i
+	@loop:
+		JUMPDEST
+		DUP1         ; i i sum
+		ISZERO
+		PUSH @done
+		JUMPI
+		DUP1         ; i i sum
+		SWAP2        ; sum i i
+		ADD          ; sum+i i
+		SWAP1        ; i sum'
+		PUSH1 1
+		SWAP1
+		SUB          ; i-1 sum'
+		PUSH @loop
+		JUMP
+	@done:
+		JUMPDEST
+		POP
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	e.call(t, nil)
+	if got := e.db.GetStorage(contract, word(0)); got != word(55) {
+		t.Fatalf("slot0 = %x, want 55", got)
+	}
+}
+
+func TestReturnData(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH1 42
+		PUSH1 0
+		MSTORE
+		PUSH1 32
+		PUSH1 0
+		RETURN
+	`))
+	ret, _ := e.call(t, nil)
+	if !u256.FromBytes(ret).Eq(u256.FromUint64(42)) {
+		t.Fatalf("return = %x", ret)
+	}
+}
+
+func TestCalldataEcho(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH1 0
+		CALLDATALOAD
+		PUSH1 0
+		MSTORE
+		PUSH1 32
+		PUSH1 0
+		RETURN
+	`))
+	input := u256.FromUint64(777).Bytes32()
+	ret, _ := e.call(t, input[:])
+	if !u256.FromBytes(ret).Eq(u256.FromUint64(777)) {
+		t.Fatalf("echo = %x", ret)
+	}
+}
+
+func TestRevertRollsBackAndReportsData(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH1 9
+		PUSH1 0
+		SSTORE      ; write, then revert
+		PUSH1 1
+		PUSH1 31
+		MSTORE8     ; revert payload = 0x01
+		PUSH1 32
+		PUSH1 0
+		REVERT
+	`))
+	ret, gasLeft, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if !errors.Is(err, evm.ErrRevert) {
+		t.Fatalf("want ErrRevert, got %v", err)
+	}
+	if gasLeft == 0 {
+		t.Fatal("revert must refund remaining gas")
+	}
+	if !u256.FromBytes(ret).Eq(u256.One()) {
+		t.Fatalf("revert data = %x", ret)
+	}
+	if e.db.GetStorage(contract, word(0)) != (evm.Word{}) {
+		t.Fatal("revert must roll back storage")
+	}
+}
+
+func TestOutOfGasConsumesAll(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH1 1
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	_, gasLeft, err := e.evm.Call(origin, contract, nil, u256.Zero(), 100)
+	if !errors.Is(err, evm.ErrOutOfGas) {
+		t.Fatalf("want ErrOutOfGas, got %v", err)
+	}
+	if gasLeft != 0 {
+		t.Fatalf("gasLeft = %d, want 0", gasLeft)
+	}
+}
+
+func TestInvalidJumpFails(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH1 3
+		JUMP
+		STOP
+	`))
+	_, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if !errors.Is(err, evm.ErrInvalidJump) {
+		t.Fatalf("want ErrInvalidJump, got %v", err)
+	}
+}
+
+func TestJumpIntoPushImmediateFails(t *testing.T) {
+	e := newEnv(t, nil)
+	// The byte at pc=2 is the immediate 0x5b (JUMPDEST) of a PUSH — jumping
+	// into it must fail because it is data, not an instruction.
+	code := []byte{
+		byte(evm.PUSH1), 0x5b, // push 0x5b (JUMPDEST byte as data)
+		byte(evm.PUSH1), 0x01,
+		byte(evm.JUMP),
+	}
+	e.deploy(code)
+	_, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if !errors.Is(err, evm.ErrInvalidJump) {
+		t.Fatalf("want ErrInvalidJump, got %v", err)
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy([]byte{byte(evm.ADD)})
+	_, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if !errors.Is(err, evm.ErrStackUnderflow) {
+		t.Fatalf("want ErrStackUnderflow, got %v", err)
+	}
+}
+
+func TestInvalidOpcode(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy([]byte{0xef})
+	_, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if !errors.Is(err, evm.ErrInvalidOpcode) {
+		t.Fatalf("want ErrInvalidOpcode, got %v", err)
+	}
+}
+
+func TestEnvironmentOpcodes(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		CHAINID
+		PUSH1 0
+		SSTORE
+		NUMBER
+		PUSH1 1
+		SSTORE
+		TIMESTAMP
+		PUSH1 2
+		SSTORE
+		CALLER
+		PUSH1 3
+		SSTORE
+		STOP
+	`))
+	e.call(t, nil)
+	if got := e.db.GetStorage(contract, word(0)); got != word(1) {
+		t.Fatalf("CHAINID = %x", got)
+	}
+	if got := e.db.GetStorage(contract, word(1)); got != word(10) {
+		t.Fatalf("NUMBER = %x", got)
+	}
+	ts := u256.FromUint64(1_000_000).Bytes32()
+	if got := e.db.GetStorage(contract, word(2)); got != ts {
+		t.Fatalf("TIMESTAMP = %x", got)
+	}
+	var callerWord evm.Word
+	copy(callerWord[12:], origin[:])
+	if got := e.db.GetStorage(contract, word(3)); got != callerWord {
+		t.Fatalf("CALLER = %x", got)
+	}
+}
+
+func TestValueTransferViaCall(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(nil) // empty account, plain transfer
+	_, _, err := e.evm.Call(origin, contract, nil, u256.FromUint64(500), testGas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.db.GetBalance(contract); !got.Eq(u256.FromUint64(500)) {
+		t.Fatalf("balance = %s", got)
+	}
+	// Insufficient balance fails without state change.
+	_, _, err = e.evm.Call(origin, contract, nil, u256.FromUint64(10_000_000), testGas)
+	if !errors.Is(err, evm.ErrInsufficientBalance) {
+		t.Fatalf("want ErrInsufficientBalance, got %v", err)
+	}
+}
+
+func TestInnerCallWritesCalleeStorage(t *testing.T) {
+	e := newEnv(t, nil)
+	callee := addr(0xdd)
+	e.db.CreateContract(callee, asm.MustAssemble(`
+		PUSH1 77
+		PUSH1 5
+		SSTORE
+		STOP
+	`))
+	// CALL(gas=100000, to=callee, value=0, in=0/0, out=0/0), store success.
+	e.deploy(asm.MustAssemble(`
+		PUSH1 0
+		PUSH1 0
+		PUSH1 0
+		PUSH1 0
+		PUSH1 0
+		PUSH20 0xdd00000000000000000000000000000000000000
+		PUSH3 0x0186a0
+		CALL
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	e.call(t, nil)
+	if got := e.db.GetStorage(callee, word(5)); got != word(77) {
+		t.Fatalf("callee slot5 = %x", got)
+	}
+	if got := e.db.GetStorage(contract, word(0)); got != word(1) {
+		t.Fatalf("success flag = %x", got)
+	}
+}
+
+func TestStaticCallBlocksWrites(t *testing.T) {
+	e := newEnv(t, nil)
+	callee := addr(0xdd)
+	e.db.CreateContract(callee, asm.MustAssemble(`
+		PUSH1 77
+		PUSH1 5
+		SSTORE
+		STOP
+	`))
+	e.deploy(asm.MustAssemble(`
+		PUSH1 0
+		PUSH1 0
+		PUSH1 0
+		PUSH1 0
+		PUSH20 0xdd00000000000000000000000000000000000000
+		PUSH3 0x0186a0
+		STATICCALL
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	e.call(t, nil)
+	if got := e.db.GetStorage(callee, word(5)); got != (evm.Word{}) {
+		t.Fatal("static callee must not write")
+	}
+	if got := e.db.GetStorage(contract, word(0)); got != (evm.Word{}) {
+		t.Fatal("static call with write must report failure (0)")
+	}
+}
+
+func TestMoveOpcodeLocksContract(t *testing.T) {
+	e := newEnv(t, nil)
+	// moveTo: MOVE(chain 2), then done.
+	e.deploy(asm.MustAssemble(`
+		PUSH1 2
+		MOVE
+		STOP
+	`))
+	e.call(t, nil)
+	if got := e.db.GetLocation(contract); got != remoteChain {
+		t.Fatalf("location = %s", got)
+	}
+	if got := e.db.GetMoveNonce(contract); got != 1 {
+		t.Fatalf("move nonce = %d", got)
+	}
+	// A second transaction that writes must now abort.
+	e.db.CreateContract(addr(0xaa), asm.MustAssemble(`
+		PUSH1 1
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	// Re-point the contract's code to a writer: simpler — call the moved
+	// contract again; MOVE itself requires writability, so it aborts.
+	_, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if !errors.Is(err, evm.ErrContractMoved) {
+		t.Fatalf("want ErrContractMoved, got %v", err)
+	}
+}
+
+func TestMovedContractStillReadable(t *testing.T) {
+	e := newEnv(t, nil)
+	// Contract stores 5 at slot 0 on first call; reading code returns slot 0.
+	reader := asm.MustAssemble(`
+		PUSH1 0
+		SLOAD
+		PUSH1 0
+		MSTORE
+		PUSH1 32
+		PUSH1 0
+		RETURN
+	`)
+	e.deploy(reader)
+	e.db.SetStorage(contract, word(0), word(5))
+	e.db.SetLocation(contract, remoteChain)
+	ret, _, err := e.evm.StaticCall(origin, contract, nil, testGas)
+	if err != nil {
+		t.Fatalf("read of moved contract must succeed: %v", err)
+	}
+	if !u256.FromBytes(ret).Eq(u256.FromUint64(5)) {
+		t.Fatalf("read = %x", ret)
+	}
+}
+
+func TestTransferToMovedContractFails(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(nil)
+	e.db.SetLocation(contract, remoteChain)
+	_, _, err := e.evm.Call(origin, contract, nil, u256.FromUint64(5), testGas)
+	if !errors.Is(err, evm.ErrContractMoved) {
+		t.Fatalf("want ErrContractMoved, got %v", err)
+	}
+}
+
+func TestMoveToSelfFails(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH1 1
+		MOVE
+		STOP
+	`))
+	_, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if !errors.Is(err, evm.ErrMoveSelfTarget) {
+		t.Fatalf("want ErrMoveSelfTarget, got %v", err)
+	}
+}
+
+func TestLocationOpcode(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		LOCATION
+		PUSH1 0
+		MSTORE
+		PUSH1 32
+		PUSH1 0
+		RETURN
+	`))
+	ret, _ := e.call(t, nil)
+	if !u256.FromBytes(ret).Eq(u256.FromUint64(uint64(localChain))) {
+		t.Fatalf("LOCATION = %x", ret)
+	}
+}
+
+func TestCreateFromContract(t *testing.T) {
+	e := newEnv(t, nil)
+	// Deploy child code {STOP} from memory; store child address at slot 0.
+	e.deploy(asm.MustAssemble(`
+		PUSH1 0x00   ; child code byte: STOP
+		PUSH1 0
+		MSTORE8
+		PUSH1 0      ; value
+		PUSH1 0      ; offset
+		PUSH1 1      ; size
+		SWAP2        ; size offset value -> order for CREATE: value, offset, size
+		SWAP1
+		CREATE
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	e.call(t, nil)
+	created := e.db.GetStorage(contract, word(0))
+	if created == (evm.Word{}) {
+		t.Fatal("CREATE must push the new address")
+	}
+	childAddr := hashing.AddressFromBytes(created[:])
+	if !e.db.Exists(childAddr) {
+		t.Fatal("child must exist")
+	}
+	if len(e.db.GetCode(childAddr)) != 1 {
+		t.Fatalf("child code = %x", e.db.GetCode(childAddr))
+	}
+}
+
+func TestCreate2AddressesAreChainAgnostic(t *testing.T) {
+	code := []byte{byte(evm.STOP)}
+	salt := word(9)
+	a1 := hashing.Create2Address(0, contract, salt, hashing.Sum(code))
+	a2 := hashing.Create2Address(0, contract, salt, hashing.Sum(code))
+	if a1 != a2 {
+		t.Fatal("CREATE2 must be deterministic")
+	}
+}
+
+func TestLogEmission(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH1 0xab
+		PUSH1 31
+		MSTORE8
+		PUSH1 7      ; topic
+		PUSH1 32     ; size
+		PUSH1 0      ; offset
+		LOG1
+		STOP
+	`))
+	e.call(t, nil)
+	logs := e.db.TakeLogs()
+	if len(logs) != 1 {
+		t.Fatalf("logs = %d", len(logs))
+	}
+	if logs[0].Address != contract || len(logs[0].Topics) != 1 {
+		t.Fatalf("log = %+v", logs[0])
+	}
+	if logs[0].Data[31] != 0xab {
+		t.Fatalf("log data = %x", logs[0].Data)
+	}
+}
+
+func TestSelfDestruct(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH20 0xbb00000000000000000000000000000000000000
+		SELFDESTRUCT
+	`))
+	e.db.AddBalance(contract, u256.FromUint64(123))
+	e.call(t, nil)
+	if got := e.db.GetBalance(addr(0xbb)); !got.Eq(u256.FromUint64(123)) {
+		t.Fatalf("beneficiary balance = %s", got)
+	}
+	if e.db.Exists(contract) {
+		t.Fatal("destroyed contract must be gone")
+	}
+}
+
+func TestSStoreGasSetVsReset(t *testing.T) {
+	e := newEnv(t, nil)
+	e.deploy(asm.MustAssemble(`
+		PUSH1 1
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	_, gasFresh := e.call(t, nil) // zero -> non-zero: SStoreSet
+	_, gasAgain := e.call(t, nil) // non-zero -> non-zero: SStoreRe
+	sched := evm.EthereumSchedule()
+	if diff := gasFresh - gasAgain; diff != sched.SStoreSet-sched.SStoreRe {
+		t.Fatalf("gas diff = %d, want %d", diff, sched.SStoreSet-sched.SStoreRe)
+	}
+}
+
+func TestIntrinsicGas(t *testing.T) {
+	sched := evm.EthereumSchedule()
+	data := []byte{0, 1, 0, 2}
+	got := sched.IntrinsicGas(data, false)
+	want := sched.TxBase + 2*sched.TxDataZero + 2*sched.TxDataNonZero
+	if got != want {
+		t.Fatalf("intrinsic = %d, want %d", got, want)
+	}
+	if sched.IntrinsicGas(nil, true) != sched.TxBase+sched.Create {
+		t.Fatal("create intrinsic must include create cost")
+	}
+}
+
+func TestBurrowScheduleSkipsCodeDeposit(t *testing.T) {
+	eth, bur := evm.EthereumSchedule(), evm.BurrowSchedule()
+	if eth.CodeByte == 0 || bur.CodeByte != 0 {
+		t.Fatalf("CodeByte: eth=%d burrow=%d", eth.CodeByte, bur.CodeByte)
+	}
+	if eth.SStoreSet != bur.SStoreSet {
+		t.Fatal("opcode costs must match across schedules")
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	e := newEnv(t, nil)
+	// Contract calls itself recursively, then stores 1 at slot 0 on the way
+	// out. Depth must bottom out without panic or error at the top level.
+	e.deploy(asm.MustAssemble(`
+		PUSH1 0
+		PUSH1 0
+		PUSH1 0
+		PUSH1 0
+		PUSH1 0
+		ADDRESS
+		GAS
+		CALL
+		POP
+		PUSH1 1
+		PUSH1 0
+		SSTORE
+		STOP
+	`))
+	ret, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if err != nil {
+		t.Fatalf("recursive call: %v (ret %x)", err, ret)
+	}
+	if got := e.db.GetStorage(contract, word(0)); got != word(1) {
+		t.Fatal("outer frame must still complete")
+	}
+}
+
+// --- native contract coverage ---
+
+// counter is a minimal native contract: OnCreate stores an initial value,
+// Run("inc") increments it, Run("get") returns it, Run("move:<n>") moves it.
+type counter struct{}
+
+func (counter) Name() string  { return "Counter" }
+func (counter) CodeSize() int { return 1000 }
+
+func (counter) OnCreate(call *evm.NativeCall, args []byte) error {
+	var init evm.Word
+	copy(init[:], args)
+	return call.SetStorage(word(0), init)
+}
+
+func (counter) Run(call *evm.NativeCall, input []byte) ([]byte, error) {
+	cmd := string(input)
+	switch {
+	case cmd == "inc":
+		v, err := call.GetStorage(word(0))
+		if err != nil {
+			return nil, err
+		}
+		n := u256.FromBytes(v[:]).Add(u256.One())
+		if err := call.SetStorage(word(0), n.Bytes32()); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case cmd == "get":
+		v, err := call.GetStorage(word(0))
+		if err != nil {
+			return nil, err
+		}
+		return v[:], nil
+	case strings.HasPrefix(cmd, "move:"):
+		return nil, call.Move(hashing.ChainID(cmd[len(cmd)-1] - '0'))
+	default:
+		return nil, errors.New("counter: unknown method")
+	}
+}
+
+func TestNativeContractLifecycle(t *testing.T) {
+	reg := evm.MustNewRegistry(counter{})
+	e := newEnv(t, reg)
+	e.deploy(evm.NativeCode("Counter"))
+
+	if _, _, err := e.evm.Call(origin, contract, []byte("inc"), u256.Zero(), testGas); err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := e.evm.Call(origin, contract, []byte("get"), u256.Zero(), testGas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u256.FromBytes(ret).Eq(u256.One()) {
+		t.Fatalf("counter = %x", ret)
+	}
+}
+
+func TestNativeGasMatchesBytecodeStorageCosts(t *testing.T) {
+	reg := evm.MustNewRegistry(counter{})
+	e := newEnv(t, reg)
+	e.deploy(evm.NativeCode("Counter"))
+	_, gasLeft, err := e.evm.Call(origin, contract, []byte("inc"), u256.Zero(), testGas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := testGas - gasLeft
+	sched := evm.EthereumSchedule()
+	// inc = SLOAD + SSTORE(set): native execution must charge at least the
+	// storage schedule costs.
+	if used < sched.SLoad+sched.SStoreSet {
+		t.Fatalf("native gas %d below storage schedule %d", used, sched.SLoad+sched.SStoreSet)
+	}
+}
+
+func TestNativeMoveLock(t *testing.T) {
+	reg := evm.MustNewRegistry(counter{})
+	e := newEnv(t, reg)
+	e.deploy(evm.NativeCode("Counter"))
+	if _, _, err := e.evm.Call(origin, contract, []byte("move:2"), u256.Zero(), testGas); err != nil {
+		t.Fatal(err)
+	}
+	if e.db.GetLocation(contract) != remoteChain {
+		t.Fatal("native move must set the location")
+	}
+	_, _, err := e.evm.Call(origin, contract, []byte("inc"), u256.Zero(), testGas)
+	if !errors.Is(err, evm.ErrContractMoved) {
+		t.Fatalf("want ErrContractMoved, got %v", err)
+	}
+	// Reads still work.
+	ret, _, err := e.evm.StaticCall(origin, contract, []byte("get"), testGas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u256.FromBytes(ret).IsZero() {
+		t.Fatalf("get = %x", ret)
+	}
+}
+
+func TestNativeCreateNative(t *testing.T) {
+	reg := evm.MustNewRegistry(counter{}, factory{})
+	e := newEnv(t, reg)
+	e.deploy(evm.NativeCode("Factory"))
+	ret, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := hashing.AddressFromBytes(ret)
+	if string(e.db.GetCode(child)) != string(evm.NativeCode("Counter")) {
+		t.Fatalf("child code = %q", e.db.GetCode(child))
+	}
+	// Constructor arg (initial value 7) must have been applied.
+	if got := e.db.GetStorage(child, word(0)); got != word(7) {
+		t.Fatalf("child slot0 = %x", got)
+	}
+}
+
+// factory creates a Counter with initial value 7 and returns its address.
+type factory struct{}
+
+func (factory) Name() string                           { return "Factory" }
+func (factory) CodeSize() int                          { return 500 }
+func (factory) OnCreate(*evm.NativeCall, []byte) error { return nil }
+func (factory) Run(call *evm.NativeCall, _ []byte) ([]byte, error) {
+	init := word(7)
+	addr, err := call.CreateNative("Counter", word(1), init[:], u256.Zero())
+	if err != nil {
+		return nil, err
+	}
+	return addr[:], nil
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	if _, err := evm.NewRegistry(counter{}, counter{}); err == nil {
+		t.Fatal("duplicate names must be rejected")
+	}
+}

@@ -1,0 +1,77 @@
+package evm
+
+import "scmove/internal/u256"
+
+// stack is the 256-bit word stack of one call frame.
+type stack struct {
+	data  []u256.Int
+	limit int
+}
+
+func newStack(limit uint64) *stack {
+	return &stack{data: make([]u256.Int, 0, 32), limit: int(limit)}
+}
+
+func (s *stack) len() int { return len(s.data) }
+
+func (s *stack) push(v u256.Int) error {
+	if len(s.data) >= s.limit {
+		return ErrStackOverflow
+	}
+	s.data = append(s.data, v)
+	return nil
+}
+
+func (s *stack) pop() (u256.Int, error) {
+	if len(s.data) == 0 {
+		return u256.Int{}, ErrStackUnderflow
+	}
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v, nil
+}
+
+// pop2 pops two values (a above b).
+func (s *stack) pop2() (a, b u256.Int, err error) {
+	if a, err = s.pop(); err != nil {
+		return
+	}
+	b, err = s.pop()
+	return
+}
+
+// pop3 pops three values.
+func (s *stack) pop3() (a, b, c u256.Int, err error) {
+	if a, b, err = s.pop2(); err != nil {
+		return
+	}
+	c, err = s.pop()
+	return
+}
+
+// peek returns the n-th value from the top (0 = top) without popping.
+func (s *stack) peek(n int) (u256.Int, error) {
+	if n >= len(s.data) {
+		return u256.Int{}, ErrStackUnderflow
+	}
+	return s.data[len(s.data)-1-n], nil
+}
+
+// dup pushes a copy of the n-th value from the top (1 = top).
+func (s *stack) dup(n int) error {
+	v, err := s.peek(n - 1)
+	if err != nil {
+		return err
+	}
+	return s.push(v)
+}
+
+// swap exchanges the top with the n-th value below it (1 = immediately below).
+func (s *stack) swap(n int) error {
+	if n >= len(s.data) {
+		return ErrStackUnderflow
+	}
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package hashing defines the chain hash, addresses, and identifier
+// derivation rules shared by every blockchain in the system.
+//
+// The paper's implementation uses Keccak-256 (Ethereum) and SHA-256/IAVL
+// hashing (Burrow/Tendermint). Both chains in this reproduction use SHA-256:
+// the Move protocol only requires a collision-resistant hash, and using one
+// function keeps cross-chain proofs uniform (see DESIGN.md, substitutions).
+//
+// Contract identifiers mix in the blockchain identifier, as required by
+// §III-G(a) of the paper, so that the same creator/nonce pair on two chains
+// never collides system-wide.
+package hashing
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// HashSize is the byte length of the chain hash.
+const HashSize = 32
+
+// AddressSize is the byte length of account and contract identifiers.
+const AddressSize = 20
+
+// Hash is the output of the chain hash function.
+type Hash [HashSize]byte
+
+// Address identifies an account or contract on any chain.
+type Address [AddressSize]byte
+
+// ZeroHash is the all-zero hash, used as an empty-tree and nil-parent marker.
+var ZeroHash Hash
+
+// ZeroAddress is the all-zero address.
+var ZeroAddress Address
+
+// Sum hashes the concatenation of the given byte slices.
+func Sum(chunks ...[]byte) Hash {
+	h := sha256.New()
+	for _, c := range chunks {
+		h.Write(c)
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SumTagged hashes a domain-separation tag followed by the chunks. Distinct
+// tags guarantee that, e.g., trie leaves can never be confused with trie
+// branches (second-preimage protection in Merkle proofs).
+func SumTagged(tag byte, chunks ...[]byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{tag})
+	for _, c := range chunks {
+		h.Write(c)
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Hex returns the 0x-prefixed hex encoding of h.
+func (h Hash) Hex() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// String implements fmt.Stringer with a shortened form for logs.
+func (h Hash) String() string {
+	return fmt.Sprintf("0x%x…%x", h[:4], h[28:])
+}
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == ZeroHash }
+
+// Bytes returns a copy of the hash bytes.
+func (h Hash) Bytes() []byte {
+	out := make([]byte, HashSize)
+	copy(out, h[:])
+	return out
+}
+
+// HashFromBytes converts a byte slice to a Hash; short input is zero-padded
+// on the right, long input is truncated.
+func HashFromBytes(b []byte) Hash {
+	var h Hash
+	copy(h[:], b)
+	return h
+}
+
+// Hex returns the 0x-prefixed hex encoding of a.
+func (a Address) Hex() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// String implements fmt.Stringer.
+func (a Address) String() string { return a.Hex() }
+
+// IsZero reports whether a is the all-zero address.
+func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// Bytes returns a copy of the address bytes.
+func (a Address) Bytes() []byte {
+	out := make([]byte, AddressSize)
+	copy(out, a[:])
+	return out
+}
+
+// AddressFromBytes converts a byte slice to an Address, taking the last 20
+// bytes of longer input (the EVM convention for hash-derived addresses).
+func AddressFromBytes(b []byte) Address {
+	var a Address
+	if len(b) > AddressSize {
+		b = b[len(b)-AddressSize:]
+	}
+	copy(a[AddressSize-len(b):], b)
+	return a
+}
+
+// AddressFromHash takes the trailing 20 bytes of a hash, the standard way
+// identifiers are derived from hashed material.
+func AddressFromHash(h Hash) Address {
+	return AddressFromBytes(h[:])
+}
+
+// ChainID identifies a blockchain participating in the Move protocol.
+// Chain id 0 is reserved as "no chain" / unset.
+type ChainID uint64
+
+// Bytes returns the big-endian 8-byte encoding of the chain id.
+func (c ChainID) Bytes() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(c))
+	return b[:]
+}
+
+// String implements fmt.Stringer.
+func (c ChainID) String() string { return fmt.Sprintf("chain-%d", uint64(c)) }
+
+// Domain-separation tags for identifier derivation.
+const (
+	tagCreate  = 0xc0
+	tagCreate2 = 0xc2
+	tagAccount = 0xca
+)
+
+// CreateAddress derives the identifier of a contract created with CREATE:
+// H(tag || chainID || creator || nonce). Mixing in the chain id ensures
+// system-wide uniqueness across interoperating chains (§III-G(a)).
+func CreateAddress(chain ChainID, creator Address, nonce uint64) Address {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], nonce)
+	return AddressFromHash(SumTagged(tagCreate, chain.Bytes(), creator[:], n[:]))
+}
+
+// Create2Address derives the identifier of a contract created with CREATE2:
+// H(tag || chainID || creator || salt || codeHash). Deterministic in the
+// salt, which SCoin exploits for cheap sibling-account attestation (§V-A).
+//
+// Note: unlike CreateAddress, the chain id used here must be the *home*
+// chain id configured for the contract family, so that accounts keep the
+// same identifier as they move between chains.
+func Create2Address(chain ChainID, creator Address, salt [32]byte, codeHash Hash) Address {
+	return AddressFromHash(SumTagged(tagCreate2, chain.Bytes(), creator[:], salt[:], codeHash[:]))
+}
+
+// AccountAddress derives an externally-owned account identifier from a
+// public key encoding. The same key yields the same identifier on every
+// chain, as assumed in §III-G(a).
+func AccountAddress(pubKey []byte) Address {
+	return AddressFromHash(SumTagged(tagAccount, pubKey))
+}

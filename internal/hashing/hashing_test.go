@@ -1,0 +1,136 @@
+package hashing
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	a := Sum([]byte("hello"), []byte("world"))
+	b := Sum([]byte("helloworld"))
+	if a != b {
+		t.Fatal("Sum must hash the concatenation of chunks")
+	}
+	if a == Sum([]byte("helloworld!")) {
+		t.Fatal("distinct inputs must not collide")
+	}
+}
+
+func TestSumTaggedDomainSeparation(t *testing.T) {
+	data := []byte("payload")
+	if SumTagged(0x01, data) == SumTagged(0x02, data) {
+		t.Fatal("distinct tags must produce distinct hashes")
+	}
+	if SumTagged(0x01, data) == Sum(data) {
+		t.Fatal("tagged hash must differ from untagged hash")
+	}
+}
+
+func TestHashHexRoundTrip(t *testing.T) {
+	h := Sum([]byte("x"))
+	if !strings.HasPrefix(h.Hex(), "0x") || len(h.Hex()) != 2+64 {
+		t.Fatalf("unexpected hex form %q", h.Hex())
+	}
+	if HashFromBytes(h.Bytes()) != h {
+		t.Fatal("Bytes/HashFromBytes must round-trip")
+	}
+}
+
+func TestAddressFromBytesTruncation(t *testing.T) {
+	long := make([]byte, 32)
+	for i := range long {
+		long[i] = byte(i)
+	}
+	a := AddressFromBytes(long)
+	if a[0] != 12 || a[19] != 31 {
+		t.Fatalf("expected trailing 20 bytes, got %x", a)
+	}
+	short := []byte{0xab}
+	b := AddressFromBytes(short)
+	if b[19] != 0xab {
+		t.Fatalf("short input must right-align, got %x", b)
+	}
+	for i := 0; i < 19; i++ {
+		if b[i] != 0 {
+			t.Fatalf("leading bytes must be zero, got %x", b)
+		}
+	}
+}
+
+func TestCreateAddressUniqueness(t *testing.T) {
+	var creator Address
+	creator[0] = 1
+
+	// Distinct chains must yield distinct identifiers (§III-G(a)).
+	a1 := CreateAddress(ChainID(1), creator, 7)
+	a2 := CreateAddress(ChainID(2), creator, 7)
+	if a1 == a2 {
+		t.Fatal("chain id must be mixed into CREATE addresses")
+	}
+	// Distinct nonces must differ.
+	if CreateAddress(ChainID(1), creator, 7) == CreateAddress(ChainID(1), creator, 8) {
+		t.Fatal("nonce must be mixed into CREATE addresses")
+	}
+	// Deterministic.
+	if a1 != CreateAddress(ChainID(1), creator, 7) {
+		t.Fatal("CREATE address derivation must be deterministic")
+	}
+}
+
+func TestCreate2AddressProperties(t *testing.T) {
+	var creator Address
+	creator[5] = 9
+	var salt [32]byte
+	code := Sum([]byte("code"))
+
+	base := Create2Address(ChainID(3), creator, salt, code)
+	if base != Create2Address(ChainID(3), creator, salt, code) {
+		t.Fatal("CREATE2 must be deterministic")
+	}
+	salt[0] = 1
+	if base == Create2Address(ChainID(3), creator, salt, code) {
+		t.Fatal("salt must change the address")
+	}
+	salt[0] = 0
+	if base == Create2Address(ChainID(3), creator, salt, Sum([]byte("other"))) {
+		t.Fatal("code hash must change the address")
+	}
+}
+
+func TestCreateFamiliesDisjoint(t *testing.T) {
+	// CREATE, CREATE2 and account derivations are domain-separated; a
+	// contrived collision of their inputs must still give distinct outputs.
+	f := func(seed []byte) bool {
+		h := Sum(seed)
+		creator := AddressFromHash(h)
+		var salt [32]byte
+		copy(salt[:], seed)
+		c1 := CreateAddress(ChainID(1), creator, 0)
+		c2 := Create2Address(ChainID(1), creator, salt, h)
+		acct := AccountAddress(seed)
+		return c1 != c2 && c1 != acct && c2 != acct
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainIDBytes(t *testing.T) {
+	b := ChainID(0x0102).Bytes()
+	if len(b) != 8 || b[6] != 1 || b[7] != 2 {
+		t.Fatalf("unexpected encoding %x", b)
+	}
+	if ChainID(5).String() != "chain-5" {
+		t.Fatalf("unexpected string %q", ChainID(5))
+	}
+}
+
+func TestZeroValues(t *testing.T) {
+	if !ZeroHash.IsZero() || !ZeroAddress.IsZero() {
+		t.Fatal("zero values must report IsZero")
+	}
+	if Sum([]byte("a")).IsZero() {
+		t.Fatal("nonzero hash must not report IsZero")
+	}
+}

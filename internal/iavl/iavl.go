@@ -1,0 +1,252 @@
+// Package iavl implements the authenticated search tree of the
+// Burrow/Tendermint-like chain.
+//
+// Tendermint's IAVL tree is a Merkle-ized AVL tree whose shape depends on
+// the order of operations. The Move protocol's completeness check (rebuild
+// the moved contract's storage tree and compare roots, §III-E) needs a
+// *canonical* structure instead, so this package implements a Merkle-ized
+// treap with deterministic priorities (priority = H(key)): the tree shape —
+// and therefore the root hash — is a pure function of the key-value set,
+// with the same expected O(log n) costs as the AVL original. See DESIGN.md,
+// substitutions.
+package iavl
+
+import (
+	"bytes"
+	"fmt"
+
+	"scmove/internal/codec"
+	"scmove/internal/hashing"
+	"scmove/internal/trie"
+)
+
+const (
+	tagNode = 0x4e // 'N', node hash domain
+	tagPrio = 0x50 // 'P', priority derivation domain
+)
+
+type node struct {
+	key, value  []byte
+	prio        hashing.Hash
+	left, right *node
+
+	hash  hashing.Hash
+	clean bool
+}
+
+// Tree is a canonical Merkle search tree. Construct with New.
+type Tree struct {
+	root   *node
+	keyLen int
+	count  int
+}
+
+var _ trie.Tree = (*Tree)(nil)
+
+// New returns an empty tree whose keys are keyLen bytes long.
+func New(keyLen int) *Tree {
+	if keyLen <= 0 {
+		panic("iavl: key length must be positive")
+	}
+	return &Tree{keyLen: keyLen}
+}
+
+// KeyLen returns the fixed key length in bytes.
+func (t *Tree) KeyLen() int { return t.keyLen }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.count }
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for n != nil {
+		switch bytes.Compare(key, n.key) {
+		case 0:
+			return n.value, true
+		case -1:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return nil, false
+}
+
+// Set stores value under key.
+func (t *Tree) Set(key, value []byte) error {
+	if len(key) != t.keyLen {
+		return fmt.Errorf("%w: got %d want %d", trie.ErrKeyLength, len(key), t.keyLen)
+	}
+	if len(value) == 0 {
+		panic("iavl: empty value; use Delete to remove keys")
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	var added bool
+	t.root, added = insert(t.root, k, v)
+	if added {
+		t.count++
+	}
+	return nil
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (t *Tree) Delete(key []byte) error {
+	if len(key) != t.keyLen {
+		return fmt.Errorf("%w: got %d want %d", trie.ErrKeyLength, len(key), t.keyLen)
+	}
+	var removed bool
+	t.root, removed = remove(t.root, key)
+	if removed {
+		t.count--
+	}
+	return nil
+}
+
+// RootHash returns the Merkle root; the empty tree hashes to the zero hash.
+func (t *Tree) RootHash() hashing.Hash {
+	if t.root == nil {
+		return hashing.ZeroHash
+	}
+	return t.root.hashNode()
+}
+
+// Iterate visits entries in ascending key order.
+func (t *Tree) Iterate(fn func(key, value []byte) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.key, n.value) && walk(n.right)
+	}
+	walk(t.root)
+}
+
+func priority(key []byte) hashing.Hash {
+	return hashing.SumTagged(tagPrio, key)
+}
+
+// higher reports whether priority a wins over b (max-treap ordering).
+func higher(a, b hashing.Hash) bool { return bytes.Compare(a[:], b[:]) > 0 }
+
+func insert(n *node, key, value []byte) (*node, bool) {
+	if n == nil {
+		return &node{key: key, value: value, prio: priority(key)}, true
+	}
+	n.clean = false
+	switch bytes.Compare(key, n.key) {
+	case 0:
+		n.value = value
+		return n, false
+	case -1:
+		child, added := insert(n.left, key, value)
+		n.left = child
+		if higher(n.left.prio, n.prio) {
+			n = rotateRight(n)
+		}
+		return n, added
+	default:
+		child, added := insert(n.right, key, value)
+		n.right = child
+		if higher(n.right.prio, n.prio) {
+			n = rotateLeft(n)
+		}
+		return n, added
+	}
+}
+
+func remove(n *node, key []byte) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch bytes.Compare(key, n.key) {
+	case -1:
+		child, removed := remove(n.left, key)
+		if removed {
+			n.clean = false
+			n.left = child
+		}
+		return n, removed
+	case 1:
+		child, removed := remove(n.right, key)
+		if removed {
+			n.clean = false
+			n.right = child
+		}
+		return n, removed
+	default:
+		// Rotate the node down until it is a leaf, preserving heap order.
+		return dissolve(n), true
+	}
+}
+
+// dissolve removes n from its subtree by rotating the higher-priority child
+// up until n has at most one child, then splicing it out.
+func dissolve(n *node) *node {
+	switch {
+	case n.left == nil:
+		return n.right
+	case n.right == nil:
+		return n.left
+	case higher(n.left.prio, n.right.prio):
+		r := rotateRight(n)
+		r.clean = false
+		r.right = dissolve(r.right)
+		return r
+	default:
+		r := rotateLeft(n)
+		r.clean = false
+		r.left = dissolve(r.left)
+		return r
+	}
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.clean = false
+	l.clean = false
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.clean = false
+	r.clean = false
+	return r
+}
+
+// encode returns the canonical encoding hashed into the node hash.
+func (n *node) encode() []byte {
+	w := codec.NewWriter(96)
+	w.WriteUvarint(tagNode)
+	w.WriteBytes(n.key)
+	w.WriteBytes(n.value)
+	if n.left == nil {
+		w.WriteHash(hashing.ZeroHash)
+	} else {
+		w.WriteHash(n.left.hashNode())
+	}
+	if n.right == nil {
+		w.WriteHash(hashing.ZeroHash)
+	} else {
+		w.WriteHash(n.right.hashNode())
+	}
+	return w.Bytes()
+}
+
+func (n *node) hashNode() hashing.Hash {
+	if n.clean {
+		return n.hash
+	}
+	n.hash = hashing.Sum(n.encode())
+	n.clean = true
+	return n.hash
+}

@@ -1,0 +1,87 @@
+package iavl
+
+import (
+	"bytes"
+	"fmt"
+
+	"scmove/internal/codec"
+	"scmove/internal/hashing"
+	"scmove/internal/trie"
+)
+
+// Prove returns an encoded membership proof for key: the canonical encodings
+// of every node on the search path from the root to the key's node, with the
+// direction taken at every interior step.
+func (t *Tree) Prove(key []byte) ([]byte, error) {
+	if len(key) != t.keyLen {
+		return nil, fmt.Errorf("%w: got %d want %d", trie.ErrKeyLength, len(key), t.keyLen)
+	}
+	w := codec.NewWriter(512)
+	body := codec.NewWriter(512)
+	var steps int
+	n := t.root
+	for n != nil {
+		body.WriteBytes(n.encode())
+		steps++
+		cmp := bytes.Compare(key, n.key)
+		if cmp == 0 {
+			w.WriteUvarint(uint64(steps))
+			return append(w.Bytes(), body.Bytes()...), nil
+		}
+		if cmp < 0 {
+			body.WriteBool(false) // went left
+			n = n.left
+		} else {
+			body.WriteBool(true) // went right
+			n = n.right
+		}
+	}
+	return nil, fmt.Errorf("%w: key absent", trie.ErrInvalidProof)
+}
+
+// VerifyProof checks an encoded membership proof against root and returns
+// the proven key-value entry (the key/value of the final node on the path).
+func VerifyProof(root hashing.Hash, proof []byte) (trie.ProvenEntry, error) {
+	r := codec.NewReader(proof)
+	steps := r.ReadUvarint()
+	if steps == 0 || steps > 1<<16 {
+		return trie.ProvenEntry{}, fmt.Errorf("%w: bad step count", trie.ErrInvalidProof)
+	}
+	expected := root
+	for i := uint64(0); i < steps; i++ {
+		enc := r.ReadBytes()
+		if r.Err() != nil {
+			return trie.ProvenEntry{}, fmt.Errorf("%w: %v", trie.ErrInvalidProof, r.Err())
+		}
+		if hashing.Sum(enc) != expected {
+			return trie.ProvenEntry{}, fmt.Errorf("%w: hash mismatch at step %d", trie.ErrInvalidProof, i)
+		}
+		nr := codec.NewReader(enc)
+		if tag := nr.ReadUvarint(); tag != tagNode {
+			return trie.ProvenEntry{}, fmt.Errorf("%w: unknown node tag %d", trie.ErrInvalidProof, tag)
+		}
+		key := nr.ReadBytes()
+		value := nr.ReadBytes()
+		leftHash := nr.ReadHash()
+		rightHash := nr.ReadHash()
+		if err := nr.Finish(); err != nil {
+			return trie.ProvenEntry{}, fmt.Errorf("%w: %v", trie.ErrInvalidProof, err)
+		}
+		if i == steps-1 {
+			if err := r.Finish(); err != nil {
+				return trie.ProvenEntry{}, fmt.Errorf("%w: %v", trie.ErrInvalidProof, err)
+			}
+			return trie.ProvenEntry{Key: key, Value: value}, nil
+		}
+		goRight := r.ReadBool()
+		if goRight {
+			expected = rightHash
+		} else {
+			expected = leftHash
+		}
+		if expected.IsZero() {
+			return trie.ProvenEntry{}, fmt.Errorf("%w: path descends into empty subtree", trie.ErrInvalidProof)
+		}
+	}
+	return trie.ProvenEntry{}, fmt.Errorf("%w: unreachable", trie.ErrInvalidProof)
+}

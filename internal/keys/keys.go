@@ -1,0 +1,131 @@
+// Package keys implements account key pairs and transaction signatures.
+//
+// The paper's clients hold one asymmetric key pair per account (§II). This
+// reproduction uses ECDSA over P-256 from the standard library in place of
+// secp256k1; the signature workflow (sign a transaction hash, verify proof
+// of account ownership) is identical.
+package keys
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"scmove/internal/hashing"
+)
+
+// Errors returned by signature verification.
+var (
+	ErrBadSignature = errors.New("keys: signature verification failed")
+	ErrShortKey     = errors.New("keys: malformed public key encoding")
+)
+
+// KeyPair is an account key pair. The zero value is unusable; construct
+// with Generate or Deterministic.
+type KeyPair struct {
+	priv *ecdsa.PrivateKey
+	addr hashing.Address
+}
+
+// Generate creates a new key pair from crypto/rand.
+func Generate() (*KeyPair, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate key: %w", err)
+	}
+	return fromPriv(priv), nil
+}
+
+// Deterministic creates a key pair derived from a seed. Simulations use this
+// to create reproducible client populations; it must not be used for real
+// funds. The private scalar is H(seed) reduced into [1, N-1], which is
+// deterministic regardless of how the standard library samples keys.
+func Deterministic(seed uint64) *KeyPair {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], seed)
+	digest := sha256.Sum256(buf[:])
+
+	curve := elliptic.P256()
+	nMinusOne := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
+	d := new(big.Int).SetBytes(digest[:])
+	d.Mod(d, nMinusOne)
+	d.Add(d, big.NewInt(1)) // d ∈ [1, N-1]
+
+	priv := &ecdsa.PrivateKey{D: d}
+	priv.Curve = curve
+	priv.X, priv.Y = curve.ScalarBaseMult(d.Bytes())
+	return fromPriv(priv)
+}
+
+func fromPriv(priv *ecdsa.PrivateKey) *KeyPair {
+	return &KeyPair{
+		priv: priv,
+		addr: hashing.AccountAddress(encodePub(&priv.PublicKey)),
+	}
+}
+
+// Address returns the account identifier derived from the public key. The
+// same key pair yields the same address on every chain (§III-G(a)).
+func (k *KeyPair) Address() hashing.Address { return k.addr }
+
+// PublicKey returns the encoded public key.
+func (k *KeyPair) PublicKey() []byte { return encodePub(&k.priv.PublicKey) }
+
+// Sign signs digest and returns a signature that carries the public key, so
+// verifiers can both check the signature and derive the signer's address.
+func (k *KeyPair) Sign(digest hashing.Hash) (Signature, error) {
+	r, s, err := ecdsa.Sign(rand.Reader, k.priv, digest[:])
+	if err != nil {
+		return Signature{}, fmt.Errorf("sign: %w", err)
+	}
+	return Signature{
+		PubKey: k.PublicKey(),
+		R:      r.Bytes(),
+		S:      s.Bytes(),
+	}, nil
+}
+
+// Signature is a transaction signature together with the signing public key.
+type Signature struct {
+	PubKey []byte
+	R, S   []byte
+}
+
+// SignerAddress returns the address of the key that produced the signature.
+func (sig Signature) SignerAddress() (hashing.Address, error) {
+	if _, err := decodePub(sig.PubKey); err != nil {
+		return hashing.Address{}, err
+	}
+	return hashing.AccountAddress(sig.PubKey), nil
+}
+
+// Verify checks the signature over digest and returns the signer address.
+func (sig Signature) Verify(digest hashing.Hash) (hashing.Address, error) {
+	pub, err := decodePub(sig.PubKey)
+	if err != nil {
+		return hashing.Address{}, err
+	}
+	r := new(big.Int).SetBytes(sig.R)
+	s := new(big.Int).SetBytes(sig.S)
+	if !ecdsa.Verify(pub, digest[:], r, s) {
+		return hashing.Address{}, ErrBadSignature
+	}
+	return hashing.AccountAddress(sig.PubKey), nil
+}
+
+func encodePub(pub *ecdsa.PublicKey) []byte {
+	return elliptic.MarshalCompressed(elliptic.P256(), pub.X, pub.Y)
+}
+
+func decodePub(enc []byte) (*ecdsa.PublicKey, error) {
+	x, y := elliptic.UnmarshalCompressed(elliptic.P256(), enc)
+	if x == nil {
+		return nil, ErrShortKey
+	}
+	return &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}, nil
+}

@@ -1,0 +1,99 @@
+package keys
+
+import (
+	"errors"
+	"testing"
+
+	"scmove/internal/hashing"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	kp, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := hashing.Sum([]byte("tx payload"))
+	sig, err := kp.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sig.Verify(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != kp.Address() {
+		t.Fatalf("verified signer %s != key address %s", addr, kp.Address())
+	}
+}
+
+func TestVerifyRejectsTamperedDigest(t *testing.T) {
+	kp := Deterministic(1)
+	sig, err := kp.Sign(hashing.Sum([]byte("original")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sig.Verify(hashing.Sum([]byte("tampered"))); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsSwappedKey(t *testing.T) {
+	digest := hashing.Sum([]byte("msg"))
+	sig, err := Deterministic(1).Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the embedded public key with another account's: the signature
+	// must no longer verify, so an attacker cannot claim another identity.
+	sig.PubKey = Deterministic(2).PublicKey()
+	if _, err := sig.Verify(digest); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsGarbageKey(t *testing.T) {
+	sig := Signature{PubKey: []byte{1, 2, 3}}
+	if _, err := sig.Verify(hashing.Hash{}); !errors.Is(err, ErrShortKey) {
+		t.Fatalf("want ErrShortKey, got %v", err)
+	}
+}
+
+func TestDeterministicIsStable(t *testing.T) {
+	a := Deterministic(42)
+	b := Deterministic(42)
+	if a.Address() != b.Address() {
+		t.Fatal("same seed must produce the same key")
+	}
+	if a.Address() == Deterministic(43).Address() {
+		t.Fatal("different seeds must produce different keys")
+	}
+}
+
+func TestAddressMatchesSignerAddress(t *testing.T) {
+	kp := Deterministic(7)
+	sig, err := kp.Sign(hashing.Sum([]byte("m")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sig.SignerAddress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != kp.Address() {
+		t.Fatal("SignerAddress must match the key pair address")
+	}
+}
+
+func TestDeterministicKeysSignCorrectly(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		kp := Deterministic(seed)
+		digest := hashing.Sum([]byte{byte(seed)})
+		sig, err := kp.Sign(digest)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := sig.Verify(digest); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

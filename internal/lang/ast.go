@@ -1,0 +1,140 @@
+package lang
+
+// AST node definitions.
+
+type varType uint8
+
+const (
+	typeUint varType = iota + 1
+	typeAddress
+	typeBool
+	typeMap
+)
+
+type contractDecl struct {
+	Name    string
+	Storage []storageDecl
+	Funcs   []*funcDecl
+}
+
+type storageDecl struct {
+	Name string
+	Type varType
+	Slot int
+}
+
+type funcDecl struct {
+	Name    string
+	Params  []string
+	Returns bool
+	Body    []stmt
+	Line    int
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type varStmt struct {
+	Name string
+	Expr expr
+}
+
+type assignStmt struct {
+	// Target is a local or storage name; Index non-nil for map writes.
+	Target string
+	Index  expr
+	Expr   expr
+	Line   int
+}
+
+type returnStmt struct {
+	Expr expr // nil returns zero
+}
+
+type requireStmt struct {
+	Cond expr
+}
+
+type moveStmt struct {
+	Target expr
+}
+
+type emitStmt struct {
+	Event string
+	Arg   expr
+}
+
+type ifStmt struct {
+	Cond expr
+	Then []stmt
+	Else []stmt
+}
+
+type whileStmt struct {
+	Cond expr
+	Body []stmt
+}
+
+// exprStmt evaluates a call for its side effects, discarding the result.
+type exprStmt struct {
+	Call *callExpr
+}
+
+func (varStmt) stmtNode()     {}
+func (assignStmt) stmtNode()  {}
+func (returnStmt) stmtNode()  {}
+func (requireStmt) stmtNode() {}
+func (moveStmt) stmtNode()    {}
+func (emitStmt) stmtNode()    {}
+func (ifStmt) stmtNode()      {}
+func (whileStmt) stmtNode()   {}
+func (exprStmt) stmtNode()    {}
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type numberExpr struct {
+	Text string
+}
+
+type boolExpr struct {
+	Value bool
+}
+
+// identExpr resolves to a local, a storage field, or a builtin.
+type identExpr struct {
+	Name string
+	Line int
+}
+
+type indexExpr struct {
+	Map   string
+	Index expr
+	Line  int
+}
+
+type callExpr struct {
+	Name string
+	Args []expr
+	Line int
+}
+
+type unaryExpr struct {
+	Op string
+	X  expr
+}
+
+type binaryExpr struct {
+	Op   string
+	L, R expr
+}
+
+func (numberExpr) exprNode() {}
+func (boolExpr) exprNode()   {}
+func (identExpr) exprNode()  {}
+func (indexExpr) exprNode()  {}
+func (callExpr) exprNode()   {}
+func (unaryExpr) exprNode()  {}
+func (binaryExpr) exprNode() {}

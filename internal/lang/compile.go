@@ -1,0 +1,498 @@
+package lang
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Memory layout of compiled contracts:
+//
+//	0x00 - 0x3f   scratch (map slot hashing, event payloads, return value)
+//	0x80 + i*0x400  locals frame of function i (no recursion: frames are
+//	                statically assigned, one per function)
+const (
+	scratchKey   = 0x00 // map slot index goes here
+	scratchVal   = 0x20 // map key goes here
+	frameBase    = 0x80
+	frameSize    = 0x400
+	maxLocals    = frameSize / 32
+	maxFunctions = 256
+)
+
+// generate lowers a parsed contract to assembly text for internal/evm/asm.
+func generate(c *contractDecl) (string, error) {
+	g := &generator{
+		contract: c,
+		storage:  make(map[string]storageDecl, len(c.Storage)),
+		funcs:    make(map[string]*funcDecl, len(c.Funcs)),
+		fnIndex:  make(map[string]int, len(c.Funcs)),
+	}
+	for _, s := range c.Storage {
+		if _, dup := g.storage[s.Name]; dup {
+			return "", fmt.Errorf("lang: duplicate storage field %q", s.Name)
+		}
+		g.storage[s.Name] = s
+	}
+	if len(c.Funcs) > maxFunctions {
+		return "", fmt.Errorf("lang: too many functions (%d)", len(c.Funcs))
+	}
+	for i, fn := range c.Funcs {
+		if _, dup := g.funcs[fn.Name]; dup {
+			return "", fmt.Errorf("lang: duplicate function %q", fn.Name)
+		}
+		g.funcs[fn.Name] = fn
+		g.fnIndex[fn.Name] = i
+	}
+	if fn, ok := g.funcs["moveTo"]; ok && len(fn.Params) != 1 {
+		return "", fmt.Errorf("lang: moveTo must take exactly one parameter")
+	}
+	if fn, ok := g.funcs["moveFinish"]; ok && len(fn.Params) != 0 {
+		return "", fmt.Errorf("lang: moveFinish must take no parameters")
+	}
+	if err := g.dispatcher(); err != nil {
+		return "", err
+	}
+	for _, fn := range c.Funcs {
+		if err := g.function(fn); err != nil {
+			return "", err
+		}
+	}
+	return g.out.String(), nil
+}
+
+type generator struct {
+	contract *contractDecl
+	storage  map[string]storageDecl
+	funcs    map[string]*funcDecl
+	fnIndex  map[string]int
+
+	out      strings.Builder
+	labelSeq int
+
+	// per-function state
+	fn     *funcDecl
+	locals map[string]int
+	frame  int
+}
+
+func (g *generator) emit(line string) { g.out.WriteString(line + "\n") }
+
+func (g *generator) emitf(format string, args ...any) {
+	fmt.Fprintf(&g.out, format+"\n", args...)
+}
+
+func (g *generator) label(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf("@%s_%d", prefix, g.labelSeq)
+}
+
+func fnLabel(name string) string { return "@fn_" + name }
+
+// push32 emits a full-width push of a constant.
+func (g *generator) push32(v *big.Int) {
+	g.emitf("PUSH32 0x%064x", v)
+}
+
+// dispatcher emits the calldata decoder: the protocol-level moveTo and
+// moveFinish encodings (recognized by their unique lengths, 19 and 15
+// bytes — ordinary calls are 4 + 32n bytes), then the 4-byte selector
+// switch, then a plain-transfer fallback.
+func (g *generator) dispatcher() error {
+	g.emit("; MiniSol dispatcher")
+	if _, ok := g.funcs["moveFinish"]; ok {
+		g.emit("CALLDATASIZE PUSH1 15 EQ PUSH @disp_movefinish JUMPI")
+	}
+	if _, ok := g.funcs["moveTo"]; ok {
+		g.emit("CALLDATASIZE PUSH1 19 EQ PUSH @disp_moveto JUMPI")
+	}
+	g.emit("PUSH1 0 CALLDATALOAD PUSH1 224 SHR ; selector")
+	for _, fn := range g.contract.Funcs {
+		sel := Selector(fn.Name)
+		g.emitf("DUP1 PUSH4 0x%02x%02x%02x%02x EQ PUSH @disp_%s JUMPI",
+			sel[0], sel[1], sel[2], sel[3], fn.Name)
+	}
+	g.emit("POP STOP ; fallback: accept plain transfers")
+
+	if _, ok := g.funcs["moveFinish"]; ok {
+		g.emit("@disp_movefinish: JUMPDEST")
+		g.emit("PUSH @finish")
+		g.emitf("PUSH %s JUMP", fnLabel("moveFinish"))
+	}
+	if _, ok := g.funcs["moveTo"]; ok {
+		g.emit("@disp_moveto: JUMPDEST")
+		g.emit("PUSH @finish")
+		// target = last 8 bytes of the 19-byte payload.
+		g.emit("PUSH1 0 CALLDATALOAD PUSH1 104 SHR PUSH8 0xFFFFFFFFFFFFFFFF AND")
+		g.emitf("PUSH %s JUMP", fnLabel("moveTo"))
+	}
+	for _, fn := range g.contract.Funcs {
+		g.emitf("@disp_%s: JUMPDEST", fn.Name)
+		g.emit("POP ; selector")
+		g.emit("PUSH @finish")
+		// Arguments pushed last-first so arg1 ends on top.
+		for i := len(fn.Params); i >= 1; i-- {
+			g.emitf("PUSH2 %d CALLDATALOAD", 4+32*(i-1))
+		}
+		g.emitf("PUSH %s JUMP", fnLabel(fn.Name))
+	}
+	g.emit("@finish: JUMPDEST ; [result]")
+	g.emit("PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN")
+	g.emit("@revert: JUMPDEST")
+	g.emit("PUSH1 0 PUSH1 0 REVERT")
+	return nil
+}
+
+// function emits one function body. Calling convention: stack on entry is
+// [returnAddress, paramN .. param1(top)]; the function jumps back with a
+// single result word on top of the return address.
+func (g *generator) function(fn *funcDecl) error {
+	g.fn = fn
+	g.locals = make(map[string]int, len(fn.Params)+8)
+	g.frame = frameBase + g.fnIndex[fn.Name]*frameSize
+
+	g.emitf("%s: JUMPDEST ; func %s", fnLabel(fn.Name), fn.Name)
+	for _, p := range fn.Params {
+		idx, err := g.newLocal(p, fn.Line)
+		if err != nil {
+			return err
+		}
+		g.emitf("PUSH2 %d MSTORE ; param %s", g.localOffset(idx), p)
+	}
+	if err := g.stmts(fn.Body); err != nil {
+		return err
+	}
+	// Implicit `return 0`.
+	g.emit("PUSH1 0 SWAP1 JUMP")
+	return nil
+}
+
+func (g *generator) newLocal(name string, line int) (int, error) {
+	if _, dup := g.locals[name]; dup {
+		return 0, fmt.Errorf("lang: line %d: %q already declared", line, name)
+	}
+	if _, clash := g.storage[name]; clash {
+		return 0, fmt.Errorf("lang: line %d: %q shadows a storage field", line, name)
+	}
+	idx := len(g.locals)
+	if idx >= maxLocals {
+		return 0, fmt.Errorf("lang: line %d: too many locals in %q", line, g.fn.Name)
+	}
+	g.locals[name] = idx
+	return idx, nil
+}
+
+func (g *generator) localOffset(idx int) int { return g.frame + 32*idx }
+
+func (g *generator) stmts(list []stmt) error {
+	for _, s := range list {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) stmt(s stmt) error {
+	switch s := s.(type) {
+	case varStmt:
+		if err := g.expr(s.Expr); err != nil {
+			return err
+		}
+		idx, err := g.newLocal(s.Name, g.fn.Line)
+		if err != nil {
+			return err
+		}
+		g.emitf("PUSH2 %d MSTORE ; var %s", g.localOffset(idx), s.Name)
+		return nil
+
+	case assignStmt:
+		if s.Index != nil {
+			decl, ok := g.storage[s.Target]
+			if !ok || decl.Type != typeMap {
+				return fmt.Errorf("lang: line %d: %q is not a map", s.Line, s.Target)
+			}
+			if err := g.expr(s.Expr); err != nil {
+				return err
+			}
+			if err := g.mapSlot(decl, s.Index); err != nil {
+				return err
+			}
+			g.emit("SSTORE")
+			return nil
+		}
+		if err := g.expr(s.Expr); err != nil {
+			return err
+		}
+		if idx, ok := g.locals[s.Target]; ok {
+			g.emitf("PUSH2 %d MSTORE ; %s =", g.localOffset(idx), s.Target)
+			return nil
+		}
+		if decl, ok := g.storage[s.Target]; ok {
+			if decl.Type == typeMap {
+				return fmt.Errorf("lang: line %d: map %q needs an index", s.Line, s.Target)
+			}
+			g.emitf("PUSH1 %d SSTORE ; storage %s =", decl.Slot, s.Target)
+			return nil
+		}
+		return fmt.Errorf("lang: line %d: unknown variable %q", s.Line, s.Target)
+
+	case returnStmt:
+		if s.Expr != nil {
+			if err := g.expr(s.Expr); err != nil {
+				return err
+			}
+		} else {
+			g.emit("PUSH1 0")
+		}
+		g.emit("SWAP1 JUMP ; return")
+		return nil
+
+	case requireStmt:
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		g.emit("ISZERO PUSH @revert JUMPI ; require")
+		return nil
+
+	case moveStmt:
+		if err := g.expr(s.Target); err != nil {
+			return err
+		}
+		g.emit("MOVE")
+		return nil
+
+	case emitStmt:
+		if err := g.expr(s.Arg); err != nil {
+			return err
+		}
+		g.emitf("PUSH1 %d MSTORE", scratchVal)
+		g.emitTopic(s.Event)
+		g.emitf("PUSH1 32 PUSH1 %d LOG1 ; emit %s", scratchVal, s.Event)
+		return nil
+
+	case ifStmt:
+		elseL, endL := g.label("else"), g.label("endif")
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		g.emitf("ISZERO PUSH %s JUMPI", elseL)
+		if err := g.stmts(s.Then); err != nil {
+			return err
+		}
+		g.emitf("PUSH %s JUMP", endL)
+		g.emitf("%s: JUMPDEST", elseL)
+		if err := g.stmts(s.Else); err != nil {
+			return err
+		}
+		g.emitf("%s: JUMPDEST", endL)
+		return nil
+
+	case whileStmt:
+		loopL, endL := g.label("loop"), g.label("endloop")
+		g.emitf("%s: JUMPDEST", loopL)
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		g.emitf("ISZERO PUSH %s JUMPI", endL)
+		if err := g.stmts(s.Body); err != nil {
+			return err
+		}
+		g.emitf("PUSH %s JUMP", loopL)
+		g.emitf("%s: JUMPDEST", endL)
+		return nil
+
+	case exprStmt:
+		if err := g.call(s.Call); err != nil {
+			return err
+		}
+		g.emit("POP ; discard result")
+		return nil
+
+	default:
+		return fmt.Errorf("lang: unhandled statement %T", s)
+	}
+}
+
+// emitTopic pushes the full event topic hash.
+func (g *generator) emitTopic(event string) {
+	h := TopicOf(event)
+	g.emitf("PUSH32 0x%x", h[:])
+}
+
+// mapSlot computes the storage slot of decl[index] on the stack:
+// H(slotIndex || key) via the scratch area.
+func (g *generator) mapSlot(decl storageDecl, index expr) error {
+	if err := g.expr(index); err != nil {
+		return err
+	}
+	g.emitf("PUSH1 %d MSTORE ; map key", scratchVal)
+	g.emitf("PUSH1 %d PUSH1 %d MSTORE ; map slot index", decl.Slot, scratchKey)
+	g.emitf("PUSH1 64 PUSH1 %d SHA3", scratchKey)
+	return nil
+}
+
+var builtinOps = map[string]string{
+	"sender":      "CALLER",
+	"origin":      "ORIGIN",
+	"value":       "CALLVALUE",
+	"now":         "TIMESTAMP",
+	"self":        "ADDRESS",
+	"chainid":     "CHAINID",
+	"location":    "LOCATION",
+	"balance":     "SELFBALANCE",
+	"blocknumber": "NUMBER",
+	"gasleft":     "GAS",
+}
+
+func (g *generator) expr(e expr) error {
+	switch e := e.(type) {
+	case numberExpr:
+		v, ok := parseNumber(e.Text)
+		if !ok {
+			return fmt.Errorf("lang: invalid number literal %q", e.Text)
+		}
+		g.push32(v)
+		return nil
+
+	case boolExpr:
+		if e.Value {
+			g.emit("PUSH1 1")
+		} else {
+			g.emit("PUSH1 0")
+		}
+		return nil
+
+	case identExpr:
+		if idx, ok := g.locals[e.Name]; ok {
+			g.emitf("PUSH2 %d MLOAD ; %s", g.localOffset(idx), e.Name)
+			return nil
+		}
+		if decl, ok := g.storage[e.Name]; ok {
+			if decl.Type == typeMap {
+				return fmt.Errorf("lang: line %d: map %q needs an index", e.Line, e.Name)
+			}
+			g.emitf("PUSH1 %d SLOAD ; %s", decl.Slot, e.Name)
+			return nil
+		}
+		if op, ok := builtinOps[e.Name]; ok {
+			g.emit(op)
+			return nil
+		}
+		return fmt.Errorf("lang: line %d: unknown identifier %q", e.Line, e.Name)
+
+	case indexExpr:
+		decl, ok := g.storage[e.Map]
+		if !ok || decl.Type != typeMap {
+			return fmt.Errorf("lang: line %d: %q is not a map", e.Line, e.Map)
+		}
+		if err := g.mapSlot(decl, e.Index); err != nil {
+			return err
+		}
+		g.emit("SLOAD")
+		return nil
+
+	case *callExpr:
+		return g.call(e)
+
+	case unaryExpr:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "!":
+			g.emit("ISZERO")
+		case "-":
+			g.emit("PUSH1 0 SUB")
+		default:
+			return fmt.Errorf("lang: unknown unary operator %q", e.Op)
+		}
+		return nil
+
+	case binaryExpr:
+		return g.binary(e)
+
+	default:
+		return fmt.Errorf("lang: unhandled expression %T", e)
+	}
+}
+
+// binary evaluates R then L, so the left operand is on top — matching the
+// EVM's top-then-below operand order for non-commutative opcodes.
+func (g *generator) binary(e binaryExpr) error {
+	// Logical operators normalize both sides to 0/1.
+	if e.Op == "&&" || e.Op == "||" {
+		if err := g.expr(e.R); err != nil {
+			return err
+		}
+		g.emit("ISZERO ISZERO")
+		if err := g.expr(e.L); err != nil {
+			return err
+		}
+		g.emit("ISZERO ISZERO")
+		if e.Op == "&&" {
+			g.emit("AND")
+		} else {
+			g.emit("OR")
+		}
+		return nil
+	}
+	if err := g.expr(e.R); err != nil {
+		return err
+	}
+	if err := g.expr(e.L); err != nil {
+		return err
+	}
+	ops := map[string]string{
+		"+": "ADD", "-": "SUB", "*": "MUL", "/": "DIV", "%": "MOD",
+		"==": "EQ", "!=": "EQ ISZERO",
+		"<": "LT", ">": "GT", "<=": "GT ISZERO", ">=": "LT ISZERO",
+	}
+	op, ok := ops[e.Op]
+	if !ok {
+		return fmt.Errorf("lang: unknown operator %q", e.Op)
+	}
+	g.emit(op)
+	return nil
+}
+
+// call emits an internal function call: push the return label and the
+// arguments (last first), jump to the function, land with the result.
+func (g *generator) call(e *callExpr) error {
+	fn, ok := g.funcs[e.Name]
+	if !ok {
+		return fmt.Errorf("lang: line %d: unknown function %q", e.Line, e.Name)
+	}
+	if len(e.Args) != len(fn.Params) {
+		return fmt.Errorf("lang: line %d: %s takes %d arguments, got %d",
+			e.Line, e.Name, len(fn.Params), len(e.Args))
+	}
+	if fn.Name == g.fn.Name {
+		return fmt.Errorf("lang: line %d: recursion is not supported (%s calls itself)", e.Line, e.Name)
+	}
+	ret := g.label("ret")
+	g.emitf("PUSH %s ; return address", ret)
+	for i := len(e.Args) - 1; i >= 0; i-- {
+		if err := g.expr(e.Args[i]); err != nil {
+			return err
+		}
+	}
+	g.emitf("PUSH %s JUMP", fnLabel(e.Name))
+	g.emitf("%s: JUMPDEST", ret)
+	return nil
+}
+
+// parseNumber accepts decimal and 0x-prefixed hex literals up to 256 bits.
+func parseNumber(text string) (*big.Int, bool) {
+	v := new(big.Int)
+	var ok bool
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		_, ok = v.SetString(text[2:], 16)
+	} else {
+		_, ok = v.SetString(text, 10)
+	}
+	if !ok || v.Sign() < 0 || v.BitLen() > 256 {
+		return nil, false
+	}
+	return v, true
+}

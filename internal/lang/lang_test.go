@@ -1,0 +1,397 @@
+package lang_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/lang"
+	"scmove/internal/state"
+	"scmove/internal/trie"
+	"scmove/internal/u256"
+)
+
+const (
+	localChain  = hashing.ChainID(1)
+	remoteChain = hashing.ChainID(2)
+	testGas     = uint64(50_000_000)
+)
+
+var (
+	caller   = addr(0xAA)
+	stranger = addr(0xBB)
+	contract = addr(0xCC)
+)
+
+func addr(b byte) hashing.Address {
+	var a hashing.Address
+	a[0] = b
+	return a
+}
+
+type env struct {
+	db *state.DB
+	vm *evm.EVM
+}
+
+func newEnv(t *testing.T, code []byte, blockTime uint64) *env {
+	t.Helper()
+	db, err := state.NewDB(localChain, trie.KindMPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddBalance(caller, u256.FromUint64(1<<50))
+	db.AddBalance(stranger, u256.FromUint64(1<<50))
+	db.CreateContract(contract, code)
+	block := evm.BlockContext{ChainID: localChain, Number: 5, Time: blockTime, GasLimit: testGas}
+	vm := evm.New(evm.EthereumSchedule(), db, block, evm.TxContext{Origin: caller}, nil)
+	return &env{db: db, vm: vm}
+}
+
+func (e *env) call(t *testing.T, from hashing.Address, input []byte) u256.Int {
+	t.Helper()
+	ret, _, err := e.vm.Call(from, contract, input, u256.Zero(), testGas)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	return u256.FromBytes(ret)
+}
+
+func (e *env) callErr(from hashing.Address, input []byte) error {
+	_, _, err := e.vm.Call(from, contract, input, u256.Zero(), testGas)
+	return err
+}
+
+const counterSource = `
+// A counter with an owner guard and an event.
+contract Counter {
+    storage owner: address
+    storage count: uint
+
+    func init() {
+        require(owner == 0)
+        owner = sender
+    }
+    func increment(by: uint) returns uint {
+        require(sender == owner)
+        count = count + by
+        emit Incremented(count)
+        return count
+    }
+    func get() returns uint {
+        return count
+    }
+}
+`
+
+func TestCounterLifecycle(t *testing.T) {
+	e := newEnv(t, lang.MustCompile(counterSource), 1000)
+	e.call(t, caller, lang.EncodeCall("init"))
+
+	// Double init is refused.
+	if err := e.callErr(caller, lang.EncodeCall("init")); !errors.Is(err, evm.ErrRevert) {
+		t.Fatalf("re-init: want revert, got %v", err)
+	}
+	got := e.call(t, caller, lang.EncodeCall("increment", u256.FromUint64(5)))
+	if !got.Eq(u256.FromUint64(5)) {
+		t.Fatalf("increment returned %s", got)
+	}
+	e.call(t, caller, lang.EncodeCall("increment", u256.FromUint64(7)))
+	if got := e.call(t, caller, lang.EncodeCall("get")); !got.Eq(u256.FromUint64(12)) {
+		t.Fatalf("get = %s", got)
+	}
+	// Owner guard.
+	if err := e.callErr(stranger, lang.EncodeCall("increment", u256.One())); !errors.Is(err, evm.ErrRevert) {
+		t.Fatalf("stranger increment: want revert, got %v", err)
+	}
+	// The event fired with the running count.
+	logs := e.db.TakeLogs()
+	found := 0
+	for _, log := range logs {
+		if len(log.Topics) == 1 && log.Topics[0] == lang.TopicOf("Incremented") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("Incremented events = %d", found)
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+contract Math {
+    func sumTo(n: uint) returns uint {
+        var total = 0
+        var i = 1
+        while i <= n {
+            total = total + i
+            i = i + 1
+        }
+        return total
+    }
+    func abs(a: uint, b: uint) returns uint {
+        if a > b {
+            return a - b
+        } else {
+            return b - a
+        }
+    }
+    func classify(x: uint) returns uint {
+        if x == 0 {
+            return 100
+        }
+        if x % 2 == 0 && x > 10 {
+            return 200
+        }
+        if x == 1 || x == 3 {
+            return 300
+        }
+        return 400
+    }
+    func mix(x: uint) returns uint {
+        return (x + 2) * 3 - x / 2
+    }
+}
+`
+	e := newEnv(t, lang.MustCompile(src), 0)
+	cases := []struct {
+		method string
+		args   []u256.Int
+		want   uint64
+	}{
+		{"sumTo", []u256.Int{u256.FromUint64(10)}, 55},
+		{"sumTo", []u256.Int{u256.FromUint64(0)}, 0},
+		{"abs", []u256.Int{u256.FromUint64(3), u256.FromUint64(9)}, 6},
+		{"abs", []u256.Int{u256.FromUint64(9), u256.FromUint64(3)}, 6},
+		{"classify", []u256.Int{u256.FromUint64(0)}, 100},
+		{"classify", []u256.Int{u256.FromUint64(12)}, 200},
+		{"classify", []u256.Int{u256.FromUint64(3)}, 300},
+		{"classify", []u256.Int{u256.FromUint64(7)}, 400},
+		{"mix", []u256.Int{u256.FromUint64(10)}, 31},
+	}
+	for _, tc := range cases {
+		got := e.call(t, caller, lang.EncodeCall(tc.method, tc.args...))
+		if !got.Eq(u256.FromUint64(tc.want)) {
+			t.Errorf("%s(%v) = %s, want %d", tc.method, tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestInternalCalls(t *testing.T) {
+	src := `
+contract Calls {
+    func double(x: uint) returns uint {
+        return x * 2
+    }
+    func quadruple(x: uint) returns uint {
+        return double(double(x))
+    }
+    func addBoth(a: uint, b: uint) returns uint {
+        return double(a) + double(b)
+    }
+}
+`
+	e := newEnv(t, lang.MustCompile(src), 0)
+	if got := e.call(t, caller, lang.EncodeCall("quadruple", u256.FromUint64(3))); !got.Eq(u256.FromUint64(12)) {
+		t.Fatalf("quadruple(3) = %s", got)
+	}
+	if got := e.call(t, caller, lang.EncodeCall("addBoth", u256.FromUint64(2), u256.FromUint64(5))); !got.Eq(u256.FromUint64(14)) {
+		t.Fatalf("addBoth(2,5) = %s", got)
+	}
+}
+
+const tokenSource = `
+// A minimal map-based token.
+contract Token {
+    storage owner: address
+    storage balances: map
+    storage total: uint
+
+    func init() {
+        require(owner == 0)
+        owner = sender
+    }
+    func mint(to: address, amount: uint) {
+        require(sender == owner)
+        balances[to] = balances[to] + amount
+        total = total + amount
+    }
+    func transfer(to: address, amount: uint) {
+        require(balances[sender] >= amount)
+        balances[sender] = balances[sender] - amount
+        balances[to] = balances[to] + amount
+    }
+    func balanceOf(who: address) returns uint {
+        return balances[who]
+    }
+    func totalSupply() returns uint {
+        return total
+    }
+}
+`
+
+func TestMapToken(t *testing.T) {
+	e := newEnv(t, lang.MustCompile(tokenSource), 0)
+	e.call(t, caller, lang.EncodeCall("init"))
+
+	callerWord := u256.FromBytes(caller[:])
+	strangerWord := u256.FromBytes(stranger[:])
+
+	e.call(t, caller, lang.EncodeCall("mint", callerWord, u256.FromUint64(1000)))
+	if got := e.call(t, caller, lang.EncodeCall("balanceOf", callerWord)); !got.Eq(u256.FromUint64(1000)) {
+		t.Fatalf("balance = %s", got)
+	}
+	e.call(t, caller, lang.EncodeCall("transfer", strangerWord, u256.FromUint64(300)))
+	if got := e.call(t, caller, lang.EncodeCall("balanceOf", strangerWord)); !got.Eq(u256.FromUint64(300)) {
+		t.Fatalf("stranger balance = %s", got)
+	}
+	if got := e.call(t, caller, lang.EncodeCall("balanceOf", callerWord)); !got.Eq(u256.FromUint64(700)) {
+		t.Fatalf("caller balance = %s", got)
+	}
+	if got := e.call(t, caller, lang.EncodeCall("totalSupply")); !got.Eq(u256.FromUint64(1000)) {
+		t.Fatalf("total = %s", got)
+	}
+	// Overdraft reverts.
+	if err := e.callErr(stranger, lang.EncodeCall("transfer", callerWord, u256.FromUint64(999))); !errors.Is(err, evm.ErrRevert) {
+		t.Fatalf("overdraft: want revert, got %v", err)
+	}
+	// Non-owner cannot mint.
+	if err := e.callErr(stranger, lang.EncodeCall("mint", strangerWord, u256.One())); !errors.Is(err, evm.ErrRevert) {
+		t.Fatalf("mint guard: want revert, got %v", err)
+	}
+}
+
+// listing1Source is Listing 1 of the paper, in MiniSol.
+const listing1Source = `
+contract Movable {
+    storage owner: address
+    storage movedAt: uint
+    storage payload: uint
+
+    func init(data: uint) {
+        require(owner == 0)
+        owner = sender
+        payload = data
+    }
+    func moveTo(target: uint) {
+        require(owner == sender)
+        require(now - movedAt >= 259200) // 3 days
+        move(target)
+    }
+    func moveFinish() {
+        movedAt = now
+    }
+    func data() returns uint {
+        return payload
+    }
+}
+`
+
+func TestListing1MovableContract(t *testing.T) {
+	e := newEnv(t, lang.MustCompile(listing1Source), 300_000)
+	e.call(t, caller, lang.EncodeCall("init", u256.FromUint64(777)))
+
+	// The protocol-level moveTo encoding reaches the compiled guard: a
+	// stranger cannot move it.
+	if err := e.callErr(stranger, moveToInput(remoteChain)); !errors.Is(err, evm.ErrRevert) {
+		t.Fatalf("stranger moveTo: want revert, got %v", err)
+	}
+	// The owner can.
+	if err := e.callErr(caller, moveToInput(remoteChain)); err != nil {
+		t.Fatalf("owner moveTo: %v", err)
+	}
+	if e.db.GetLocation(contract) != remoteChain {
+		t.Fatal("contract must be locked towards chain 2")
+	}
+	if e.db.GetMoveNonce(contract) != 1 {
+		t.Fatal("move nonce must bump")
+	}
+	// Reads still work through the lock.
+	ret, _, err := e.vm.StaticCall(caller, contract, lang.EncodeCall("data"), testGas)
+	if err != nil || !u256.FromBytes(ret).Eq(u256.FromUint64(777)) {
+		t.Fatalf("read through lock: %x err=%v", ret, err)
+	}
+}
+
+func TestListing1ResidencyGuard(t *testing.T) {
+	// moveFinish stamps movedAt; moving again before the residency elapses
+	// reverts.
+	e := newEnv(t, lang.MustCompile(listing1Source), 1000)
+	e.call(t, caller, lang.EncodeCall("init", u256.One()))
+	// Simulate a fresh arrival: the chain calls moveFinish.
+	if err := e.callErr(caller, moveFinishInput()); err != nil {
+		t.Fatalf("moveFinish: %v", err)
+	}
+	// now(1000) - movedAt(1000) = 0 < 3 days.
+	if err := e.callErr(caller, moveToInput(remoteChain)); !errors.Is(err, evm.ErrRevert) {
+		t.Fatalf("residency: want revert, got %v", err)
+	}
+}
+
+func moveToInput(target hashing.ChainID) []byte {
+	out := append([]byte("__move_to__"), target.Bytes()...)
+	return out
+}
+
+func moveFinishInput() []byte { return []byte("__move_finish__") }
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown ident", `contract C { func f() returns uint { return nope } }`, "unknown identifier"},
+		{"unknown func", `contract C { func f() { g() } }`, "unknown function"},
+		{"arity", `contract C { func g(x: uint) {} func f() { g() } }`, "takes 1 arguments"},
+		{"recursion", `contract C { func f() { f() } }`, "recursion"},
+		{"dup storage", `contract C { storage x: uint storage x: uint }`, "duplicate storage"},
+		{"dup func", `contract C { func f() {} func f() {} }`, "duplicate function"},
+		{"map without index", `contract C { storage m: map func f() returns uint { return m } }`, "needs an index"},
+		{"index non-map", `contract C { storage x: uint func f() returns uint { return x[1] } }`, "not a map"},
+		{"bad moveTo arity", `contract C { func moveTo() {} }`, "exactly one parameter"},
+		{"bad moveFinish arity", `contract C { func moveFinish(x: uint) {} }`, "no parameters"},
+		{"shadowing", `contract C { storage x: uint func f() { var x = 1 } }`, "shadows"},
+		{"dup local", `contract C { func f() { var a = 1 var a = 2 } }`, "already declared"},
+		{"bad token", `contract C { func f() { var a = 1 $ } }`, "unexpected character"},
+		{"bad syntax", `contract C { func f() { if } }`, "unexpected token"},
+		{"unknown type", `contract C { storage x: float }`, "unknown type"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := lang.Compile(tc.src)
+			if err == nil {
+				t.Fatalf("compiled, want error %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSelectorAndEncodeCall(t *testing.T) {
+	data := lang.EncodeCall("transfer", u256.FromUint64(5))
+	if len(data) != 36 {
+		t.Fatalf("calldata length = %d", len(data))
+	}
+	sel := lang.Selector("transfer")
+	if string(data[:4]) != string(sel[:]) {
+		t.Fatal("selector prefix mismatch")
+	}
+	if lang.Selector("a") == lang.Selector("b") {
+		t.Fatal("selectors must differ")
+	}
+}
+
+func TestCompileToAssemblyInspectable(t *testing.T) {
+	asmText, err := lang.CompileToAssembly(counterSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"@fn_increment", "@finish:", "SSTORE", "MiniSol dispatcher"} {
+		if !strings.Contains(asmText, want) {
+			t.Fatalf("assembly missing %q", want)
+		}
+	}
+}

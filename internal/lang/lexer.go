@@ -1,0 +1,99 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokKeyword
+	tokPunct
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"contract": true, "storage": true, "func": true, "returns": true,
+	"var": true, "return": true, "require": true, "move": true,
+	"emit": true, "if": true, "else": true, "while": true,
+	"true": true, "false": true,
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"==", "!=", "<=", ">=", "&&", "||",
+	"{", "}", "(", ")", "[", "]", ":", ",", "=", "+", "-", "*", "/", "%",
+	"<", ">", "!",
+}
+
+// lex tokenizes MiniSol source. Comments run from // to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				i++
+			}
+			text := src[start:i]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: text, line: line})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < len(src) && (isIdentPart(rune(src[i]))) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], line: line})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("lang: line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "", line: line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == 'x' // hex literals lex as numbers via digit start
+}

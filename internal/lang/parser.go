@@ -1,0 +1,429 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(toks []token) (*contractDecl, error) {
+	p := &parser{toks: toks}
+	c, err := p.contract()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input after contract")
+	}
+	return c, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, got %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("lang: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) contract() (*contractDecl, error) {
+	if _, err := p.expect(tokKeyword, "contract"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, p.errf("contract needs a name")
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	c := &contractDecl{Name: name.text}
+	for !p.accept(tokPunct, "}") {
+		switch {
+		case p.at(tokKeyword, "storage"):
+			decl, err := p.storageDecl(len(c.Storage))
+			if err != nil {
+				return nil, err
+			}
+			c.Storage = append(c.Storage, decl)
+		case p.at(tokKeyword, "func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			c.Funcs = append(c.Funcs, fn)
+		default:
+			return nil, p.errf("expected storage or func declaration, got %q", p.cur().text)
+		}
+	}
+	return c, nil
+}
+
+func (p *parser) storageDecl(slot int) (storageDecl, error) {
+	p.next() // storage
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return storageDecl{}, p.errf("storage needs a name")
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return storageDecl{}, err
+	}
+	t, err := p.typeName()
+	if err != nil {
+		return storageDecl{}, err
+	}
+	return storageDecl{Name: name.text, Type: t, Slot: slot}, nil
+}
+
+func (p *parser) typeName() (varType, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return 0, p.errf("expected a type name, got %q", t.text)
+	}
+	switch t.text {
+	case "uint":
+		return typeUint, nil
+	case "address":
+		return typeAddress, nil
+	case "bool":
+		return typeBool, nil
+	case "map":
+		return typeMap, nil
+	default:
+		return 0, p.errf("unknown type %q", t.text)
+	}
+}
+
+func (p *parser) funcDecl() (*funcDecl, error) {
+	line := p.cur().line
+	p.next() // func
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, p.errf("func needs a name")
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &funcDecl{Name: name.text, Line: line}
+	for !p.accept(tokPunct, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("parameter name expected")
+		}
+		// Optional ': type' annotation (all params are words).
+		if p.accept(tokPunct, ":") {
+			if _, err := p.typeName(); err != nil {
+				return nil, err
+			}
+		}
+		fn.Params = append(fn.Params, param.text)
+	}
+	if p.accept(tokKeyword, "returns") {
+		if _, err := p.typeName(); err != nil {
+			return nil, err
+		}
+		fn.Returns = true
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.accept(tokPunct, "}") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "var"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("var needs a name")
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return varStmt{Name: name.text, Expr: e}, nil
+
+	case p.accept(tokKeyword, "return"):
+		// A bare return is allowed before '}' or another statement.
+		if p.at(tokPunct, "}") {
+			return returnStmt{}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return returnStmt{Expr: e}, nil
+
+	case p.accept(tokKeyword, "require"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return requireStmt{Cond: e}, nil
+
+	case p.accept(tokKeyword, "move"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return moveStmt{Target: e}, nil
+
+	case p.accept(tokKeyword, "emit"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("emit needs an event name")
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return emitStmt{Event: name.text, Arg: e}, nil
+
+	case p.accept(tokKeyword, "if"):
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		thenBlk, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var elseBlk []stmt
+		if p.accept(tokKeyword, "else") {
+			elseBlk, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ifStmt{Cond: cond, Then: thenBlk, Else: elseBlk}, nil
+
+	case p.accept(tokKeyword, "while"):
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return whileStmt{Cond: cond, Body: body}, nil
+
+	case p.at(tokIdent, ""):
+		return p.assignOrCall()
+
+	default:
+		return nil, p.errf("unexpected token %q", p.cur().text)
+	}
+}
+
+// assignOrCall parses `name = e`, `name[k] = e`, or a bare call `name(...)`.
+func (p *parser) assignOrCall() (stmt, error) {
+	name := p.next()
+	switch {
+	case p.accept(tokPunct, "="):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{Target: name.text, Expr: e, Line: name.line}, nil
+	case p.accept(tokPunct, "["):
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{Target: name.text, Index: idx, Expr: e, Line: name.line}, nil
+	case p.at(tokPunct, "("):
+		call, err := p.callArgs(name)
+		if err != nil {
+			return nil, err
+		}
+		return exprStmt{Call: call}, nil
+	default:
+		return nil, p.errf("expected assignment or call after %q", name.text)
+	}
+}
+
+// Expression parsing with precedence climbing.
+
+func (p *parser) expr() (expr, error) { return p.binary(0) }
+
+var precedence = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3, "<": 3, ">": 3, "<=": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := precedence[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binaryExpr{Op: t.text, L: left, R: right}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	if p.accept(tokPunct, "!") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{Op: "!", X: x}, nil
+	}
+	if p.accept(tokPunct, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return numberExpr{Text: t.text}, nil
+	case t.kind == tokKeyword && (t.text == "true" || t.text == "false"):
+		p.next()
+		return boolExpr{Value: t.text == "true"}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.at(tokPunct, "(") {
+			return p.callArgs(t)
+		}
+		if p.accept(tokPunct, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return indexExpr{Map: t.text, Index: idx, Line: t.line}, nil
+		}
+		return identExpr{Name: t.text, Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.text)
+	}
+}
+
+func (p *parser) callArgs(name token) (*callExpr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	call := &callExpr{Name: name.text, Line: name.line}
+	for !p.accept(tokPunct, ")") {
+		if len(call.Args) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+	}
+	return call, nil
+}

@@ -1,0 +1,352 @@
+// Package mpt implements a hex-nibble Merkle Patricia trie with membership
+// proofs, the state tree of the Ethereum-like chain in this reproduction.
+//
+// The trie is canonical: its root hash is a pure function of the key-value
+// contents. Deletion fully collapses extension/branch chains so that a tree
+// that had entries added and removed hashes identically to a tree built
+// fresh from the surviving entries — the property Move2's completeness check
+// relies on (paper §III-E).
+//
+// All keys in one trie share a fixed length, which removes the
+// key-is-prefix-of-another case (branches never carry values). Account
+// tries use 20-byte address keys and storage tries 32-byte word keys.
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+
+	"scmove/internal/codec"
+	"scmove/internal/hashing"
+	"scmove/internal/trie"
+)
+
+// Node encoding tags (also domain-separate the hash inputs).
+const (
+	tagLeaf   = 0x4c // 'L'
+	tagExt    = 0x45 // 'E'
+	tagBranch = 0x42 // 'B'
+)
+
+type nodeKind uint8
+
+const (
+	kindLeaf nodeKind = iota + 1
+	kindExt
+	kindBranch
+)
+
+type node struct {
+	kind     nodeKind
+	nibbles  []byte // leaf: remaining key path; ext: shared path
+	value    []byte // leaf only
+	child    *node  // ext only
+	children [16]*node
+
+	hash  hashing.Hash
+	clean bool
+}
+
+// Tree is a Merkle Patricia trie. Construct with New; the zero value is not
+// usable because the key length must be fixed up front.
+type Tree struct {
+	root   *node
+	keyLen int
+	count  int
+}
+
+var _ trie.Tree = (*Tree)(nil)
+
+// New returns an empty trie whose keys are keyLen bytes long.
+func New(keyLen int) *Tree {
+	if keyLen <= 0 {
+		panic("mpt: key length must be positive")
+	}
+	return &Tree{keyLen: keyLen}
+}
+
+// KeyLen returns the fixed key length in bytes.
+func (t *Tree) KeyLen() int { return t.keyLen }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.count }
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	if len(key) != t.keyLen {
+		return nil, false
+	}
+	n := t.root
+	nibs := bytesToNibbles(key)
+	for n != nil {
+		switch n.kind {
+		case kindLeaf:
+			if bytes.Equal(n.nibbles, nibs) {
+				return n.value, true
+			}
+			return nil, false
+		case kindExt:
+			if !bytes.HasPrefix(nibs, n.nibbles) {
+				return nil, false
+			}
+			nibs = nibs[len(n.nibbles):]
+			n = n.child
+		case kindBranch:
+			if len(nibs) == 0 {
+				return nil, false
+			}
+			n, nibs = n.children[nibs[0]], nibs[1:]
+		}
+	}
+	return nil, false
+}
+
+// Set stores value under key.
+func (t *Tree) Set(key, value []byte) error {
+	if len(key) != t.keyLen {
+		return fmt.Errorf("%w: got %d want %d", trie.ErrKeyLength, len(key), t.keyLen)
+	}
+	if len(value) == 0 {
+		panic("mpt: empty value; use Delete to remove keys")
+	}
+	val := make([]byte, len(value))
+	copy(val, value)
+	var added bool
+	t.root, added = insert(t.root, bytesToNibbles(key), val)
+	if added {
+		t.count++
+	}
+	return nil
+}
+
+// Delete removes key from the trie.
+func (t *Tree) Delete(key []byte) error {
+	if len(key) != t.keyLen {
+		return fmt.Errorf("%w: got %d want %d", trie.ErrKeyLength, len(key), t.keyLen)
+	}
+	var removed bool
+	t.root, removed = remove(t.root, bytesToNibbles(key))
+	if removed {
+		t.count--
+	}
+	return nil
+}
+
+// RootHash returns the Merkle root. The empty trie hashes to the zero hash.
+func (t *Tree) RootHash() hashing.Hash {
+	if t.root == nil {
+		return hashing.ZeroHash
+	}
+	return t.root.hashNode()
+}
+
+// Iterate visits entries in ascending key order.
+func (t *Tree) Iterate(fn func(key, value []byte) bool) {
+	var walk func(n *node, prefix []byte) bool
+	walk = func(n *node, prefix []byte) bool {
+		if n == nil {
+			return true
+		}
+		switch n.kind {
+		case kindLeaf:
+			key := nibblesToBytes(append(prefix, n.nibbles...))
+			return fn(key, n.value)
+		case kindExt:
+			return walk(n.child, append(prefix, n.nibbles...))
+		default: // branch
+			for i := 0; i < 16; i++ {
+				if n.children[i] == nil {
+					continue
+				}
+				if !walk(n.children[i], append(prefix, byte(i))) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	walk(t.root, make([]byte, 0, t.keyLen*2))
+}
+
+// insert returns the updated subtree and whether a new key was added (as
+// opposed to replacing an existing value).
+func insert(n *node, nibs, value []byte) (*node, bool) {
+	if n == nil {
+		return &node{kind: kindLeaf, nibbles: nibs, value: value}, true
+	}
+	n.clean = false
+	switch n.kind {
+	case kindLeaf:
+		if bytes.Equal(n.nibbles, nibs) {
+			n.value = value
+			return n, false
+		}
+		p := commonPrefix(n.nibbles, nibs)
+		branch := &node{kind: kindBranch}
+		// Fixed-length keys guarantee divergence before either path is
+		// exhausted, so both remainders are non-empty.
+		old := &node{kind: kindLeaf, nibbles: n.nibbles[p+1:], value: n.value}
+		branch.children[n.nibbles[p]] = old
+		branch.children[nibs[p]] = &node{kind: kindLeaf, nibbles: nibs[p+1:], value: value}
+		return wrapExt(nibs[:p], branch), true
+	case kindExt:
+		p := commonPrefix(n.nibbles, nibs)
+		if p == len(n.nibbles) {
+			child, added := insert(n.child, nibs[p:], value)
+			n.child = child
+			return n, added
+		}
+		// Split the extension at the divergence point.
+		branch := &node{kind: kindBranch}
+		branch.children[n.nibbles[p]] = wrapExt(n.nibbles[p+1:], n.child)
+		branch.children[nibs[p]] = &node{kind: kindLeaf, nibbles: nibs[p+1:], value: value}
+		return wrapExt(nibs[:p], branch), true
+	default: // branch
+		idx := nibs[0]
+		child, added := insert(n.children[idx], nibs[1:], value)
+		n.children[idx] = child
+		return n, added
+	}
+}
+
+// remove returns the updated (canonicalized) subtree and whether a key was
+// actually removed.
+func remove(n *node, nibs []byte) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch n.kind {
+	case kindLeaf:
+		if bytes.Equal(n.nibbles, nibs) {
+			return nil, true
+		}
+		return n, false
+	case kindExt:
+		if !bytes.HasPrefix(nibs, n.nibbles) {
+			return n, false
+		}
+		child, removed := remove(n.child, nibs[len(n.nibbles):])
+		if !removed {
+			return n, false
+		}
+		n.clean = false
+		if child == nil {
+			return nil, true
+		}
+		return mergeExt(n.nibbles, child), true
+	default: // branch
+		idx := nibs[0]
+		child, removed := remove(n.children[idx], nibs[1:])
+		if !removed {
+			return n, false
+		}
+		n.clean = false
+		n.children[idx] = child
+		// Count the surviving children; collapse if only one remains.
+		last := -1
+		cnt := 0
+		for i := 0; i < 16; i++ {
+			if n.children[i] != nil {
+				last = i
+				cnt++
+			}
+		}
+		if cnt >= 2 {
+			return n, true
+		}
+		// cnt == 1: the branch is redundant; splice the nibble into the
+		// surviving child. (cnt == 0 cannot happen: a branch always has at
+		// least two children by construction.)
+		return mergeExt([]byte{byte(last)}, n.children[last]), true
+	}
+}
+
+// wrapExt wraps child in an extension node with the given path, avoiding
+// empty extensions and merging nested extensions/leaves.
+func wrapExt(nibs []byte, child *node) *node {
+	if len(nibs) == 0 {
+		return child
+	}
+	return mergeExt(nibs, child)
+}
+
+// mergeExt prepends nibs to child, fusing with leaf or extension children to
+// maintain canonical form.
+func mergeExt(nibs []byte, child *node) *node {
+	switch child.kind {
+	case kindLeaf:
+		return &node{kind: kindLeaf, nibbles: concatNibs(nibs, child.nibbles), value: child.value}
+	case kindExt:
+		return &node{kind: kindExt, nibbles: concatNibs(nibs, child.nibbles), child: child.child}
+	default:
+		return &node{kind: kindExt, nibbles: concatNibs(nibs, nil), child: child}
+	}
+}
+
+func concatNibs(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func commonPrefix(a, b []byte) int {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// encode returns the canonical byte encoding of a node; the node hash is the
+// chain hash of this encoding.
+func (n *node) encode() []byte {
+	w := codec.NewWriter(64)
+	switch n.kind {
+	case kindLeaf:
+		w.WriteUvarint(tagLeaf)
+		w.WriteBytes(n.nibbles)
+		w.WriteBytes(n.value)
+	case kindExt:
+		w.WriteUvarint(tagExt)
+		w.WriteBytes(n.nibbles)
+		w.WriteHash(n.child.hashNode())
+	default:
+		w.WriteUvarint(tagBranch)
+		for i := 0; i < 16; i++ {
+			if n.children[i] == nil {
+				w.WriteHash(hashing.ZeroHash)
+			} else {
+				w.WriteHash(n.children[i].hashNode())
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+func (n *node) hashNode() hashing.Hash {
+	if n.clean {
+		return n.hash
+	}
+	n.hash = hashing.Sum(n.encode())
+	n.clean = true
+	return n.hash
+}
+
+// bytesToNibbles expands each byte into two hex nibbles (high first).
+func bytesToNibbles(key []byte) []byte {
+	out := make([]byte, len(key)*2)
+	for i, b := range key {
+		out[i*2] = b >> 4
+		out[i*2+1] = b & 0x0f
+	}
+	return out
+}
+
+// nibblesToBytes packs nibbles back into bytes; the count must be even.
+func nibblesToBytes(nibs []byte) []byte {
+	out := make([]byte, len(nibs)/2)
+	for i := range out {
+		out[i] = nibs[i*2]<<4 | nibs[i*2+1]
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package mpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNibbleRoundTrip(t *testing.T) {
+	f := func(key []byte) bool {
+		nibs := bytesToNibbles(key)
+		if len(nibs) != 2*len(key) {
+			return false
+		}
+		for _, n := range nibs {
+			if n > 0x0f {
+				return false
+			}
+		}
+		return bytes.Equal(nibblesToBytes(nibs), key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonicalShapeInvariant checks the structural invariants that make
+// the trie canonical after arbitrary deletes: no extension points at an
+// extension or leaf (they must be merged), and every branch has at least
+// two children.
+func TestCanonicalShapeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	tr := New(4)
+	live := map[uint32]bool{}
+	for op := 0; op < 8000; op++ {
+		k := uint32(rng.Intn(512))
+		var key [4]byte
+		binary.BigEndian.PutUint32(key[:], k)
+		if rng.Intn(3) == 0 {
+			if err := tr.Delete(key[:]); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, k)
+		} else {
+			if err := tr.Set(key[:], []byte{byte(k), 1}); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = true
+		}
+		if op%500 == 0 {
+			checkShape(t, tr.root)
+			if tr.Len() != len(live) {
+				t.Fatalf("op %d: Len %d != %d", op, tr.Len(), len(live))
+			}
+		}
+	}
+	checkShape(t, tr.root)
+}
+
+func checkShape(t *testing.T, n *node) {
+	t.Helper()
+	if n == nil {
+		return
+	}
+	switch n.kind {
+	case kindLeaf:
+		// nothing further
+	case kindExt:
+		if len(n.nibbles) == 0 {
+			t.Fatal("empty extension")
+		}
+		if n.child == nil || n.child.kind != kindBranch {
+			t.Fatalf("extension must point at a branch, points at %v", n.child)
+		}
+		checkShape(t, n.child)
+	case kindBranch:
+		count := 0
+		for i := 0; i < 16; i++ {
+			if n.children[i] != nil {
+				count++
+				checkShape(t, n.children[i])
+			}
+		}
+		if count < 2 {
+			t.Fatalf("branch with %d children survived", count)
+		}
+	default:
+		t.Fatalf("unknown node kind %d", n.kind)
+	}
+}
+
+func TestHashCacheConsistency(t *testing.T) {
+	// Interleave reads of RootHash with mutations: the cached hashes must
+	// always equal a fresh recomputation.
+	rng := rand.New(rand.NewSource(9))
+	a := New(4)
+	for op := 0; op < 2000; op++ {
+		var key [4]byte
+		binary.BigEndian.PutUint32(key[:], uint32(rng.Intn(128)))
+		if rng.Intn(4) == 0 {
+			if err := a.Delete(key[:]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := a.Set(key[:], []byte{byte(op), 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if op%100 == 0 {
+			cached := a.RootHash()
+			rebuilt := New(4)
+			a.Iterate(func(k, v []byte) bool {
+				if err := rebuilt.Set(k, v); err != nil {
+					t.Fatal(err)
+				}
+				return true
+			})
+			if rebuilt.RootHash() != cached {
+				t.Fatalf("op %d: cached root diverges from recomputation", op)
+			}
+		}
+	}
+}

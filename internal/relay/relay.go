@@ -1,0 +1,284 @@
+// Package relay implements the client side of the Move protocol: a Client
+// that signs and submits transactions with realistic submission latency,
+// and a Mover that orchestrates the full Move1 → proof → wait-p-blocks →
+// Move2 sequence across two chains, recording the per-phase timings and gas
+// that the paper's IBC experiments report (Figs. 8 and 9).
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scmove/internal/chain"
+	"scmove/internal/core"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/simclock"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+)
+
+// DefaultGasLimit is the per-transaction gas limit clients use; generous
+// enough for every contract in the standard library, including Store
+// deployments and moves with a thousand state variables (~20 Mgas of
+// SSTOREs).
+const DefaultGasLimit = 40_000_000
+
+// DefaultGasPrice is 2 (interpreted as Gwei in the cost analysis, matching
+// the paper's December-2019 conversion).
+var DefaultGasPrice = u256.FromUint64(2)
+
+// Client is one transaction-submitting principal: a key pair plus local
+// per-chain nonce counters. Closed-loop experiment clients wait for each
+// transaction's receipt before sending the next, so local nonce tracking
+// never desynchronizes.
+type Client struct {
+	kp          *keys.KeyPair
+	sched       *simclock.Scheduler
+	submitDelay time.Duration
+	nonces      map[hashing.ChainID]uint64
+}
+
+// NewClient returns a client submitting with the given client-to-chain
+// latency.
+func NewClient(kp *keys.KeyPair, sched *simclock.Scheduler, submitDelay time.Duration) *Client {
+	return &Client{
+		kp:          kp,
+		sched:       sched,
+		submitDelay: submitDelay,
+		nonces:      make(map[hashing.ChainID]uint64),
+	}
+}
+
+// Address returns the client's account address.
+func (cl *Client) Address() hashing.Address { return cl.kp.Address() }
+
+// Key returns the client's key pair.
+func (cl *Client) Key() *keys.KeyPair { return cl.kp }
+
+// nextNonce hands out the next nonce for a chain.
+func (cl *Client) nextNonce(id hashing.ChainID) uint64 {
+	n := cl.nonces[id]
+	cl.nonces[id] = n + 1
+	return n
+}
+
+// submit signs tx and delivers it to the chain after the submission delay.
+func (cl *Client) submit(c *chain.Chain, tx *types.Transaction) (hashing.Hash, error) {
+	if err := tx.Sign(cl.kp); err != nil {
+		return hashing.Hash{}, err
+	}
+	id := tx.ID()
+	cl.sched.After(cl.submitDelay, func() {
+		// Pool rejections (full pool, races) surface through the missing
+		// receipt; closed-loop clients time out and retry.
+		_ = c.SubmitTx(tx)
+	})
+	return id, nil
+}
+
+// Call submits a contract call (or plain transfer) and returns the tx id.
+func (cl *Client) Call(c *chain.Chain, to hashing.Address, data []byte, value u256.Int) (hashing.Hash, error) {
+	return cl.submit(c, &types.Transaction{
+		ChainID:  c.ChainID(),
+		Nonce:    cl.nextNonce(c.ChainID()),
+		Kind:     types.TxCall,
+		To:       to,
+		Value:    value,
+		GasLimit: DefaultGasLimit,
+		GasPrice: DefaultGasPrice,
+		Data:     data,
+	})
+}
+
+// Create submits a contract deployment.
+func (cl *Client) Create(c *chain.Chain, code []byte, value u256.Int) (hashing.Hash, error) {
+	return cl.submit(c, &types.Transaction{
+		ChainID:  c.ChainID(),
+		Nonce:    cl.nextNonce(c.ChainID()),
+		Kind:     types.TxCreate,
+		Value:    value,
+		GasLimit: DefaultGasLimit,
+		GasPrice: DefaultGasPrice,
+		Data:     code,
+	})
+}
+
+// SubmitMove2 submits a Move2 transaction carrying the given proof payload.
+// Any client may complete an unfinished move this way (§III-B).
+func (cl *Client) SubmitMove2(c *chain.Chain, payload *types.Move2Payload) (hashing.Hash, error) {
+	return cl.submit(c, &types.Transaction{
+		ChainID:  c.ChainID(),
+		Nonce:    cl.nextNonce(c.ChainID()),
+		Kind:     types.TxMove2,
+		GasLimit: DefaultGasLimit,
+		GasPrice: DefaultGasPrice,
+		Move2:    payload,
+	})
+}
+
+// Locate finds the chain a contract currently lives on by following the
+// location field Lc (§III-G(b)): any chain that has ever hosted the
+// contract keeps a tombstone whose Lc names its current home, so a client
+// that does not know where a contract is can chase the pointers. Returns
+// false if no queried chain knows the contract.
+func Locate(chains []*chain.Chain, contract hashing.Address) (hashing.ChainID, bool) {
+	byID := make(map[hashing.ChainID]*chain.Chain, len(chains))
+	for _, c := range chains {
+		byID[c.ChainID()] = c
+	}
+	for _, c := range chains {
+		if !c.StateDB().Exists(contract) {
+			continue
+		}
+		// Follow Lc pointers until they fixpoint (bounded by the chain
+		// count: each hop lands on a chain that hosted the contract later).
+		cur := c
+		for hops := 0; hops <= len(chains); hops++ {
+			loc := cur.StateDB().GetLocation(contract)
+			if loc == cur.ChainID() {
+				return loc, true
+			}
+			next, ok := byID[loc]
+			if !ok {
+				// The contract moved to a chain we cannot query; report the
+				// pointer anyway.
+				return loc, true
+			}
+			cur = next
+		}
+		return cur.ChainID(), true
+	}
+	return 0, false
+}
+
+// MoveResult reports a completed (or failed) contract move with the
+// per-phase breakdown of Fig. 8 and the gas split of Fig. 9.
+type MoveResult struct {
+	Contract hashing.Address
+	Err      error
+
+	Move1Tx hashing.Hash
+	Move2Tx hashing.Hash
+
+	// Phase boundaries (simulated time): start → Move1 included →
+	// proof confirmed p-deep → Move2 included → follow-ups complete.
+	StartedAt    time.Duration
+	Move1At      time.Duration
+	ProofReadyAt time.Duration
+	Move2At      time.Duration
+
+	Move1Gas uint64
+	Move2Gas uint64
+}
+
+// Move1Latency is the time to include the lock transaction.
+func (r *MoveResult) Move1Latency() time.Duration { return r.Move1At - r.StartedAt }
+
+// WaitProofLatency is the p-block wait plus proof acquisition.
+func (r *MoveResult) WaitProofLatency() time.Duration { return r.ProofReadyAt - r.Move1At }
+
+// Move2Latency is the time to include the recreation transaction.
+func (r *MoveResult) Move2Latency() time.Duration { return r.Move2At - r.ProofReadyAt }
+
+// Total is the end-to-end move latency.
+func (r *MoveResult) Total() time.Duration { return r.Move2At - r.StartedAt }
+
+// Mover drives moves from a source to a target chain.
+type Mover struct {
+	sched *simclock.Scheduler
+	src   *chain.Chain
+	dst   *chain.Chain
+	// PollInterval is how often the relayer re-checks the target light
+	// client for confirmation depth.
+	PollInterval time.Duration
+}
+
+// NewMover returns a mover between two chains.
+func NewMover(sched *simclock.Scheduler, src, dst *chain.Chain) *Mover {
+	return &Mover{sched: sched, src: src, dst: dst, PollInterval: 500 * time.Millisecond}
+}
+
+// Move runs the full move of contract via the client: it submits the Move1
+// call with the given moveTo calldata, builds the Merkle proof the moment
+// the Move1 block commits, waits until the target's light client holds that
+// height p blocks deep, submits Move2, and invokes done exactly once.
+func (m *Mover) Move(cl *Client, contract hashing.Address, moveToInput []byte, done func(*MoveResult)) {
+	res := &MoveResult{Contract: contract, StartedAt: m.sched.Now()}
+	fail := func(stage string, err error) {
+		res.Err = fmt.Errorf("%s: %w", stage, err)
+		done(res)
+	}
+
+	move1ID, err := cl.Call(m.src, contract, moveToInput, u256.Zero())
+	if err != nil {
+		fail("move1 submit", err)
+		return
+	}
+	res.Move1Tx = move1ID
+
+	m.src.NotifyTx(move1ID, func(rec *types.Receipt, block *types.Block) {
+		res.Move1At = m.sched.Now()
+		res.Move1Gas = rec.GasUsed
+		if !rec.Succeeded() {
+			fail("move1", errors.New(rec.Err))
+			return
+		}
+		m.complete(cl, contract, res, done)
+	})
+}
+
+// Complete finishes a move whose Move1 already executed (any client may do
+// this, §III-B): it builds the proof against the current committed state,
+// waits for the confirmation depth, and submits Move2. The TokenRelay flow
+// uses it because Move1 runs inside the creation transaction (Fig. 3).
+func (m *Mover) Complete(cl *Client, contract hashing.Address, done func(*MoveResult)) {
+	res := &MoveResult{Contract: contract, StartedAt: m.sched.Now(), Move1At: m.sched.Now()}
+	m.complete(cl, contract, res, done)
+}
+
+func (m *Mover) complete(cl *Client, contract hashing.Address,
+	res *MoveResult, done func(*MoveResult)) {
+	fail := func(stage string, err error) {
+		res.Err = fmt.Errorf("%s: %w", stage, err)
+		done(res)
+	}
+	// Build the proof against the current committed state: the contract is
+	// locked, so its record cannot change, and this head's root will reach
+	// the target's light client within p blocks.
+	proofHeight := m.src.Head().Height
+	payload, err := core.BuildMoveProof(m.src.StateDB(), contract, proofHeight)
+	if err != nil {
+		fail("build proof", err)
+		return
+	}
+	m.waitConfirmed(payload, func() {
+		res.ProofReadyAt = m.sched.Now()
+		move2ID, err := cl.SubmitMove2(m.dst, payload)
+		if err != nil {
+			fail("move2 submit", err)
+			return
+		}
+		res.Move2Tx = move2ID
+		m.dst.NotifyTx(move2ID, func(rec *types.Receipt, _ *types.Block) {
+			res.Move2At = m.sched.Now()
+			res.Move2Gas = rec.GasUsed
+			if !rec.Succeeded() {
+				fail("move2", errors.New(rec.Err))
+				return
+			}
+			done(res)
+		})
+	})
+}
+
+// waitConfirmed polls the target light client until the proof's source
+// height is p blocks deep.
+func (m *Mover) waitConfirmed(payload *types.Move2Payload, then func()) {
+	if m.dst.Headers().ConfirmedAt(payload.SourceChain, payload.SourceHeight) {
+		then()
+		return
+	}
+	m.sched.After(m.PollInterval, func() { m.waitConfirmed(payload, then) })
+}

@@ -1,0 +1,166 @@
+package relay_test
+
+import (
+	"testing"
+	"time"
+
+	"scmove/internal/chain"
+	"scmove/internal/core"
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/relay"
+	"scmove/internal/simclock"
+	"scmove/internal/state"
+	"scmove/internal/trie"
+	"scmove/internal/u256"
+)
+
+// testChain builds a single chain driven manually by the scheduler.
+func testChain(t *testing.T, sched *simclock.Scheduler, id hashing.ChainID, funded ...hashing.Address) *chain.Chain {
+	t.Helper()
+	cfg := chain.Config{
+		ChainID: id, TreeKind: trie.KindMPT, Schedule: evm.EthereumSchedule(),
+		BlockGasLimit: 100_000_000, MaxBlockTxs: 100, ConfirmationDepth: 2,
+		PoolLimit: 1000,
+	}
+	c, err := chain.New(cfg, core.NewHeaderStore(), func(db *state.DB) {
+		for _, a := range funded {
+			db.AddBalance(a, u256.FromUint64(1<<50))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Produce a block every second of simulated time.
+	var produce func()
+	produce = func() {
+		c.ApplyBlock(c.ProposeBatch(), sched.NowUnix(), chain.ProposerAddress(id, 0))
+		sched.After(time.Second, produce)
+	}
+	sched.After(time.Second, produce)
+	return c
+}
+
+func TestClientNonceTracking(t *testing.T) {
+	sched := simclock.New()
+	kp := keys.Deterministic(1)
+	cl := relay.NewClient(kp, sched, 10*time.Millisecond)
+	c := testChain(t, sched, 1, kp.Address())
+
+	// Three rapid-fire calls get sequential nonces and all commit.
+	var ids []hashing.Hash
+	for i := 0; i < 3; i++ {
+		id, err := cl.Call(c, hashing.AddressFromBytes([]byte{0x01}), nil, u256.FromUint64(uint64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	sched.RunUntil(5 * time.Second)
+	for i, id := range ids {
+		rec, ok := c.Receipt(id)
+		if !ok || !rec.Succeeded() {
+			t.Fatalf("tx %d: %+v ok=%v", i, rec, ok)
+		}
+	}
+	if got := c.StateDB().GetNonce(kp.Address()); got != 3 {
+		t.Fatalf("account nonce = %d", got)
+	}
+}
+
+func TestClientSubmitDelay(t *testing.T) {
+	sched := simclock.New()
+	kp := keys.Deterministic(2)
+	cl := relay.NewClient(kp, sched, 2*time.Second)
+	c := testChain(t, sched, 1, kp.Address())
+
+	id, err := cl.Call(c, hashing.AddressFromBytes([]byte{0x02}), nil, u256.One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the submit delay elapses, nothing is pending.
+	sched.RunUntil(1 * time.Second)
+	if c.PendingTxs() != 0 {
+		t.Fatal("tx must not reach the chain before the submission delay")
+	}
+	if _, ok := c.Receipt(id); ok {
+		t.Fatal("tx must not commit before submission")
+	}
+	sched.RunUntil(5 * time.Second)
+	if rec, ok := c.Receipt(id); !ok || !rec.Succeeded() {
+		t.Fatal("tx must commit after the delay")
+	}
+}
+
+func TestClientChainsKeepSeparateNonces(t *testing.T) {
+	sched := simclock.New()
+	kp := keys.Deterministic(3)
+	cl := relay.NewClient(kp, sched, time.Millisecond)
+	c1 := testChain(t, sched, 1, kp.Address())
+	c2 := testChain(t, sched, 2, kp.Address())
+
+	if _, err := cl.Call(c1, hashing.AddressFromBytes([]byte{1}), nil, u256.One()); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := cl.Call(c2, hashing.AddressFromBytes([]byte{1}), nil, u256.One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(3 * time.Second)
+	// The chain-2 tx used nonce 0 there despite chain-1 traffic.
+	rec, ok := c2.Receipt(id2)
+	if !ok || !rec.Succeeded() {
+		t.Fatalf("chain-2 tx: %+v", rec)
+	}
+}
+
+func TestMoveResultPhaseArithmetic(t *testing.T) {
+	r := &relay.MoveResult{
+		StartedAt:    10 * time.Second,
+		Move1At:      17 * time.Second,
+		ProofReadyAt: 47 * time.Second,
+		Move2At:      55 * time.Second,
+	}
+	if r.Move1Latency() != 7*time.Second {
+		t.Fatalf("move1 = %v", r.Move1Latency())
+	}
+	if r.WaitProofLatency() != 30*time.Second {
+		t.Fatalf("wait = %v", r.WaitProofLatency())
+	}
+	if r.Move2Latency() != 8*time.Second {
+		t.Fatalf("move2 = %v", r.Move2Latency())
+	}
+	if r.Total() != 45*time.Second {
+		t.Fatalf("total = %v", r.Total())
+	}
+}
+
+func TestMoverFailsFastOnFailedMove1(t *testing.T) {
+	sched := simclock.New()
+	kp := keys.Deterministic(4)
+	cl := relay.NewClient(kp, sched, time.Millisecond)
+	src := testChain(t, sched, 1, kp.Address())
+	dst := testChain(t, sched, 2, kp.Address())
+
+	// Target a contract that reverts every call: Move1 fails and the mover
+	// reports it instead of hanging.
+	reverting := hashing.AddressFromBytes([]byte{0x99})
+	src.StateDB().CreateContract(reverting, []byte{byte(evm.PUSH1), 0, byte(evm.PUSH1), 0, byte(evm.REVERT)})
+	src.StateDB().Commit()
+
+	var result *relay.MoveResult
+	relay.NewMover(sched, src, dst).Move(cl, reverting, core.MoveToInput(2), func(r *relay.MoveResult) {
+		result = r
+	})
+	sched.RunUntil(10 * time.Second)
+	if result == nil {
+		t.Fatal("mover must report the failure")
+	}
+	if result.Err == nil {
+		t.Fatal("failed Move1 must surface as an error")
+	}
+	if result.Move1Gas == 0 {
+		t.Fatal("the failed transaction's gas is still recorded")
+	}
+}

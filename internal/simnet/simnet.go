@@ -1,0 +1,198 @@
+// Package simnet simulates the wide-area network of the paper's deployment:
+// nodes placed in 14 cloud regions on four continents, with inter-region
+// latencies modeled on the measurements the paper borrows from the Red
+// Belly evaluation [27], plus deterministic jitter, message drops, and
+// partitions for fault-injection tests.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scmove/internal/simclock"
+)
+
+// NodeID identifies a network endpoint.
+type NodeID uint64
+
+// Handler receives a delivered message.
+type Handler func(from NodeID, payload any)
+
+// Region is an index into the latency matrix.
+type Region int
+
+// RegionCount is the number of modeled regions.
+const RegionCount = 14
+
+// regionNames document the modeled placement (paper §VI: 14 regions on four
+// continents).
+var regionNames = [RegionCount]string{
+	"us-east", "us-west", "canada", "sao-paulo",
+	"ireland", "london", "frankfurt", "paris",
+	"mumbai", "singapore", "tokyo", "seoul",
+	"sydney", "osaka",
+}
+
+// Name returns the region's label.
+func (r Region) Name() string {
+	if r < 0 || r >= RegionCount {
+		return "unknown"
+	}
+	return regionNames[r]
+}
+
+// oneWayMillis is the modeled one-way latency matrix in milliseconds,
+// derived from public inter-region RTT measurements (values are RTT/2,
+// rounded). Intra-region latency is 1 ms (LAN with emulated WAN delays).
+var oneWayMillis = [RegionCount][RegionCount]int{
+	{1, 31, 8, 57, 34, 37, 44, 39, 91, 106, 73, 89, 98, 75},
+	{31, 1, 29, 86, 64, 68, 73, 69, 111, 85, 54, 67, 70, 56},
+	{8, 29, 1, 63, 36, 41, 46, 42, 96, 108, 76, 92, 105, 78},
+	{57, 86, 63, 1, 88, 93, 98, 94, 151, 163, 129, 145, 155, 131},
+	{34, 64, 36, 88, 1, 6, 12, 9, 61, 87, 105, 120, 128, 107},
+	{37, 68, 41, 93, 6, 1, 8, 5, 56, 83, 111, 125, 131, 113},
+	{44, 73, 46, 98, 12, 8, 1, 4, 55, 81, 117, 131, 138, 119},
+	{39, 69, 42, 94, 9, 5, 4, 1, 52, 80, 113, 127, 140, 115},
+	{91, 111, 96, 151, 61, 56, 55, 52, 1, 32, 60, 77, 111, 62},
+	{106, 85, 108, 163, 87, 83, 81, 80, 32, 1, 34, 49, 46, 36},
+	{73, 54, 76, 129, 105, 111, 117, 113, 60, 34, 1, 17, 52, 5},
+	{89, 67, 92, 145, 120, 125, 131, 127, 77, 49, 17, 1, 67, 15},
+	{98, 70, 105, 155, 128, 131, 138, 140, 111, 46, 52, 67, 1, 54},
+	{75, 56, 78, 131, 107, 113, 119, 115, 62, 36, 5, 15, 54, 1},
+}
+
+// Latency returns the modeled one-way delay between two regions.
+func Latency(a, b Region) time.Duration {
+	return time.Duration(oneWayMillis[a][b]) * time.Millisecond
+}
+
+// Config tunes network behavior.
+type Config struct {
+	// JitterFrac adds up to ±JitterFrac of the base latency, drawn from the
+	// seeded RNG. Zero disables jitter.
+	JitterFrac float64
+	// DropRate is the probability a message is silently lost.
+	DropRate float64
+	// Seed makes delivery timing reproducible.
+	Seed int64
+}
+
+// Network delivers messages between registered nodes over the simulated
+// clock. It is single-threaded, like everything on the scheduler.
+type Network struct {
+	sched *simclock.Scheduler
+	cfg   Config
+	rng   *rand.Rand
+
+	nodes map[NodeID]*nodeInfo
+	down  map[NodeID]bool
+	cut   map[[2]NodeID]bool
+
+	delivered uint64
+	dropped   uint64
+}
+
+type nodeInfo struct {
+	region  Region
+	handler Handler
+}
+
+// New returns an empty network on the given scheduler.
+func New(sched *simclock.Scheduler, cfg Config) *Network {
+	return &Network{
+		sched: sched,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[NodeID]*nodeInfo),
+		down:  make(map[NodeID]bool),
+		cut:   make(map[[2]NodeID]bool),
+	}
+}
+
+// Register adds a node in the given region. Registering an existing id
+// replaces its handler (used to restart crashed nodes).
+func (n *Network) Register(id NodeID, region Region, h Handler) error {
+	if region < 0 || region >= RegionCount {
+		return fmt.Errorf("simnet: invalid region %d", region)
+	}
+	if h == nil {
+		return fmt.Errorf("simnet: nil handler for node %d", id)
+	}
+	n.nodes[id] = &nodeInfo{region: region, handler: h}
+	return nil
+}
+
+// RegionOf returns the region a node was registered in.
+func (n *Network) RegionOf(id NodeID) (Region, bool) {
+	info, ok := n.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	return info.region, true
+}
+
+// Send schedules delivery of payload from one node to another, applying the
+// latency matrix, jitter, drops, partitions, and node crashes. Messages to
+// unknown nodes are dropped. Sending to self delivers after the intra-
+// region latency (loopback through the local stack).
+func (n *Network) Send(from, to NodeID, payload any) {
+	src, okFrom := n.nodes[from]
+	dst, okTo := n.nodes[to]
+	if !okFrom || !okTo {
+		n.dropped++
+		return
+	}
+	if n.down[from] || n.cut[linkKey(from, to)] {
+		n.dropped++
+		return
+	}
+	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+		n.dropped++
+		return
+	}
+	delay := Latency(src.region, dst.region)
+	if n.cfg.JitterFrac > 0 {
+		jitter := (n.rng.Float64()*2 - 1) * n.cfg.JitterFrac
+		delay = time.Duration(float64(delay) * (1 + jitter))
+	}
+	n.sched.After(delay, func() {
+		// Down-state and handler are re-checked at delivery time so crashes
+		// that happen while the message is in flight take effect.
+		info, ok := n.nodes[to]
+		if !ok || n.down[to] {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		info.handler(from, payload)
+	})
+}
+
+// Broadcast sends payload from one node to every other registered node.
+func (n *Network) Broadcast(from NodeID, payload any) {
+	for id := range n.nodes {
+		if id != from {
+			n.Send(from, id, payload)
+		}
+	}
+}
+
+// SetNodeDown crashes or revives a node; a down node neither sends nor
+// receives.
+func (n *Network) SetNodeDown(id NodeID, down bool) {
+	n.down[id] = down
+}
+
+// SetLinkCut severs or restores the (bidirectional) link between two nodes.
+func (n *Network) SetLinkCut(a, b NodeID, cut bool) {
+	n.cut[linkKey(a, b)] = cut
+	n.cut[linkKey(b, a)] = cut
+}
+
+// Stats returns delivered and dropped message counts.
+func (n *Network) Stats() (delivered, dropped uint64) {
+	return n.delivered, n.dropped
+}
+
+func linkKey(a, b NodeID) [2]NodeID { return [2]NodeID{a, b} }

@@ -1,0 +1,72 @@
+package state
+
+import (
+	"fmt"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+)
+
+// journal records inverse operations so transaction execution can roll back
+// to any snapshot (evm.StateAccess.Snapshot/RevertToSnapshot).
+type journal struct {
+	entries []journalEntry
+}
+
+type journalKind uint8
+
+const (
+	jAccount journalKind = iota + 1 // restore a full account record
+	jStorage                        // restore one storage slot
+	jCode                           // forget a code blob added to the store
+	jLog                            // drop the most recent log
+)
+
+type journalEntry struct {
+	kind journalKind
+	addr hashing.Address
+
+	prevAccount *Account // jAccount: nil means the account did not exist
+	key         evm.Word // jStorage
+	prevValue   evm.Word // jStorage
+	prevExisted bool     // jStorage
+	codeHash    hashing.Hash
+}
+
+func (j *journal) append(e journalEntry) { j.entries = append(j.entries, e) }
+
+func (j *journal) len() int { return len(j.entries) }
+
+func (j *journal) reset() { j.entries = j.entries[:0] }
+
+// revert undoes entries down to length id, newest first.
+func (j *journal) revert(db *DB, id int) {
+	for i := len(j.entries) - 1; i >= id; i-- {
+		e := j.entries[i]
+		switch e.kind {
+		case jAccount:
+			if e.prevAccount == nil {
+				db.cache[e.addr] = nil
+			} else {
+				cp := *e.prevAccount
+				db.cache[e.addr] = &cp
+			}
+		case jStorage:
+			t := db.storageTree(e.addr)
+			if e.prevExisted {
+				if err := t.Set(e.key[:], e.prevValue[:]); err != nil {
+					panic(fmt.Sprintf("state: journal revert set: %v", err))
+				}
+			} else {
+				if err := t.Delete(e.key[:]); err != nil {
+					panic(fmt.Sprintf("state: journal revert delete: %v", err))
+				}
+			}
+		case jCode:
+			delete(db.codes, e.codeHash)
+		case jLog:
+			db.logs = db.logs[:len(db.logs)-1]
+		}
+	}
+	j.entries = j.entries[:id]
+}

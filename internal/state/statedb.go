@@ -1,0 +1,438 @@
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/trees"
+	"scmove/internal/trie"
+	"scmove/internal/u256"
+)
+
+// DB is the mutable world state of one chain. It implements evm.StateAccess
+// with snapshot/revert journaling, and commits into an authenticated account
+// tree of the chain's configured kind for headers and Merkle proofs.
+//
+// DB is not safe for concurrent use; each chain node owns one.
+type DB struct {
+	chainID hashing.ChainID
+	kind    trie.Kind
+
+	accountTree trie.Tree                     // addr -> Account.Encode()
+	storage     map[hashing.Address]trie.Tree // live storage trees
+	codes       map[hashing.Hash][]byte       // content-addressed code
+	cache       map[hashing.Address]*Account  // decoded working set
+	dirty       map[hashing.Address]struct{}  // accounts to flush on Commit
+
+	logs    []*evm.Log
+	journal journal
+}
+
+var _ evm.StateAccess = (*DB)(nil)
+
+// NewDB returns an empty state for the given chain, using the chain's state
+// tree kind for commitments and proofs.
+func NewDB(chainID hashing.ChainID, kind trie.Kind) (*DB, error) {
+	accountTree, err := trees.New(kind, hashing.AddressSize)
+	if err != nil {
+		return nil, fmt.Errorf("new state: %w", err)
+	}
+	return &DB{
+		chainID:     chainID,
+		kind:        kind,
+		accountTree: accountTree,
+		storage:     make(map[hashing.Address]trie.Tree),
+		codes:       make(map[hashing.Hash][]byte),
+		cache:       make(map[hashing.Address]*Account),
+		dirty:       make(map[hashing.Address]struct{}),
+	}, nil
+}
+
+// ChainID returns the chain this state belongs to.
+func (db *DB) ChainID() hashing.ChainID { return db.chainID }
+
+// TreeKind returns the state tree kind used for commitments.
+func (db *DB) TreeKind() trie.Kind { return db.kind }
+
+// account returns the cached working copy of addr, loading it from the
+// account tree on first touch. Returns nil if the account does not exist.
+func (db *DB) account(addr hashing.Address) *Account {
+	if acct, ok := db.cache[addr]; ok {
+		return acct
+	}
+	enc, ok := db.accountTree.Get(addr[:])
+	if !ok {
+		db.cache[addr] = nil
+		return nil
+	}
+	acct, err := DecodeAccount(enc)
+	if err != nil {
+		// The tree only ever stores Encode() output; a decode failure is a
+		// corrupted-state invariant violation.
+		panic(fmt.Sprintf("state: corrupt account record for %s: %v", addr, err))
+	}
+	db.cache[addr] = &acct
+	return &acct
+}
+
+// mutable returns the working copy of addr, creating the account if absent,
+// and journals the previous version for revert.
+func (db *DB) mutable(addr hashing.Address) *Account {
+	acct := db.account(addr)
+	db.journal.append(journalEntry{kind: jAccount, addr: addr, prevAccount: cloneAccount(acct)})
+	if acct == nil {
+		acct = &Account{Location: db.chainID}
+		db.cache[addr] = acct
+	}
+	db.dirty[addr] = struct{}{}
+	return acct
+}
+
+func cloneAccount(a *Account) *Account {
+	if a == nil {
+		return nil
+	}
+	cp := *a
+	return &cp
+}
+
+// Exists implements evm.StateAccess.
+func (db *DB) Exists(addr hashing.Address) bool {
+	return db.account(addr) != nil
+}
+
+// CreateContract implements evm.StateAccess.
+func (db *DB) CreateContract(addr hashing.Address, code []byte) {
+	acct := db.mutable(addr)
+	codeCopy := make([]byte, len(code))
+	copy(codeCopy, code)
+	h := hashing.Sum(codeCopy)
+	if _, ok := db.codes[h]; !ok {
+		db.journal.append(journalEntry{kind: jCode, codeHash: h})
+		db.codes[h] = codeCopy
+	}
+	acct.CodeHash = h
+	acct.Location = db.chainID
+}
+
+// GetBalance implements evm.StateAccess.
+func (db *DB) GetBalance(addr hashing.Address) u256.Int {
+	if acct := db.account(addr); acct != nil {
+		return acct.Balance
+	}
+	return u256.Zero()
+}
+
+// AddBalance implements evm.StateAccess.
+func (db *DB) AddBalance(addr hashing.Address, amount u256.Int) {
+	acct := db.mutable(addr)
+	acct.Balance = acct.Balance.Add(amount)
+}
+
+// SubBalance implements evm.StateAccess. Callers check sufficiency first
+// (evm.transfer); going below zero wraps and is a caller bug.
+func (db *DB) SubBalance(addr hashing.Address, amount u256.Int) {
+	acct := db.mutable(addr)
+	acct.Balance = acct.Balance.Sub(amount)
+}
+
+// GetNonce implements evm.StateAccess.
+func (db *DB) GetNonce(addr hashing.Address) uint64 {
+	if acct := db.account(addr); acct != nil {
+		return acct.Nonce
+	}
+	return 0
+}
+
+// SetNonce implements evm.StateAccess.
+func (db *DB) SetNonce(addr hashing.Address, nonce uint64) {
+	db.mutable(addr).Nonce = nonce
+}
+
+// GetCode implements evm.StateAccess.
+func (db *DB) GetCode(addr hashing.Address) []byte {
+	acct := db.account(addr)
+	if acct == nil || acct.CodeHash.IsZero() {
+		return nil
+	}
+	return db.codes[acct.CodeHash]
+}
+
+// CodeByHash returns code from the content-addressed store.
+func (db *DB) CodeByHash(h hashing.Hash) ([]byte, bool) {
+	code, ok := db.codes[h]
+	return code, ok
+}
+
+// GetCodeHash implements evm.StateAccess.
+func (db *DB) GetCodeHash(addr hashing.Address) hashing.Hash {
+	if acct := db.account(addr); acct != nil {
+		return acct.CodeHash
+	}
+	return hashing.ZeroHash
+}
+
+// storageTree returns the live storage tree for addr, creating it lazily.
+func (db *DB) storageTree(addr hashing.Address) trie.Tree {
+	if t, ok := db.storage[addr]; ok {
+		return t
+	}
+	t := trees.MustNew(db.kind, 32)
+	db.storage[addr] = t
+	return t
+}
+
+// GetStorage implements evm.StateAccess.
+func (db *DB) GetStorage(addr hashing.Address, key evm.Word) evm.Word {
+	t, ok := db.storage[addr]
+	if !ok {
+		return evm.Word{}
+	}
+	v, ok := t.Get(key[:])
+	if !ok {
+		return evm.Word{}
+	}
+	var w evm.Word
+	copy(w[:], v)
+	return w
+}
+
+// SetStorage implements evm.StateAccess; storing the zero word deletes.
+func (db *DB) SetStorage(addr hashing.Address, key, value evm.Word) {
+	prev := db.GetStorage(addr, key)
+	_, hadPrev := db.storageTree(addr).Get(key[:])
+	db.journal.append(journalEntry{
+		kind: jStorage, addr: addr, key: key, prevValue: prev, prevExisted: hadPrev,
+	})
+	db.dirty[addr] = struct{}{}
+	var zero evm.Word
+	t := db.storageTree(addr)
+	if value == zero {
+		// Fixed-length keys are enforced at this boundary, so errors are
+		// impossible; check anyway to honor the Tree contract.
+		if err := t.Delete(key[:]); err != nil {
+			panic(fmt.Sprintf("state: storage delete: %v", err))
+		}
+		return
+	}
+	if err := t.Set(key[:], value[:]); err != nil {
+		panic(fmt.Sprintf("state: storage set: %v", err))
+	}
+}
+
+// GetLocation implements evm.StateAccess. Absent accounts are implicitly
+// local: they have never moved anywhere.
+func (db *DB) GetLocation(addr hashing.Address) hashing.ChainID {
+	if acct := db.account(addr); acct != nil && acct.Location != 0 {
+		return acct.Location
+	}
+	return db.chainID
+}
+
+// SetLocation implements evm.StateAccess.
+func (db *DB) SetLocation(addr hashing.Address, chain hashing.ChainID) {
+	db.mutable(addr).Location = chain
+}
+
+// GetMoveNonce implements evm.StateAccess.
+func (db *DB) GetMoveNonce(addr hashing.Address) uint64 {
+	if acct := db.account(addr); acct != nil {
+		return acct.MoveNonce
+	}
+	return 0
+}
+
+// SetMoveNonce implements evm.StateAccess.
+func (db *DB) SetMoveNonce(addr hashing.Address, nonce uint64) {
+	db.mutable(addr).MoveNonce = nonce
+}
+
+// DeleteAccount implements evm.StateAccess (SELFDESTRUCT).
+func (db *DB) DeleteAccount(addr hashing.Address) {
+	db.journal.append(journalEntry{
+		kind:        jAccount,
+		addr:        addr,
+		prevAccount: cloneAccount(db.account(addr)),
+	})
+	db.journalStorageWipe(addr)
+	db.cache[addr] = nil
+	db.dirty[addr] = struct{}{}
+	db.storage[addr] = trees.MustNew(db.kind, 32)
+}
+
+// journalStorageWipe records every live storage entry of addr so a revert
+// can restore them.
+func (db *DB) journalStorageWipe(addr hashing.Address) {
+	t, ok := db.storage[addr]
+	if !ok {
+		return
+	}
+	t.Iterate(func(k, v []byte) bool {
+		var key, value evm.Word
+		copy(key[:], k)
+		copy(value[:], v)
+		db.journal.append(journalEntry{
+			kind: jStorage, addr: addr, key: key, prevValue: value, prevExisted: true,
+		})
+		return true
+	})
+}
+
+// AddLog implements evm.StateAccess.
+func (db *DB) AddLog(log *evm.Log) {
+	db.journal.append(journalEntry{kind: jLog})
+	db.logs = append(db.logs, log)
+}
+
+// TakeLogs returns and clears the accumulated logs (called per transaction).
+func (db *DB) TakeLogs() []*evm.Log {
+	logs := db.logs
+	db.logs = nil
+	return logs
+}
+
+// Snapshot implements evm.StateAccess.
+func (db *DB) Snapshot() int { return db.journal.len() }
+
+// RevertToSnapshot implements evm.StateAccess.
+func (db *DB) RevertToSnapshot(id int) {
+	db.journal.revert(db, id)
+}
+
+// DiscardJournal forgets undo history (called after each committed tx; the
+// journal must not grow across transactions).
+func (db *DB) DiscardJournal() { db.journal.reset() }
+
+// Commit flushes dirty accounts into the account tree and returns the state
+// root. The journal is discarded: committed state cannot be reverted.
+func (db *DB) Commit() hashing.Hash {
+	// Deterministic flush order (map iteration is randomized).
+	addrs := make([]hashing.Address, 0, len(db.dirty))
+	for addr := range db.dirty {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return string(addrs[i][:]) < string(addrs[j][:])
+	})
+	for _, addr := range addrs {
+		acct := db.cache[addr]
+		if acct == nil {
+			if err := db.accountTree.Delete(addr[:]); err != nil {
+				panic(fmt.Sprintf("state: commit delete: %v", err))
+			}
+			continue
+		}
+		if t, ok := db.storage[addr]; ok {
+			acct.StorageRoot = t.RootHash()
+		}
+		if acct.isEmpty(db.chainID) {
+			if err := db.accountTree.Delete(addr[:]); err != nil {
+				panic(fmt.Sprintf("state: commit delete: %v", err))
+			}
+			continue
+		}
+		if err := db.accountTree.Set(addr[:], acct.Encode()); err != nil {
+			panic(fmt.Sprintf("state: commit set: %v", err))
+		}
+	}
+	db.dirty = make(map[hashing.Address]struct{})
+	db.journal.reset()
+	return db.accountTree.RootHash()
+}
+
+// Root returns the last committed state root without flushing.
+func (db *DB) Root() hashing.Hash { return db.accountTree.RootHash() }
+
+// GetAccount returns a copy of the committed-or-cached account record.
+func (db *DB) GetAccount(addr hashing.Address) (Account, bool) {
+	acct := db.account(addr)
+	if acct == nil {
+		return Account{}, false
+	}
+	cp := *acct
+	if t, ok := db.storage[addr]; ok {
+		cp.StorageRoot = t.RootHash()
+	}
+	return cp, true
+}
+
+// ProveAccount returns the membership proof of addr's record in the account
+// tree, valid against the root of the last Commit. The account must have
+// been committed.
+func (db *DB) ProveAccount(addr hashing.Address) ([]byte, error) {
+	return db.accountTree.Prove(addr[:])
+}
+
+// StorageEntries returns all storage of addr in ascending key order — the
+// state payload V of a move proof (paper Alg. 1, Move2).
+func (db *DB) StorageEntries(addr hashing.Address) []StorageEntry {
+	t, ok := db.storage[addr]
+	if !ok {
+		return nil
+	}
+	out := make([]StorageEntry, 0, t.Len())
+	t.Iterate(func(k, v []byte) bool {
+		var e StorageEntry
+		copy(e.Key[:], k)
+		copy(e.Value[:], v)
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// StorageEntry is one storage key-value pair of a contract.
+type StorageEntry struct {
+	Key   evm.Word
+	Value evm.Word
+}
+
+// ImportAccount installs a full account record (Move2 recreation). The
+// caller has verified proofs; this writes through the normal journaled path
+// so a failing transaction rolls everything back.
+func (db *DB) ImportAccount(addr hashing.Address, acct Account, code []byte, entries []StorageEntry) {
+	working := db.mutable(addr)
+	working.Nonce = acct.Nonce
+	working.Balance = acct.Balance
+	working.MoveNonce = acct.MoveNonce
+	working.Location = db.chainID
+	if len(code) > 0 {
+		codeCopy := make([]byte, len(code))
+		copy(codeCopy, code)
+		h := hashing.Sum(codeCopy)
+		if _, ok := db.codes[h]; !ok {
+			db.journal.append(journalEntry{kind: jCode, codeHash: h})
+			db.codes[h] = codeCopy
+		}
+		working.CodeHash = h
+	}
+	for _, e := range entries {
+		db.SetStorage(addr, e.Key, e.Value)
+	}
+}
+
+// PruneStale removes the storage and code reference of a contract that has
+// moved away, keeping the account tombstone (location + move nonce) that
+// replay protection needs (paper §III-G(c)). It fails if the contract is
+// still local.
+func (db *DB) PruneStale(addr hashing.Address) error {
+	acct := db.account(addr)
+	if acct == nil {
+		return fmt.Errorf("state: prune %s: no such account", addr)
+	}
+	if acct.Location == db.chainID || acct.Location == 0 {
+		return fmt.Errorf("state: prune %s: contract is still local", addr)
+	}
+	working := db.mutable(addr)
+	db.journalStorageWipe(addr)
+	db.storage[addr] = trees.MustNew(db.kind, 32)
+	working.CodeHash = hashing.ZeroHash
+	working.StorageRoot = hashing.ZeroHash
+	working.Balance = u256.Zero()
+	return nil
+}
+
+// AccountCount returns the number of accounts in the committed tree.
+func (db *DB) AccountCount() int { return db.accountTree.Len() }

@@ -1,0 +1,341 @@
+package state
+
+import (
+	"testing"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/trie"
+	"scmove/internal/u256"
+)
+
+const localChain = hashing.ChainID(1)
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := NewDB(localChain, trie.KindMPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func addr(b byte) hashing.Address {
+	var a hashing.Address
+	a[0] = b
+	return a
+}
+
+func word(b byte) evm.Word {
+	var w evm.Word
+	w[31] = b
+	return w
+}
+
+func TestAccountRoundTrip(t *testing.T) {
+	a := Account{
+		Nonce:       7,
+		Balance:     u256.FromUint64(1234),
+		CodeHash:    hashing.Sum([]byte("code")),
+		StorageRoot: hashing.Sum([]byte("root")),
+		Location:    hashing.ChainID(3),
+		MoveNonce:   9,
+	}
+	got, err := DecodeAccount(a.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, a)
+	}
+}
+
+func TestDecodeAccountRejectsGarbage(t *testing.T) {
+	if _, err := DecodeAccount([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestBalanceNonce(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(1)
+	if !db.GetBalance(a).IsZero() || db.GetNonce(a) != 0 {
+		t.Fatal("fresh account must be zero")
+	}
+	db.AddBalance(a, u256.FromUint64(100))
+	db.SubBalance(a, u256.FromUint64(30))
+	db.SetNonce(a, 5)
+	if got := db.GetBalance(a); !got.Eq(u256.FromUint64(70)) {
+		t.Fatalf("balance = %s", got)
+	}
+	if db.GetNonce(a) != 5 {
+		t.Fatalf("nonce = %d", db.GetNonce(a))
+	}
+	if !db.Exists(a) {
+		t.Fatal("touched account must exist")
+	}
+}
+
+func TestStorageSetGetDelete(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(1)
+	db.SetStorage(a, word(1), word(9))
+	if got := db.GetStorage(a, word(1)); got != word(9) {
+		t.Fatalf("storage = %x", got)
+	}
+	// Zero value deletes.
+	db.SetStorage(a, word(1), evm.Word{})
+	if got := db.GetStorage(a, word(1)); got != (evm.Word{}) {
+		t.Fatalf("deleted storage = %x", got)
+	}
+	if len(db.StorageEntries(a)) != 0 {
+		t.Fatal("no entries expected after delete")
+	}
+}
+
+func TestSnapshotRevert(t *testing.T) {
+	db := newTestDB(t)
+	a, b := addr(1), addr(2)
+	db.AddBalance(a, u256.FromUint64(50))
+	db.SetStorage(a, word(1), word(1))
+
+	snap := db.Snapshot()
+	db.AddBalance(a, u256.FromUint64(100))
+	db.SetStorage(a, word(1), word(2))
+	db.SetStorage(a, word(2), word(3))
+	db.SetNonce(b, 9)
+	db.CreateContract(b, []byte("some code"))
+	db.AddLog(&evm.Log{Address: a})
+	db.SetLocation(a, hashing.ChainID(7))
+	db.SetMoveNonce(a, 3)
+
+	db.RevertToSnapshot(snap)
+
+	if got := db.GetBalance(a); !got.Eq(u256.FromUint64(50)) {
+		t.Fatalf("balance after revert = %s", got)
+	}
+	if got := db.GetStorage(a, word(1)); got != word(1) {
+		t.Fatalf("storage[1] after revert = %x", got)
+	}
+	if got := db.GetStorage(a, word(2)); got != (evm.Word{}) {
+		t.Fatalf("storage[2] after revert = %x", got)
+	}
+	if db.Exists(b) {
+		t.Fatal("account b must not exist after revert")
+	}
+	if len(db.GetCode(b)) != 0 {
+		t.Fatal("code must be gone after revert")
+	}
+	if logs := db.TakeLogs(); len(logs) != 0 {
+		t.Fatalf("logs after revert = %d", len(logs))
+	}
+	if db.GetLocation(a) != localChain {
+		t.Fatal("location must revert to local")
+	}
+	if db.GetMoveNonce(a) != 0 {
+		t.Fatal("move nonce must revert")
+	}
+}
+
+func TestNestedSnapshots(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(1)
+	db.SetStorage(a, word(1), word(1))
+	s1 := db.Snapshot()
+	db.SetStorage(a, word(1), word(2))
+	s2 := db.Snapshot()
+	db.SetStorage(a, word(1), word(3))
+	db.RevertToSnapshot(s2)
+	if got := db.GetStorage(a, word(1)); got != word(2) {
+		t.Fatalf("after inner revert = %x", got)
+	}
+	db.RevertToSnapshot(s1)
+	if got := db.GetStorage(a, word(1)); got != word(1) {
+		t.Fatalf("after outer revert = %x", got)
+	}
+}
+
+func TestCommitRootReflectsContents(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(1)
+	db.AddBalance(a, u256.FromUint64(10))
+	r1 := db.Commit()
+	if r1.IsZero() {
+		t.Fatal("root must be non-zero after commit")
+	}
+	// Identical content on a fresh DB commits to the same root.
+	db2 := newTestDB(t)
+	db2.AddBalance(a, u256.FromUint64(10))
+	if r2 := db2.Commit(); r2 != r1 {
+		t.Fatalf("equal state, different roots: %s vs %s", r1, r2)
+	}
+	// Changing state changes the root.
+	db.AddBalance(a, u256.FromUint64(1))
+	if db.Commit() == r1 {
+		t.Fatal("root must change with balance")
+	}
+}
+
+func TestCommitIncludesStorageRoot(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(1)
+	db.CreateContract(a, []byte("c"))
+	db.SetStorage(a, word(1), word(1))
+	r1 := db.Commit()
+	db.SetStorage(a, word(1), word(2))
+	if db.Commit() == r1 {
+		t.Fatal("storage change must change the state root")
+	}
+}
+
+func TestEmptyAccountOmittedFromTree(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(1)
+	db.AddBalance(a, u256.FromUint64(5))
+	db.SubBalance(a, u256.FromUint64(5))
+	db.Commit()
+	if db.AccountCount() != 0 {
+		t.Fatalf("empty account committed: count=%d", db.AccountCount())
+	}
+}
+
+func TestProveAccountAfterCommit(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(1)
+	db.AddBalance(a, u256.FromUint64(10))
+	root := db.Commit()
+	proof, err := db.ProveAccount(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) == 0 || root.IsZero() {
+		t.Fatal("expected proof and root")
+	}
+}
+
+func TestLocationDefaultsToLocal(t *testing.T) {
+	db := newTestDB(t)
+	if db.GetLocation(addr(9)) != localChain {
+		t.Fatal("absent accounts are implicitly local")
+	}
+	db.SetLocation(addr(9), hashing.ChainID(4))
+	if db.GetLocation(addr(9)) != hashing.ChainID(4) {
+		t.Fatal("explicit location must stick")
+	}
+}
+
+func TestImportAccount(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(3)
+	code := []byte("imported code")
+	entries := []StorageEntry{{Key: word(1), Value: word(7)}, {Key: word(2), Value: word(8)}}
+	db.ImportAccount(a, Account{
+		Nonce: 2, Balance: u256.FromUint64(99), MoveNonce: 4,
+	}, code, entries)
+
+	acct, ok := db.GetAccount(a)
+	if !ok {
+		t.Fatal("account must exist")
+	}
+	if acct.Nonce != 2 || !acct.Balance.Eq(u256.FromUint64(99)) || acct.MoveNonce != 4 {
+		t.Fatalf("imported account %+v", acct)
+	}
+	if acct.Location != localChain {
+		t.Fatal("imported account must be local")
+	}
+	if string(db.GetCode(a)) != string(code) {
+		t.Fatal("code mismatch")
+	}
+	if db.GetStorage(a, word(2)) != word(8) {
+		t.Fatal("storage mismatch")
+	}
+}
+
+func TestImportAccountRevertable(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(3)
+	snap := db.Snapshot()
+	db.ImportAccount(a, Account{Nonce: 1}, []byte("c"), []StorageEntry{{Key: word(1), Value: word(1)}})
+	db.RevertToSnapshot(snap)
+	if db.Exists(a) {
+		t.Fatal("import must roll back")
+	}
+	if db.GetStorage(a, word(1)) != (evm.Word{}) {
+		t.Fatal("imported storage must roll back")
+	}
+}
+
+func TestPruneStale(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(5)
+	db.CreateContract(a, []byte("code"))
+	db.SetStorage(a, word(1), word(1))
+	db.AddBalance(a, u256.FromUint64(10))
+	db.SetMoveNonce(a, 3)
+
+	// Still local: prune must refuse.
+	if err := db.PruneStale(a); err == nil {
+		t.Fatal("pruning a local contract must fail")
+	}
+	db.SetLocation(a, hashing.ChainID(2))
+	if err := db.PruneStale(a); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.GetCode(a)) != 0 || len(db.StorageEntries(a)) != 0 {
+		t.Fatal("prune must drop code and storage")
+	}
+	if !db.GetBalance(a).IsZero() {
+		t.Fatal("prune must zero the locked balance")
+	}
+	// The tombstone keeps the replay-protection state (Fig. 2).
+	if db.GetMoveNonce(a) != 3 {
+		t.Fatal("prune must keep the move nonce")
+	}
+	if db.GetLocation(a) != hashing.ChainID(2) {
+		t.Fatal("prune must keep the location")
+	}
+}
+
+func TestDeleteAccount(t *testing.T) {
+	db := newTestDB(t)
+	a := addr(6)
+	db.CreateContract(a, []byte("code"))
+	db.SetStorage(a, word(1), word(2))
+	snap := db.Snapshot()
+	db.DeleteAccount(a)
+	if db.Exists(a) || db.GetStorage(a, word(1)) != (evm.Word{}) {
+		t.Fatal("delete must clear the account")
+	}
+	db.RevertToSnapshot(snap)
+	if !db.Exists(a) || db.GetStorage(a, word(1)) != word(2) {
+		t.Fatal("delete must be revertable")
+	}
+}
+
+func TestTakeLogsClears(t *testing.T) {
+	db := newTestDB(t)
+	db.AddLog(&evm.Log{Address: addr(1)})
+	db.AddLog(&evm.Log{Address: addr(2)})
+	if got := db.TakeLogs(); len(got) != 2 {
+		t.Fatalf("TakeLogs = %d", len(got))
+	}
+	if got := db.TakeLogs(); len(got) != 0 {
+		t.Fatalf("second TakeLogs = %d", len(got))
+	}
+}
+
+func TestCommitDeterministicAcrossDirtyOrder(t *testing.T) {
+	// Commit sorts dirty accounts; two DBs touched in different orders must
+	// produce the same root.
+	db1 := newTestDB(t)
+	db2 := newTestDB(t)
+	for i := 0; i < 20; i++ {
+		db1.AddBalance(addr(byte(i)), u256.FromUint64(uint64(i+1)))
+	}
+	for i := 19; i >= 0; i-- {
+		db2.AddBalance(addr(byte(i)), u256.FromUint64(uint64(i+1)))
+	}
+	if db1.Commit() != db2.Commit() {
+		t.Fatal("commit order must not affect the root")
+	}
+}

@@ -1,0 +1,329 @@
+// Package tendermint implements the BFT consensus of the Burrow-like chain:
+// a propose/prevote/precommit state machine with 2f+1 quorums and rotating
+// proposers, executed by real validator processes exchanging messages over
+// the simulated WAN (paper §II, §VI).
+//
+// The implementation captures the protocol structure that the paper's
+// evaluation depends on — commit latency is one proposal broadcast plus two
+// voting rounds over the inter-region latency distribution, and blocks are
+// spaced by a configured interval (5 s in the experiments) — while omitting
+// the full Tendermint locking rules needed against equivocating proposers
+// (validators here are honest-or-crashed, the failure model the paper's
+// cluster exhibits).
+package tendermint
+
+import (
+	"fmt"
+	"time"
+
+	"scmove/internal/hashing"
+	"scmove/internal/simclock"
+	"scmove/internal/simnet"
+)
+
+// App is the replicated application: the chain executor. Propose is invoked
+// on the current proposer only; Commit exactly once per height, at the
+// simulated time the first validator observes a precommit quorum.
+type App interface {
+	// Propose returns the payload (an encoded tx batch) for height.
+	Propose(height uint64) []byte
+	// Commit applies the decided payload for height.
+	Commit(height uint64, payload []byte)
+}
+
+// Config tunes a validator cluster.
+type Config struct {
+	// Interval is the wait between a commit and the next proposal (the
+	// paper configures 5 s).
+	Interval time.Duration
+	// ProposeTimeout bounds waiting for a proposal before moving to the
+	// next round (and proposer).
+	ProposeTimeout time.Duration
+}
+
+// DefaultConfig returns the experiment configuration of §VI.
+func DefaultConfig() Config {
+	return Config{
+		Interval:       5 * time.Second,
+		ProposeTimeout: 2 * time.Second,
+	}
+}
+
+// Cluster is one shard's validator set plus its replicated application.
+// Consensus runs on every validator; the deterministic payload execution
+// runs once, on the first commit observation (re-execution on the other
+// validators would be byte-identical, so the simulation skips it).
+type Cluster struct {
+	cfg        Config
+	sched      *simclock.Scheduler
+	net        *simnet.Network
+	app        App
+	validators []*Validator
+	committed  map[uint64]bool
+
+	commitTimes map[uint64]time.Duration
+}
+
+// NewCluster creates n validators on the given network nodes and regions.
+// Nodes must already be distinct ids; regions assigns each validator's
+// placement.
+func NewCluster(sched *simclock.Scheduler, net *simnet.Network, app App,
+	cfg Config, ids []simnet.NodeID, regions []simnet.Region) (*Cluster, error) {
+	if len(ids) == 0 || len(ids) != len(regions) {
+		return nil, fmt.Errorf("tendermint: need matching ids and regions, got %d/%d", len(ids), len(regions))
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		sched:       sched,
+		net:         net,
+		app:         app,
+		committed:   make(map[uint64]bool),
+		commitTimes: make(map[uint64]time.Duration),
+	}
+	c.validators = make([]*Validator, len(ids))
+	for i, id := range ids {
+		v := &Validator{
+			cluster: c,
+			id:      id,
+			index:   i,
+			n:       len(ids),
+			votes:   make(map[voteKey]map[int]bool),
+		}
+		c.validators[i] = v
+		if err := net.Register(id, regions[i], func(from simnet.NodeID, payload any) {
+			v.handle(payload)
+		}); err != nil {
+			return nil, fmt.Errorf("tendermint: register validator %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// Start launches consensus at height 1 on every validator.
+func (c *Cluster) Start() {
+	for _, v := range c.validators {
+		v.startHeight(1)
+	}
+}
+
+// Quorum returns the vote threshold (2f+1 out of n = 3f+1; for arbitrary n,
+// the smallest integer strictly greater than 2n/3).
+func (c *Cluster) Quorum() int { return 2*len(c.validators)/3 + 1 }
+
+// CrashValidator stops a validator (it neither sends nor receives).
+func (c *Cluster) CrashValidator(i int) {
+	c.net.SetNodeDown(c.validators[i].id, true)
+	c.validators[i].crashed = true
+}
+
+// CommittedHeight returns the highest committed height.
+func (c *Cluster) CommittedHeight() uint64 {
+	var max uint64
+	for h := range c.committed {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// CommitTime returns the simulated time at which a height committed.
+func (c *Cluster) CommitTime(height uint64) (time.Duration, bool) {
+	t, ok := c.commitTimes[height]
+	return t, ok
+}
+
+// commit applies the payload once per height.
+func (c *Cluster) commit(height uint64, payload []byte) {
+	if c.committed[height] {
+		return
+	}
+	c.committed[height] = true
+	c.commitTimes[height] = c.sched.Now()
+	c.app.Commit(height, payload)
+}
+
+// message kinds exchanged between validators.
+type msgProposal struct {
+	Height  uint64
+	Round   int
+	Payload []byte
+}
+
+type voteKind uint8
+
+const (
+	votePrevote voteKind = iota + 1
+	votePrecommit
+)
+
+type msgVote struct {
+	Kind        voteKind
+	Height      uint64
+	Round       int
+	PayloadHash hashing.Hash
+	From        int
+}
+
+type voteKey struct {
+	kind   voteKind
+	height uint64
+	round  int
+	hash   hashing.Hash
+}
+
+// Validator is one consensus participant.
+type Validator struct {
+	cluster *Cluster
+	id      simnet.NodeID
+	index   int
+	n       int
+	crashed bool
+
+	height       uint64
+	round        int
+	proposal     []byte
+	proposalHash hashing.Hash
+	hasProposal  bool
+	prevoted     bool
+	precommitted bool
+	decided      bool
+
+	votes   map[voteKey]map[int]bool
+	pending []any // messages for heights/rounds not yet started
+}
+
+// proposerIndex implements round-robin proposer rotation.
+func proposerIndex(height uint64, round, n int) int {
+	return int((height + uint64(round)) % uint64(n))
+}
+
+func (v *Validator) startHeight(h uint64) {
+	if v.crashed {
+		return
+	}
+	v.height = h
+	v.round = 0
+	v.startRound()
+}
+
+// drainPending replays buffered messages that have become current.
+func (v *Validator) drainPending() {
+	pending := v.pending
+	v.pending = nil
+	for _, msg := range pending {
+		v.handle(msg)
+	}
+}
+
+func (v *Validator) startRound() {
+	v.proposal = nil
+	v.hasProposal = false
+	v.prevoted = false
+	v.precommitted = false
+	v.decided = false
+
+	if proposerIndex(v.height, v.round, v.n) == v.index {
+		payload := v.cluster.app.Propose(v.height)
+		msg := msgProposal{Height: v.height, Round: v.round, Payload: payload}
+		v.broadcast(msg)
+		v.handle(msg) // deliver to self
+	}
+	// Round timeout: if this round does not decide in time, try the next
+	// proposer. Grows linearly with the round to eventually outwait WAN
+	// latency under crash faults.
+	height, round := v.height, v.round
+	timeout := v.cluster.cfg.ProposeTimeout * time.Duration(round+1)
+	v.cluster.sched.After(timeout, func() {
+		if v.crashed || v.decided || v.height != height || v.round != round {
+			return
+		}
+		v.round++
+		v.startRound()
+	})
+	v.drainPending()
+}
+
+func (v *Validator) broadcast(msg any) {
+	for _, other := range v.cluster.validators {
+		if other.index != v.index {
+			v.cluster.net.Send(v.id, other.id, msg)
+		}
+	}
+}
+
+func (v *Validator) handle(payload any) {
+	if v.crashed {
+		return
+	}
+	switch msg := payload.(type) {
+	case msgProposal:
+		if msg.Height > v.height || (msg.Height == v.height && msg.Round > v.round) {
+			v.pending = append(v.pending, msg)
+			return
+		}
+		v.onProposal(msg)
+	case msgVote:
+		if msg.Height > v.height {
+			v.pending = append(v.pending, msg)
+			return
+		}
+		v.onVote(msg)
+	}
+}
+
+func (v *Validator) onProposal(msg msgProposal) {
+	if msg.Height != v.height || msg.Round != v.round || v.hasProposal {
+		return
+	}
+	v.proposal = msg.Payload
+	v.proposalHash = hashing.Sum(msg.Payload)
+	v.hasProposal = true
+	if !v.prevoted {
+		v.prevoted = true
+		vote := msgVote{
+			Kind: votePrevote, Height: v.height, Round: v.round,
+			PayloadHash: v.proposalHash, From: v.index,
+		}
+		v.broadcast(vote)
+		v.onVote(vote)
+	}
+}
+
+func (v *Validator) onVote(msg msgVote) {
+	if msg.Height != v.height {
+		return
+	}
+	key := voteKey{kind: msg.Kind, height: msg.Height, round: msg.Round, hash: msg.PayloadHash}
+	set := v.votes[key]
+	if set == nil {
+		set = make(map[int]bool)
+		v.votes[key] = set
+	}
+	set[msg.From] = true
+	quorum := v.cluster.Quorum()
+
+	switch msg.Kind {
+	case votePrevote:
+		if len(set) >= quorum && v.hasProposal && msg.PayloadHash == v.proposalHash && !v.precommitted {
+			v.precommitted = true
+			vote := msgVote{
+				Kind: votePrecommit, Height: v.height, Round: msg.Round,
+				PayloadHash: v.proposalHash, From: v.index,
+			}
+			v.broadcast(vote)
+			v.onVote(vote)
+		}
+	case votePrecommit:
+		if len(set) >= quorum && v.hasProposal && msg.PayloadHash == v.proposalHash && !v.decided {
+			v.decided = true
+			v.cluster.commit(v.height, v.proposal)
+			height := v.height
+			v.cluster.sched.After(v.cluster.cfg.Interval, func() {
+				if !v.crashed && v.height == height {
+					v.startHeight(height + 1)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package tendermint
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scmove/internal/simclock"
+	"scmove/internal/simnet"
+)
+
+// recordingApp captures commits and hands out height-tagged payloads.
+type recordingApp struct {
+	commits map[uint64][]byte
+	order   []uint64
+}
+
+func newRecordingApp() *recordingApp {
+	return &recordingApp{commits: make(map[uint64][]byte)}
+}
+
+func (a *recordingApp) Propose(height uint64) []byte {
+	return []byte(fmt.Sprintf("payload-%d", height))
+}
+
+func (a *recordingApp) Commit(height uint64, payload []byte) {
+	if _, dup := a.commits[height]; dup {
+		panic("double commit")
+	}
+	a.commits[height] = payload
+	a.order = append(a.order, height)
+}
+
+func newCluster(t *testing.T, n int) (*simclock.Scheduler, *Cluster, *recordingApp) {
+	t.Helper()
+	sched := simclock.New()
+	net := simnet.New(sched, simnet.Config{Seed: 1, JitterFrac: 0.1})
+	app := newRecordingApp()
+	ids := make([]simnet.NodeID, n)
+	regions := make([]simnet.Region, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i + 1)
+		regions[i] = simnet.Region(i % simnet.RegionCount)
+	}
+	cluster, err := NewCluster(sched, net, app, DefaultConfig(), ids, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, cluster, app
+}
+
+func TestClusterCommitsSuccessiveHeights(t *testing.T) {
+	sched, cluster, app := newCluster(t, 10)
+	cluster.Start()
+	sched.RunUntil(62 * time.Second)
+
+	got := cluster.CommittedHeight()
+	// 5 s interval plus WAN voting: expect roughly one block per 5-6 s.
+	if got < 9 || got > 13 {
+		t.Fatalf("committed height = %d, want ≈11", got)
+	}
+	// Heights commit in order, each exactly once (Commit panics on dup).
+	for i, h := range app.order {
+		if h != uint64(i+1) {
+			t.Fatalf("commit order broken: %v", app.order)
+		}
+	}
+	// Payload content survives.
+	if string(app.commits[3]) != "payload-3" {
+		t.Fatalf("payload = %q", app.commits[3])
+	}
+}
+
+func TestCommitLatencyAboveInterval(t *testing.T) {
+	sched, cluster, _ := newCluster(t, 10)
+	cluster.Start()
+	sched.RunUntil(60 * time.Second)
+	t2, ok2 := cluster.CommitTime(2)
+	t3, ok3 := cluster.CommitTime(3)
+	if !ok2 || !ok3 {
+		t.Fatal("heights 2 and 3 must commit")
+	}
+	gap := t3 - t2
+	// The paper observes block latency slightly above the 5 s interval.
+	if gap < 5*time.Second || gap > 7*time.Second {
+		t.Fatalf("inter-block gap = %v, want 5-7 s", gap)
+	}
+}
+
+func TestToleratesFCrashFaults(t *testing.T) {
+	sched, cluster, _ := newCluster(t, 10) // f = 3
+	cluster.CrashValidator(1)
+	cluster.CrashValidator(4)
+	cluster.CrashValidator(7)
+	cluster.Start()
+	sched.RunUntil(90 * time.Second)
+	if got := cluster.CommittedHeight(); got < 5 {
+		t.Fatalf("committed height = %d with f faults, want progress", got)
+	}
+}
+
+func TestCrashedProposerRotatesOut(t *testing.T) {
+	sched, cluster, _ := newCluster(t, 4)
+	// Height 1's proposer is index (1+0)%4 = 1; crash it.
+	cluster.CrashValidator(1)
+	cluster.Start()
+	sched.RunUntil(30 * time.Second)
+	if cluster.CommittedHeight() < 1 {
+		t.Fatal("cluster must commit past a crashed proposer via round change")
+	}
+}
+
+func TestHaltsBeyondF(t *testing.T) {
+	sched, cluster, _ := newCluster(t, 10) // quorum = 7, so 4 crashes halt it
+	for _, i := range []int{0, 3, 6, 9} {
+		cluster.CrashValidator(i)
+	}
+	cluster.Start()
+	sched.RunUntil(60 * time.Second)
+	if got := cluster.CommittedHeight(); got != 0 {
+		t.Fatalf("committed height = %d with >f faults, want 0 (safety)", got)
+	}
+}
+
+func TestQuorumSizes(t *testing.T) {
+	cases := map[int]int{1: 1, 3: 3, 4: 3, 7: 5, 10: 7, 13: 9}
+	for n, want := range cases {
+		_, cluster, _ := newCluster(t, n)
+		if got := cluster.Quorum(); got != want {
+			t.Errorf("quorum(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []uint64 {
+		sched, cluster, app := newCluster(t, 7)
+		cluster.Start()
+		sched.RunUntil(40 * time.Second)
+		return app.order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("runs must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package trees_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"scmove/internal/trees"
+	"scmove/internal/trie"
+)
+
+func benchTree(b *testing.B, kind trie.Kind, size int) trie.Tree {
+	b.Helper()
+	t := trees.MustNew(kind, 8)
+	for i := 0; i < size; i++ {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i)*2654435761)
+		if err := t.Set(k[:], []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	t.RootHash() // settle hash caches
+	return t
+}
+
+func forKinds(b *testing.B, fn func(b *testing.B, kind trie.Kind)) {
+	for _, kind := range []trie.Kind{trie.KindMPT, trie.KindIAVL} {
+		b.Run(kind.String(), func(b *testing.B) { fn(b, kind) })
+	}
+}
+
+func BenchmarkTreeSet(b *testing.B) {
+	forKinds(b, func(b *testing.B, kind trie.Kind) {
+		t := benchTree(b, kind, 10_000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var k [8]byte
+			binary.BigEndian.PutUint64(k[:], uint64(i))
+			if err := t.Set(k[:], []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	forKinds(b, func(b *testing.B, kind trie.Kind) {
+		t := benchTree(b, kind, 10_000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var k [8]byte
+			binary.BigEndian.PutUint64(k[:], uint64(i%10_000)*2654435761)
+			t.Get(k[:])
+		}
+	})
+}
+
+func BenchmarkTreeRootAfterWrite(b *testing.B) {
+	forKinds(b, func(b *testing.B, kind trie.Kind) {
+		t := benchTree(b, kind, 10_000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var k [8]byte
+			binary.BigEndian.PutUint64(k[:], uint64(i%10_000)*2654435761)
+			if err := t.Set(k[:], []byte{byte(i), 1}); err != nil {
+				b.Fatal(err)
+			}
+			t.RootHash()
+		}
+	})
+}
+
+func BenchmarkTreeProve(b *testing.B) {
+	forKinds(b, func(b *testing.B, kind trie.Kind) {
+		t := benchTree(b, kind, 10_000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var k [8]byte
+			binary.BigEndian.PutUint64(k[:], uint64(i%10_000)*2654435761)
+			if _, err := t.Prove(k[:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkProofVerify(b *testing.B) {
+	forKinds(b, func(b *testing.B, kind trie.Kind) {
+		t := benchTree(b, kind, 10_000)
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], 42*2654435761)
+		proof, err := t.Prove(k[:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		root := t.RootHash()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := trees.VerifyProof(kind, root, proof); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

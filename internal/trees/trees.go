@@ -1,0 +1,48 @@
+// Package trees constructs and verifies the concrete state-tree
+// implementations by kind. It exists so that packages which need "a tree of
+// the chain's configured kind" (state, core) do not depend on the individual
+// implementations.
+package trees
+
+import (
+	"fmt"
+
+	"scmove/internal/hashing"
+	"scmove/internal/iavl"
+	"scmove/internal/mpt"
+	"scmove/internal/trie"
+)
+
+// New returns an empty tree of the given kind with fixed keyLen-byte keys.
+func New(kind trie.Kind, keyLen int) (trie.Tree, error) {
+	switch kind {
+	case trie.KindMPT:
+		return mpt.New(keyLen), nil
+	case trie.KindIAVL:
+		return iavl.New(keyLen), nil
+	default:
+		return nil, fmt.Errorf("trees: unknown tree kind %d", kind)
+	}
+}
+
+// MustNew is New for statically-known kinds; it panics on unknown kinds.
+func MustNew(kind trie.Kind, keyLen int) trie.Tree {
+	t, err := New(kind, keyLen)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// VerifyProof verifies an encoded membership proof produced by a tree of the
+// given kind against root, returning the proven entry.
+func VerifyProof(kind trie.Kind, root hashing.Hash, proof []byte) (trie.ProvenEntry, error) {
+	switch kind {
+	case trie.KindMPT:
+		return mpt.VerifyProof(root, proof)
+	case trie.KindIAVL:
+		return iavl.VerifyProof(root, proof)
+	default:
+		return trie.ProvenEntry{}, fmt.Errorf("trees: unknown tree kind %d", kind)
+	}
+}

@@ -1,0 +1,427 @@
+// Package trees_test runs a single conformance suite over both state-tree
+// implementations: model-based property tests against a plain map, proof
+// round-trips, canonical-root checks, and adversarial proof mutations.
+package trees_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"scmove/internal/hashing"
+	"scmove/internal/trees"
+	"scmove/internal/trie"
+)
+
+const testKeyLen = 8
+
+var kinds = []trie.Kind{trie.KindMPT, trie.KindIAVL}
+
+func key(i uint64) []byte {
+	var k [testKeyLen]byte
+	binary.BigEndian.PutUint64(k[:], i)
+	return k[:]
+}
+
+func val(s string) []byte { return []byte(s) }
+
+func forEachKind(t *testing.T, fn func(t *testing.T, kind trie.Kind)) {
+	t.Helper()
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) { fn(t, kind) })
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		if tr.Len() != 0 {
+			t.Error("empty tree must have length 0")
+		}
+		if !tr.RootHash().IsZero() {
+			t.Error("empty tree must hash to zero")
+		}
+		if _, ok := tr.Get(key(1)); ok {
+			t.Error("Get on empty tree must miss")
+		}
+		if _, err := tr.Prove(key(1)); !errors.Is(err, trie.ErrInvalidProof) {
+			t.Errorf("Prove on empty tree: want ErrInvalidProof, got %v", err)
+		}
+	})
+}
+
+func TestSetGetDelete(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		for i := uint64(0); i < 100; i++ {
+			if err := tr.Set(key(i), val(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tr.Len() != 100 {
+			t.Fatalf("Len = %d, want 100", tr.Len())
+		}
+		for i := uint64(0); i < 100; i++ {
+			got, ok := tr.Get(key(i))
+			if !ok || string(got) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("Get(%d) = %q, %v", i, got, ok)
+			}
+		}
+		// Overwrite does not change the count.
+		if err := tr.Set(key(5), val("new")); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 100 {
+			t.Fatalf("Len after overwrite = %d", tr.Len())
+		}
+		if got, _ := tr.Get(key(5)); string(got) != "new" {
+			t.Fatalf("overwritten value = %q", got)
+		}
+		// Delete half.
+		for i := uint64(0); i < 100; i += 2 {
+			if err := tr.Delete(key(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tr.Len() != 50 {
+			t.Fatalf("Len after deletes = %d", tr.Len())
+		}
+		for i := uint64(0); i < 100; i++ {
+			_, ok := tr.Get(key(i))
+			if want := i%2 == 1; ok != want {
+				t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+			}
+		}
+		// Deleting an absent key is a no-op.
+		if err := tr.Delete(key(0)); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 50 {
+			t.Fatal("deleting absent key must not change length")
+		}
+	})
+}
+
+func TestKeyLengthEnforced(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		if err := tr.Set([]byte{1, 2}, val("x")); !errors.Is(err, trie.ErrKeyLength) {
+			t.Errorf("Set short key: want ErrKeyLength, got %v", err)
+		}
+		if err := tr.Delete([]byte{1, 2}); !errors.Is(err, trie.ErrKeyLength) {
+			t.Errorf("Delete short key: want ErrKeyLength, got %v", err)
+		}
+		if _, err := tr.Prove([]byte{1, 2}); !errors.Is(err, trie.ErrKeyLength) {
+			t.Errorf("Prove short key: want ErrKeyLength, got %v", err)
+		}
+	})
+}
+
+// TestCanonicalRoot is the property the Move protocol depends on: the root
+// hash is a function of the contents only, not of the operation history.
+func TestCanonicalRoot(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		rng := rand.New(rand.NewSource(7))
+		for round := 0; round < 20; round++ {
+			// Build contents via a random interleaving of sets and deletes.
+			a := trees.MustNew(kind, testKeyLen)
+			model := map[string]string{}
+			for op := 0; op < 300; op++ {
+				k := key(uint64(rng.Intn(60)))
+				if rng.Intn(3) == 0 {
+					if err := a.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, string(k))
+				} else {
+					v := fmt.Sprintf("v%d", rng.Intn(1000))
+					if err := a.Set(k, val(v)); err != nil {
+						t.Fatal(err)
+					}
+					model[string(k)] = v
+				}
+			}
+			// Rebuild fresh from the surviving contents, in random order.
+			b := trees.MustNew(kind, testKeyLen)
+			ks := make([]string, 0, len(model))
+			for k := range model {
+				ks = append(ks, k)
+			}
+			rng.Shuffle(len(ks), func(i, j int) { ks[i], ks[j] = ks[j], ks[i] })
+			for _, k := range ks {
+				if err := b.Set([]byte(k), val(model[k])); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if a.RootHash() != b.RootHash() {
+				t.Fatalf("round %d: history-dependent root: %s vs %s",
+					round, a.RootHash(), b.RootHash())
+			}
+			if a.Len() != len(model) {
+				t.Fatalf("round %d: Len = %d, model %d", round, a.Len(), len(model))
+			}
+		}
+	})
+}
+
+func TestRootChangesWithContents(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		if err := tr.Set(key(1), val("a")); err != nil {
+			t.Fatal(err)
+		}
+		r1 := tr.RootHash()
+		if err := tr.Set(key(1), val("b")); err != nil {
+			t.Fatal(err)
+		}
+		r2 := tr.RootHash()
+		if r1 == r2 {
+			t.Fatal("changing a value must change the root")
+		}
+		if err := tr.Set(key(2), val("c")); err != nil {
+			t.Fatal(err)
+		}
+		if tr.RootHash() == r2 {
+			t.Fatal("adding a key must change the root")
+		}
+	})
+}
+
+func TestIterateSortedAndComplete(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		rng := rand.New(rand.NewSource(3))
+		model := map[string]string{}
+		for i := 0; i < 200; i++ {
+			k := key(rng.Uint64() % 500)
+			v := fmt.Sprintf("v%d", i)
+			if err := tr.Set(k, val(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[string(k)] = v
+		}
+		var gotKeys []string
+		tr.Iterate(func(k, v []byte) bool {
+			gotKeys = append(gotKeys, string(k))
+			if model[string(k)] != string(v) {
+				t.Fatalf("Iterate value mismatch at %x", k)
+			}
+			return true
+		})
+		if len(gotKeys) != len(model) {
+			t.Fatalf("Iterate visited %d, want %d", len(gotKeys), len(model))
+		}
+		if !sort.StringsAreSorted(gotKeys) {
+			t.Fatal("Iterate must visit keys in ascending order")
+		}
+		// Early termination.
+		visits := 0
+		tr.Iterate(func(_, _ []byte) bool {
+			visits++
+			return visits < 5
+		})
+		if visits != 5 {
+			t.Fatalf("early-stop Iterate visited %d", visits)
+		}
+	})
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		for i := uint64(0); i < 128; i++ {
+			if err := tr.Set(key(i*7), val(fmt.Sprintf("value-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root := tr.RootHash()
+		for i := uint64(0); i < 128; i++ {
+			proof, err := tr.Prove(key(i * 7))
+			if err != nil {
+				t.Fatalf("Prove(%d): %v", i, err)
+			}
+			entry, err := trees.VerifyProof(kind, root, proof)
+			if err != nil {
+				t.Fatalf("VerifyProof(%d): %v", i, err)
+			}
+			if !bytes.Equal(entry.Key, key(i*7)) {
+				t.Fatalf("proved key %x, want %x", entry.Key, key(i*7))
+			}
+			if string(entry.Value) != fmt.Sprintf("value-%d", i) {
+				t.Fatalf("proved value %q", entry.Value)
+			}
+		}
+	})
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		for i := uint64(0); i < 32; i++ {
+			if err := tr.Set(key(i), val("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		proof, err := tr.Prove(key(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		badRoot := hashing.Sum([]byte("not the root"))
+		if _, err := trees.VerifyProof(kind, badRoot, proof); !errors.Is(err, trie.ErrInvalidProof) {
+			t.Fatalf("want ErrInvalidProof, got %v", err)
+		}
+	})
+}
+
+// TestProofRejectsStaleProof models the replay scenario of paper Fig. 2:
+// a proof built before an update must not verify against the new root.
+func TestProofRejectsStaleProof(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		for i := uint64(0); i < 32; i++ {
+			if err := tr.Set(key(i), val("old")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		staleProof, err := tr.Prove(key(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Set(key(3), val("new")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trees.VerifyProof(kind, tr.RootHash(), staleProof); !errors.Is(err, trie.ErrInvalidProof) {
+			t.Fatalf("stale proof must not verify, got %v", err)
+		}
+	})
+}
+
+func TestProofRejectsBitFlips(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		for i := uint64(0); i < 64; i++ {
+			if err := tr.Set(key(i), val(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root := tr.RootHash()
+		proof, err := tr.Prove(key(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Any single-bit flip anywhere in the proof must either fail
+		// verification or still prove the same entry (flips in unreachable
+		// padding are impossible here since the codec is tight).
+		for pos := 0; pos < len(proof); pos++ {
+			for bit := 0; bit < 8; bit++ {
+				mutated := append([]byte{}, proof...)
+				mutated[pos] ^= 1 << bit
+				entry, err := trees.VerifyProof(kind, root, mutated)
+				if err != nil {
+					continue
+				}
+				if !bytes.Equal(entry.Key, key(17)) || string(entry.Value) != "v17" {
+					t.Fatalf("bit flip at %d/%d forged entry key=%x value=%q",
+						pos, bit, entry.Key, entry.Value)
+				}
+			}
+		}
+	})
+}
+
+func TestProofTruncationRejected(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		tr := trees.MustNew(kind, testKeyLen)
+		for i := uint64(0); i < 64; i++ {
+			if err := tr.Set(key(i), val("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root := tr.RootHash()
+		proof, err := tr.Prove(key(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(proof); cut++ {
+			if _, err := trees.VerifyProof(kind, root, proof[:cut]); err == nil {
+				t.Fatalf("truncated proof (%d bytes) must not verify", cut)
+			}
+		}
+	})
+}
+
+func TestRandomModelEquivalence(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind trie.Kind) {
+		rng := rand.New(rand.NewSource(99))
+		tr := trees.MustNew(kind, testKeyLen)
+		model := map[string]string{}
+		for op := 0; op < 5000; op++ {
+			k := key(rng.Uint64() % 256)
+			switch rng.Intn(4) {
+			case 0:
+				if err := tr.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+				delete(model, string(k))
+			case 1:
+				got, ok := tr.Get(k)
+				want, wantOK := model[string(k)]
+				if ok != wantOK || (ok && string(got) != want) {
+					t.Fatalf("op %d: Get mismatch", op)
+				}
+			default:
+				v := fmt.Sprintf("v%d", rng.Intn(10000))
+				if err := tr.Set(k, val(v)); err != nil {
+					t.Fatal(err)
+				}
+				model[string(k)] = v
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("op %d: Len %d != model %d", op, tr.Len(), len(model))
+			}
+		}
+		// Every surviving key must be provable against the final root.
+		root := tr.RootHash()
+		for k, v := range model {
+			proof, err := tr.Prove([]byte(k))
+			if err != nil {
+				t.Fatalf("Prove(%x): %v", k, err)
+			}
+			entry, err := trees.VerifyProof(kind, root, proof)
+			if err != nil || string(entry.Value) != v {
+				t.Fatalf("VerifyProof(%x): %v", k, err)
+			}
+		}
+	})
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := trees.New(trie.Kind(99), 8); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := trees.VerifyProof(trie.Kind(99), hashing.Hash{}, nil); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestTreeKindsProduceDistinctRoots(t *testing.T) {
+	// Sanity: the two tree kinds commit differently, so a proof from one
+	// cannot be confused with the other.
+	a := trees.MustNew(trie.KindMPT, testKeyLen)
+	b := trees.MustNew(trie.KindIAVL, testKeyLen)
+	for i := uint64(0); i < 16; i++ {
+		if err := a.Set(key(i), val("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Set(key(i), val("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.RootHash() == b.RootHash() {
+		t.Fatal("tree kinds must not share roots")
+	}
+}

@@ -1,0 +1,119 @@
+// Package txpool implements the pending-transaction pool of one chain node:
+// admission (signature, chain id, duplicate checks), FIFO ordering with
+// per-sender nonce sequencing, and batch selection for block proposals.
+package txpool
+
+import (
+	"errors"
+	"fmt"
+
+	"scmove/internal/hashing"
+	"scmove/internal/types"
+)
+
+// Errors returned by Add.
+var (
+	ErrDuplicate = errors.New("txpool: transaction already pending")
+	ErrPoolFull  = errors.New("txpool: pool is full")
+)
+
+// Pool holds pending transactions for one chain. It is not safe for
+// concurrent use; the owning node serializes access on its event loop.
+type Pool struct {
+	chainID hashing.ChainID
+	limit   int
+
+	queue   []*entry
+	pending map[hashing.Hash]struct{}
+}
+
+type entry struct {
+	tx     *types.Transaction
+	sender hashing.Address
+}
+
+// New returns a pool for the given chain holding at most limit transactions.
+func New(chainID hashing.ChainID, limit int) *Pool {
+	return &Pool{
+		chainID: chainID,
+		limit:   limit,
+		pending: make(map[hashing.Hash]struct{}, limit),
+	}
+}
+
+// Len returns the number of pending transactions.
+func (p *Pool) Len() int { return len(p.queue) }
+
+// Add validates and enqueues a transaction.
+func (p *Pool) Add(tx *types.Transaction) error {
+	if len(p.queue) >= p.limit {
+		return ErrPoolFull
+	}
+	if err := tx.Validate(p.chainID); err != nil {
+		return fmt.Errorf("admit tx: %w", err)
+	}
+	id := tx.ID()
+	if _, dup := p.pending[id]; dup {
+		return ErrDuplicate
+	}
+	sender, err := tx.Sender()
+	if err != nil {
+		return err
+	}
+	p.pending[id] = struct{}{}
+	p.queue = append(p.queue, &entry{tx: tx, sender: sender})
+	return nil
+}
+
+// Contains reports whether the transaction is pending.
+func (p *Pool) Contains(id hashing.Hash) bool {
+	_, ok := p.pending[id]
+	return ok
+}
+
+// NextBatch selects up to max transactions in FIFO order, respecting
+// per-sender nonce sequencing against the provided current account nonces:
+// a transaction whose nonce is not the sender's next is skipped (left in
+// the pool) so it can run in a later block.
+func (p *Pool) NextBatch(max int, nonceOf func(hashing.Address) uint64) []*types.Transaction {
+	if max <= 0 {
+		return nil
+	}
+	batch := make([]*types.Transaction, 0, max)
+	next := make(map[hashing.Address]uint64)
+	var rest []*entry
+	for i, e := range p.queue {
+		if len(batch) >= max {
+			rest = append(rest, p.queue[i:]...)
+			break
+		}
+		want, seen := next[e.sender]
+		if !seen {
+			want = nonceOf(e.sender)
+		}
+		if e.tx.Nonce != want {
+			rest = append(rest, e)
+			continue
+		}
+		batch = append(batch, e.tx)
+		next[e.sender] = want + 1
+		delete(p.pending, e.tx.ID())
+	}
+	p.queue = rest
+	return batch
+}
+
+// Remove drops a transaction (e.g. once included in a block received from a
+// peer proposer).
+func (p *Pool) Remove(id hashing.Hash) {
+	if _, ok := p.pending[id]; !ok {
+		return
+	}
+	delete(p.pending, id)
+	for i, e := range p.queue {
+		if e.tx.ID() == id {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			return
+		}
+	}
+}

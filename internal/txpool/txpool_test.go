@@ -1,0 +1,154 @@
+package txpool
+
+import (
+	"errors"
+	"testing"
+
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/types"
+)
+
+func signedTx(t *testing.T, kp *keys.KeyPair, nonce uint64) *types.Transaction {
+	t.Helper()
+	tx := &types.Transaction{
+		ChainID:  1,
+		Nonce:    nonce,
+		Kind:     types.TxCall,
+		To:       hashing.AddressFromBytes([]byte{0x01}),
+		GasLimit: 21000,
+	}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func zeroNonce(hashing.Address) uint64 { return 0 }
+
+func TestAddAndBatchFIFO(t *testing.T) {
+	p := New(1, 100)
+	k1, k2 := keys.Deterministic(1), keys.Deterministic(2)
+	tx1 := signedTx(t, k1, 0)
+	tx2 := signedTx(t, k2, 0)
+	for _, tx := range []*types.Transaction{tx1, tx2} {
+		if err := p.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	batch := p.NextBatch(10, zeroNonce)
+	if len(batch) != 2 || batch[0].ID() != tx1.ID() || batch[1].ID() != tx2.ID() {
+		t.Fatal("batch must preserve FIFO order")
+	}
+	if p.Len() != 0 {
+		t.Fatal("batch must drain the pool")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	p := New(1, 100)
+	tx := signedTx(t, keys.Deterministic(1), 0)
+	if err := p.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+}
+
+func TestWrongChainRejected(t *testing.T) {
+	p := New(2, 100)
+	tx := signedTx(t, keys.Deterministic(1), 0)
+	if err := p.Add(tx); !errors.Is(err, types.ErrTxChainID) {
+		t.Fatalf("want ErrTxChainID, got %v", err)
+	}
+}
+
+func TestPoolLimit(t *testing.T) {
+	p := New(1, 1)
+	if err := p.Add(signedTx(t, keys.Deterministic(1), 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(signedTx(t, keys.Deterministic(2), 0)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("want ErrPoolFull, got %v", err)
+	}
+}
+
+func TestNonceSequencing(t *testing.T) {
+	p := New(1, 100)
+	kp := keys.Deterministic(1)
+	// Enqueue out of order: nonce 1 then nonce 0.
+	tx1 := signedTx(t, kp, 1)
+	tx0 := signedTx(t, kp, 0)
+	if err := p.Add(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx0); err != nil {
+		t.Fatal(err)
+	}
+	batch := p.NextBatch(10, zeroNonce)
+	// tx1 is skipped on the first scan (nonce gap at scan time) because it
+	// precedes tx0 in FIFO order; tx0 runs now, tx1 next block.
+	if len(batch) != 1 || batch[0].Nonce != 0 {
+		t.Fatalf("batch = %v", batch)
+	}
+	batch = p.NextBatch(10, func(hashing.Address) uint64 { return 1 })
+	if len(batch) != 1 || batch[0].Nonce != 1 {
+		t.Fatalf("second batch = %v", batch)
+	}
+	if p.Len() != 0 {
+		t.Fatal("pool must drain")
+	}
+}
+
+func TestBatchRespectsMax(t *testing.T) {
+	p := New(1, 100)
+	kp := keys.Deterministic(1)
+	for n := uint64(0); n < 5; n++ {
+		if err := p.Add(signedTx(t, kp, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := p.NextBatch(3, zeroNonce)
+	if len(batch) != 3 {
+		t.Fatalf("batch = %d", len(batch))
+	}
+	if p.Len() != 2 {
+		t.Fatalf("left = %d", p.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := New(1, 100)
+	tx := signedTx(t, keys.Deterministic(1), 0)
+	if err := p.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	p.Remove(tx.ID())
+	if p.Len() != 0 || p.Contains(tx.ID()) {
+		t.Fatal("remove must drop the tx")
+	}
+	p.Remove(tx.ID()) // idempotent
+}
+
+func TestSequentialNoncesInOneBatch(t *testing.T) {
+	p := New(1, 100)
+	kp := keys.Deterministic(1)
+	for n := uint64(0); n < 3; n++ {
+		if err := p.Add(signedTx(t, kp, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := p.NextBatch(10, zeroNonce)
+	if len(batch) != 3 {
+		t.Fatalf("batch = %d, want full nonce run", len(batch))
+	}
+	for i, tx := range batch {
+		if tx.Nonce != uint64(i) {
+			t.Fatalf("batch order broken at %d", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+
+	"scmove/internal/hashing"
+	"scmove/internal/iavl"
+	"scmove/internal/keys"
+	"scmove/internal/mpt"
+	"scmove/internal/state"
+)
+
+// TestDecodersSurviveRandomBytes feeds random byte strings to every decoder
+// that handles untrusted input: none may panic; they must either decode or
+// return an error. (Byzantine peers control these bytes.)
+func TestDecodersSurviveRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	root := hashing.Sum([]byte("root"))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(256)
+		buf := make([]byte, n)
+		rng.Read(buf)
+
+		if tx, err := DecodeTransaction(buf); err == nil && tx != nil {
+			// Rarely decodable; if it decodes, it must re-encode.
+			_ = tx.Encode()
+		}
+		if h, err := DecodeHeader(buf); err == nil && h != nil {
+			_ = h.Hash()
+		}
+		if _, err := state.DecodeAccount(buf); err == nil {
+			continue
+		}
+		if _, err := mpt.VerifyProof(root, buf); err == nil {
+			t.Fatalf("random bytes verified as an MPT proof (len %d)", n)
+		}
+		if _, err := iavl.VerifyProof(root, buf); err == nil {
+			t.Fatalf("random bytes verified as an IAVL proof (len %d)", n)
+		}
+	}
+}
+
+// TestDecodersSurviveTruncation encodes real values and replays every
+// prefix through the decoders.
+func TestDecodersSurviveTruncation(t *testing.T) {
+	tx := &Transaction{
+		ChainID: 1, Nonce: 9, Kind: TxMove2, GasLimit: 5,
+		Move2: &Move2Payload{
+			Contract:     hashing.AddressFromBytes([]byte{1}),
+			SourceChain:  2,
+			SourceHeight: 3,
+			AccountProof: []byte{1, 2, 3, 4},
+			Code:         []byte("code"),
+			Storage:      []StorageEntry{{Key: [32]byte{1}, Value: [32]byte{2}}},
+		},
+	}
+	enc := tx.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeTransaction(enc[:cut]); err == nil {
+			t.Fatalf("truncated tx at %d decoded", cut)
+		}
+	}
+	h := &Header{ChainID: 1, Height: 2, Time: 3}
+	hEnc := h.Encode()
+	for cut := 0; cut < len(hEnc); cut++ {
+		if _, err := DecodeHeader(hEnc[:cut]); err == nil {
+			t.Fatalf("truncated header at %d decoded", cut)
+		}
+	}
+}
+
+func mustKey(t *testing.T) *keys.KeyPair {
+	t.Helper()
+	return keys.Deterministic(77)
+}
+
+// TestTransactionBitFlipsNeverForgeSignatures flips every bit of an encoded
+// signed transaction: decoding may fail, but a decoded transaction must
+// never pass signature verification with altered content.
+func TestTransactionBitFlipsNeverForgeSignatures(t *testing.T) {
+	kp := mustKey(t)
+	tx := &Transaction{ChainID: 1, Nonce: 1, Kind: TxCall, GasLimit: 5, Data: []byte("payload")}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	enc := tx.Encode()
+	origID := tx.ID()
+	for pos := 0; pos < len(enc); pos++ {
+		mutated := append([]byte{}, enc...)
+		mutated[pos] ^= 0x01
+		got, err := DecodeTransaction(mutated)
+		if err != nil {
+			continue
+		}
+		if _, err := got.Sender(); err == nil && got.ID() != origID {
+			t.Fatalf("bit flip at %d forged a valid signature for altered content", pos)
+		}
+	}
+}

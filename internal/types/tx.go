@@ -1,0 +1,250 @@
+// Package types defines the on-chain data structures shared by every
+// blockchain in the system: transactions (including the Move2 payload),
+// block headers, blocks, and execution receipts.
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"scmove/internal/codec"
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/u256"
+)
+
+// TxKind distinguishes transaction flavors.
+type TxKind uint8
+
+const (
+	// TxCall invokes a contract (or transfers value to an account). Move1
+	// is an ordinary TxCall that reaches the contract's moveTo method.
+	TxCall TxKind = iota + 1
+	// TxCreate deploys the code carried in Data.
+	TxCreate
+	// TxMove2 completes a move: it carries the Merkle proof of a contract's
+	// state on the source chain and recreates it locally (paper Alg. 1).
+	TxMove2
+)
+
+// String implements fmt.Stringer.
+func (k TxKind) String() string {
+	switch k {
+	case TxCall:
+		return "call"
+	case TxCreate:
+		return "create"
+	case TxMove2:
+		return "move2"
+	default:
+		return "unknown"
+	}
+}
+
+// StorageEntry is one storage key-value pair carried in a Move2 payload.
+type StorageEntry struct {
+	Key   evm.Word
+	Value evm.Word
+}
+
+// Move2Payload is the proof bundle of a Move2 transaction: everything the
+// target chain needs to verify V ↦ m and recreate contract c (§III-C,E).
+type Move2Payload struct {
+	// Contract is the identifier of the moved contract c.
+	Contract hashing.Address
+	// SourceChain is Bi, the chain the contract is moving from.
+	SourceChain hashing.ChainID
+	// SourceHeight is the block height whose state root the proof targets.
+	SourceHeight uint64
+	// AccountProof proves the contract's account record against the source
+	// state root m.
+	AccountProof []byte
+	// Code is the contract code; H(Code) must match the proven record.
+	Code []byte
+	// Storage is the complete storage V; the target rebuilds the storage
+	// tree and compares its root with the proven record (completeness).
+	Storage []StorageEntry
+}
+
+// Transaction is a signed message submitted to one chain.
+type Transaction struct {
+	// ChainID pins the transaction to its destination chain so it cannot be
+	// replayed on another chain.
+	ChainID hashing.ChainID
+	Nonce   uint64
+	Kind    TxKind
+	// From is the sender; Sign fills it in and Sender verifies that the
+	// signature was produced by this address.
+	From     hashing.Address
+	To       hashing.Address // ignored for TxCreate
+	Value    u256.Int
+	GasLimit uint64
+	GasPrice u256.Int
+	Data     []byte
+	Move2    *Move2Payload // only for TxMove2
+
+	Sig keys.Signature
+
+	// verifiedID caches the tx id whose signature already checked out, so
+	// pools and executors do not repeat the ECDSA verification for the same
+	// content (mutating any signed field changes the id and voids the cache).
+	verifiedID hashing.Hash
+}
+
+// Errors returned by transaction validation.
+var (
+	ErrBadTxSignature = errors.New("types: invalid transaction signature")
+	ErrTxChainID      = errors.New("types: transaction bound to another chain")
+	ErrMissingPayload = errors.New("types: move2 transaction without payload")
+)
+
+// encodeUnsigned encodes every field covered by the signature.
+func (tx *Transaction) encodeUnsigned() []byte {
+	w := codec.NewWriter(256)
+	w.WriteUvarint(uint64(tx.ChainID))
+	w.WriteUvarint(tx.Nonce)
+	w.WriteUvarint(uint64(tx.Kind))
+	w.WriteAddress(tx.From)
+	w.WriteAddress(tx.To)
+	w.WriteWord(tx.Value.Bytes32())
+	w.WriteUvarint(tx.GasLimit)
+	w.WriteWord(tx.GasPrice.Bytes32())
+	w.WriteBytes(tx.Data)
+	if tx.Move2 != nil {
+		w.WriteBool(true)
+		encodeMove2(w, tx.Move2)
+	} else {
+		w.WriteBool(false)
+	}
+	return w.Bytes()
+}
+
+func encodeMove2(w *codec.Writer, m *Move2Payload) {
+	w.WriteAddress(m.Contract)
+	w.WriteUvarint(uint64(m.SourceChain))
+	w.WriteUvarint(m.SourceHeight)
+	w.WriteBytes(m.AccountProof)
+	w.WriteBytes(m.Code)
+	w.WriteUvarint(uint64(len(m.Storage)))
+	for _, e := range m.Storage {
+		w.WriteWord(e.Key)
+		w.WriteWord(e.Value)
+	}
+}
+
+func decodeMove2(r *codec.Reader) *Move2Payload {
+	var m Move2Payload
+	m.Contract = r.ReadAddress()
+	m.SourceChain = hashing.ChainID(r.ReadUvarint())
+	m.SourceHeight = r.ReadUvarint()
+	m.AccountProof = r.ReadBytes()
+	m.Code = r.ReadBytes()
+	n := r.ReadUvarint()
+	if n > 1<<20 {
+		return nil
+	}
+	m.Storage = make([]StorageEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e StorageEntry
+		e.Key = r.ReadWord()
+		e.Value = r.ReadWord()
+		m.Storage = append(m.Storage, e)
+	}
+	return &m
+}
+
+// ID returns the transaction identifier: the hash of the unsigned encoding.
+// Signatures are excluded so the id is stable under re-signing, keeping
+// block hashes deterministic in simulations.
+func (tx *Transaction) ID() hashing.Hash {
+	return hashing.Sum(tx.encodeUnsigned())
+}
+
+// Sign sets From to the key's address and signs the transaction.
+func (tx *Transaction) Sign(kp *keys.KeyPair) error {
+	tx.From = kp.Address()
+	sig, err := kp.Sign(tx.ID())
+	if err != nil {
+		return fmt.Errorf("sign tx: %w", err)
+	}
+	tx.Sig = sig
+	tx.verifiedID = tx.ID() // freshly produced by the key for this content
+	return nil
+}
+
+// Sender verifies the signature and returns the signer's address.
+func (tx *Transaction) Sender() (hashing.Address, error) {
+	id := tx.ID()
+	if !tx.verifiedID.IsZero() && tx.verifiedID == id {
+		return tx.From, nil
+	}
+	addr, err := tx.Sig.Verify(id)
+	if err != nil {
+		return hashing.Address{}, fmt.Errorf("%w: %v", ErrBadTxSignature, err)
+	}
+	if addr != tx.From {
+		return hashing.Address{}, fmt.Errorf("%w: signer %s does not match From %s", ErrBadTxSignature, addr, tx.From)
+	}
+	tx.verifiedID = id
+	return addr, nil
+}
+
+// Validate performs stateless checks for a chain with the given id.
+func (tx *Transaction) Validate(chain hashing.ChainID) error {
+	if tx.ChainID != chain {
+		return fmt.Errorf("%w: tx for %s, chain is %s", ErrTxChainID, tx.ChainID, chain)
+	}
+	if tx.Kind == TxMove2 && tx.Move2 == nil {
+		return ErrMissingPayload
+	}
+	if _, err := tx.Sender(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Encode serializes the full signed transaction.
+func (tx *Transaction) Encode() []byte {
+	w := codec.NewWriter(320)
+	w.WriteBytes(tx.encodeUnsigned())
+	w.WriteBytes(tx.Sig.PubKey)
+	w.WriteBytes(tx.Sig.R)
+	w.WriteBytes(tx.Sig.S)
+	return w.Bytes()
+}
+
+// DecodeTransaction parses an encoded signed transaction.
+func DecodeTransaction(b []byte) (*Transaction, error) {
+	r := codec.NewReader(b)
+	unsigned := r.ReadBytes()
+	var tx Transaction
+	tx.Sig.PubKey = r.ReadBytes()
+	tx.Sig.R = r.ReadBytes()
+	tx.Sig.S = r.ReadBytes()
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("decode tx: %w", err)
+	}
+	ur := codec.NewReader(unsigned)
+	tx.ChainID = hashing.ChainID(ur.ReadUvarint())
+	tx.Nonce = ur.ReadUvarint()
+	tx.Kind = TxKind(ur.ReadUvarint())
+	tx.From = ur.ReadAddress()
+	tx.To = ur.ReadAddress()
+	val := ur.ReadWord()
+	tx.Value = u256.FromBytes(val[:])
+	tx.GasLimit = ur.ReadUvarint()
+	gp := ur.ReadWord()
+	tx.GasPrice = u256.FromBytes(gp[:])
+	tx.Data = ur.ReadBytes()
+	if ur.ReadBool() {
+		tx.Move2 = decodeMove2(ur)
+		if tx.Move2 == nil {
+			return nil, errors.New("decode tx: oversized move2 payload")
+		}
+	}
+	if err := ur.Finish(); err != nil {
+		return nil, fmt.Errorf("decode tx: %w", err)
+	}
+	return &tx, nil
+}

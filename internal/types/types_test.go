@@ -1,0 +1,189 @@
+package types
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/u256"
+)
+
+func mkTx(t *testing.T, kp *keys.KeyPair) *Transaction {
+	t.Helper()
+	tx := &Transaction{
+		ChainID:  1,
+		Nonce:    3,
+		Kind:     TxCall,
+		To:       hashing.AddressFromBytes([]byte{0xaa}),
+		Value:    u256.FromUint64(10),
+		GasLimit: 100000,
+		GasPrice: u256.FromUint64(2),
+		Data:     []byte("input"),
+	}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestTxSignAndSender(t *testing.T) {
+	kp := keys.Deterministic(1)
+	tx := mkTx(t, kp)
+	sender, err := tx.Sender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != kp.Address() {
+		t.Fatalf("sender = %s, want %s", sender, kp.Address())
+	}
+}
+
+func TestTxIDExcludesSignature(t *testing.T) {
+	kp := keys.Deterministic(1)
+	tx := mkTx(t, kp)
+	id1 := tx.ID()
+	if err := tx.Sign(kp); err != nil { // re-sign: new randomness
+		t.Fatal(err)
+	}
+	if tx.ID() != id1 {
+		t.Fatal("tx id must not depend on the signature")
+	}
+}
+
+func TestTxTamperDetected(t *testing.T) {
+	kp := keys.Deterministic(1)
+	tx := mkTx(t, kp)
+	tx.Value = u256.FromUint64(999)
+	if _, err := tx.Sender(); !errors.Is(err, ErrBadTxSignature) {
+		t.Fatalf("want ErrBadTxSignature, got %v", err)
+	}
+}
+
+func TestTxValidateChainBinding(t *testing.T) {
+	kp := keys.Deterministic(1)
+	tx := mkTx(t, kp)
+	if err := tx.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Validate(2); !errors.Is(err, ErrTxChainID) {
+		t.Fatalf("want ErrTxChainID, got %v", err)
+	}
+}
+
+func TestMove2RequiresPayload(t *testing.T) {
+	kp := keys.Deterministic(1)
+	tx := &Transaction{ChainID: 1, Kind: TxMove2, GasLimit: 1}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Validate(1); !errors.Is(err, ErrMissingPayload) {
+		t.Fatalf("want ErrMissingPayload, got %v", err)
+	}
+}
+
+func TestTxEncodeDecodeRoundTrip(t *testing.T) {
+	kp := keys.Deterministic(2)
+	tx := mkTx(t, kp)
+	tx.Kind = TxMove2
+	tx.Move2 = &Move2Payload{
+		Contract:     hashing.AddressFromBytes([]byte{0xbb}),
+		SourceChain:  9,
+		SourceHeight: 42,
+		AccountProof: []byte{1, 2, 3},
+		Code:         []byte("code"),
+		Storage: []StorageEntry{
+			{Key: evm.Word{1}, Value: evm.Word{2}},
+			{Key: evm.Word{3}, Value: evm.Word{4}},
+		},
+	}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTransaction(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != tx.ID() {
+		t.Fatal("round trip must preserve the id")
+	}
+	if got.Move2 == nil || got.Move2.SourceHeight != 42 || len(got.Move2.Storage) != 2 {
+		t.Fatalf("payload lost: %+v", got.Move2)
+	}
+	if !bytes.Equal(got.Move2.Code, []byte("code")) {
+		t.Fatal("code lost")
+	}
+	if _, err := got.Sender(); err != nil {
+		t.Fatalf("decoded signature must verify: %v", err)
+	}
+}
+
+func TestDecodeTransactionRejectsGarbage(t *testing.T) {
+	if _, err := DecodeTransaction([]byte{0xff, 0x01}); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
+
+func TestHeaderRoundTripAndHash(t *testing.T) {
+	h := &Header{
+		ChainID:    2,
+		Height:     7,
+		ParentHash: hashing.Sum([]byte("parent")),
+		StateRoot:  hashing.Sum([]byte("state")),
+		TxRoot:     hashing.Sum([]byte("txs")),
+		Time:       1234,
+		Proposer:   hashing.AddressFromBytes([]byte{0x01}),
+		GasUsed:    5,
+		GasLimit:   10,
+		Difficulty: u256.FromUint64(1000),
+		Nonce:      77,
+	}
+	got, err := DecodeHeader(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *h {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	if got.Hash() != h.Hash() {
+		t.Fatal("hashes must match")
+	}
+	got.Height++
+	if got.Hash() == h.Hash() {
+		t.Fatal("distinct headers must hash differently")
+	}
+}
+
+func TestTxRootSensitiveToOrderAndContent(t *testing.T) {
+	kp := keys.Deterministic(3)
+	tx1 := mkTx(t, kp)
+	tx2 := mkTx(t, kp)
+	tx2.Nonce = 4
+	if err := tx2.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	r12 := TxRoot([]*Transaction{tx1, tx2})
+	r21 := TxRoot([]*Transaction{tx2, tx1})
+	if r12 == r21 {
+		t.Fatal("tx root must be order-sensitive")
+	}
+	if TxRoot(nil) == r12 {
+		t.Fatal("empty root must differ")
+	}
+	if TxRoot(nil) != TxRoot([]*Transaction{}) {
+		t.Fatal("nil and empty lists must agree")
+	}
+}
+
+func TestReceiptSucceeded(t *testing.T) {
+	r := Receipt{Status: ReceiptSuccess}
+	if !r.Succeeded() {
+		t.Fatal("success receipt")
+	}
+	r.Status = ReceiptFailed
+	if r.Succeeded() {
+		t.Fatal("failed receipt")
+	}
+}

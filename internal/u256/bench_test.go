@@ -1,0 +1,56 @@
+package u256
+
+import "testing"
+
+var benchSink Int
+
+func benchOperands() (Int, Int) {
+	a := MustFromHex("0xfedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210")
+	b := MustFromHex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	return a, b
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := benchOperands()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Add(y)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := benchOperands()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Mul(y)
+	}
+}
+
+func BenchmarkDiv(b *testing.B) {
+	x, y := benchOperands()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Div(y)
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	x := FromUint64(3)
+	y := FromUint64(255)
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Exp(y)
+	}
+}
+
+func BenchmarkShl(b *testing.B) {
+	x, _ := benchOperands()
+	n := FromUint64(127)
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Shl(n)
+	}
+}
+
+func BenchmarkBytes32RoundTrip(b *testing.B) {
+	x, _ := benchOperands()
+	for i := 0; i < b.N; i++ {
+		buf := x.Bytes32()
+		benchSink = FromBytes(buf[:])
+	}
+}

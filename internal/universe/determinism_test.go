@@ -1,0 +1,52 @@
+package universe
+
+import (
+	"testing"
+	"time"
+
+	"scmove/internal/contracts"
+	"scmove/internal/hashing"
+	"scmove/internal/u256"
+)
+
+// TestUniverseDeterminism runs the same configuration twice and compares
+// block hashes on both chains: simulations must be reproducible
+// bit-for-bit (DESIGN.md §5.5), which is what makes every experiment in
+// EXPERIMENTS.md re-runnable.
+func TestUniverseDeterminism(t *testing.T) {
+	run := func() []hashing.Hash {
+		u, err := New(DefaultConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Start()
+		cl := u.Client(0)
+		store, err := u.MustDeploy(cl, u.Chain(2), contracts.StoreName,
+			contracts.StoreConstructorArgs(cl.Address(), 5), u256.Zero(), time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u.MoveAndWait(cl, 2, 1, store, 10*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		u.Run(time.Minute)
+		var hashes []hashing.Hash
+		for _, id := range u.ChainIDs() {
+			c := u.Chain(id)
+			for h := uint64(0); h <= c.Head().Height; h++ {
+				hdr, _ := c.HeaderAt(h)
+				hashes = append(hashes, hdr.Hash())
+			}
+		}
+		return hashes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in block count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("block %d differs between identical runs", i)
+		}
+	}
+}

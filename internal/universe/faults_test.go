@@ -1,0 +1,106 @@
+package universe
+
+import (
+	"testing"
+	"time"
+
+	"scmove/internal/contracts"
+	"scmove/internal/core"
+	"scmove/internal/hashing"
+	"scmove/internal/relay"
+	"scmove/internal/u256"
+)
+
+// TestMoveSurvivesValidatorCrashes injects f crash faults into the BFT
+// chain's validator set mid-experiment: the chain keeps committing (2f+1
+// quorum) and a full cross-chain move still completes.
+func TestMoveSurvivesValidatorCrashes(t *testing.T) {
+	u := newIBCUniverse(t, 1)
+	cl := u.Client(0)
+	bur := u.Chain(2)
+
+	store, err := u.MustDeploy(cl, bur, contracts.StoreName,
+		contracts.StoreConstructorArgs(cl.Address(), 5), u256.Zero(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash f = 3 of the 10 Burrow validators.
+	cluster := u.bft[0].Cluster
+	cluster.CrashValidator(2)
+	cluster.CrashValidator(5)
+	cluster.CrashValidator(8)
+
+	res, err := u.MoveAndWait(cl, 2, 1, store, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("move must survive f crash faults: %v", err)
+	}
+	if u.Chain(1).StateDB().GetLocation(store) != 1 {
+		t.Fatal("contract must arrive despite the faults")
+	}
+	// The crashed validators may slow rounds (timeouts on their proposer
+	// slots) but not by orders of magnitude.
+	if res.Total() > 5*time.Minute {
+		t.Errorf("move took %v under f faults", res.Total())
+	}
+}
+
+// TestHeaderRelayDelayPostponesMove2 stretches the header relay latency:
+// the move still completes, later, because the target's light client learns
+// about source headers late — confirming the relayer is gated by VS, not by
+// wall-clock guesses.
+func TestHeaderRelayDelayPostponesMove2(t *testing.T) {
+	run := func(relayDelay time.Duration) time.Duration {
+		cfg := DefaultConfig(1)
+		cfg.RelayDelay = relayDelay
+		u, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Start()
+		cl := u.Client(0)
+		store, err := u.MustDeploy(cl, u.Chain(2), contracts.StoreName,
+			contracts.StoreConstructorArgs(cl.Address(), 1), u256.Zero(), time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := u.MoveAndWait(cl, 2, 1, store, 20*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WaitProofLatency()
+	}
+	fast := run(50 * time.Millisecond)
+	slow := run(30 * time.Second)
+	if slow < fast+20*time.Second {
+		t.Errorf("a 30 s header relay must visibly delay Move2: fast=%v slow=%v", fast, slow)
+	}
+}
+
+// TestConcurrentMovesInterleave runs several moves in both directions at
+// once: all complete, none interferes with another.
+func TestConcurrentMovesInterleave(t *testing.T) {
+	u := newIBCUniverse(t, 6)
+	var done int
+	for i := 0; i < 6; i++ {
+		i := i
+		cl := u.Client(i)
+		from, to := hashing.ChainID(2), hashing.ChainID(1)
+		if i%2 == 1 {
+			from, to = to, from
+		}
+		store, err := u.MustDeploy(cl, u.Chain(from), contracts.StoreName,
+			contracts.StoreConstructorArgs(cl.Address(), uint64(i+1)), u256.Zero(), 3*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Mover(from, to).Move(cl, store, core.MoveToInput(to), func(r *relay.MoveResult) {
+			if r.Err != nil {
+				t.Errorf("move %d: %v", i, r.Err)
+			}
+			done++
+		})
+	}
+	if !u.RunUntil(func() bool { return done == 6 }, 30*time.Minute) {
+		t.Fatalf("only %d of 6 moves completed", done)
+	}
+}

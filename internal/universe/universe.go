@@ -1,0 +1,377 @@
+// Package universe wires complete multi-blockchain simulations: chains with
+// their consensus drivers (BFT validator clusters or PoW producers) on a
+// shared discrete-event scheduler and simulated WAN, bidirectional header
+// relays, the native contract registry, and funded clients. The experiment
+// harnesses, examples, and end-to-end tests all build on it.
+package universe
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scmove/internal/chain"
+	"scmove/internal/contracts"
+	"scmove/internal/core"
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/relay"
+	"scmove/internal/simclock"
+	"scmove/internal/simnet"
+	"scmove/internal/state"
+	"scmove/internal/tendermint"
+	"scmove/internal/trie"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+)
+
+// ConsensusKind selects a chain's consensus driver.
+type ConsensusKind uint8
+
+// Supported consensus drivers.
+const (
+	// ConsensusBFT is the Tendermint-like validator cluster (Burrow).
+	ConsensusBFT ConsensusKind = iota + 1
+	// ConsensusPoW is the exponential-interval block producer (Ethereum).
+	ConsensusPoW
+)
+
+// ChainSpec describes one chain of the universe.
+type ChainSpec struct {
+	Config    chain.Config
+	Consensus ConsensusKind
+	// Validators is the cluster size for BFT (the paper runs 10 per shard)
+	// or the miner count for PoW.
+	Validators int
+	// Seed makes the chain's consensus timing reproducible.
+	Seed int64
+}
+
+// BurrowSpec returns the paper's Burrow shard configuration (§VI): IAVL
+// state, Burrow gas schedule, 10 validators, 5 s blocks, lagging state
+// root, p = 2.
+func BurrowSpec(id hashing.ChainID, registry *evm.Registry, seed int64) ChainSpec {
+	return ChainSpec{
+		Config: chain.Config{
+			ChainID:           id,
+			TreeKind:          trie.KindIAVL,
+			Schedule:          evm.BurrowSchedule(),
+			BlockGasLimit:     100_000_000,
+			MaxBlockTxs:       500,
+			LaggingStateRoot:  true,
+			BlockInterval:     5 * time.Second,
+			ConfirmationDepth: 2,
+			Natives:           registry,
+			PoolLimit:         100_000,
+		},
+		Consensus:  ConsensusBFT,
+		Validators: 10,
+		Seed:       seed,
+	}
+}
+
+// EthereumSpec returns the paper's Ethereum configuration (§VI): MPT state,
+// Ethereum gas schedule, 15 s expected blocks, p = 6.
+func EthereumSpec(id hashing.ChainID, registry *evm.Registry, seed int64) ChainSpec {
+	return ChainSpec{
+		Config: chain.Config{
+			ChainID:           id,
+			TreeKind:          trie.KindMPT,
+			Schedule:          evm.EthereumSchedule(),
+			BlockGasLimit:     100_000_000,
+			MaxBlockTxs:       500,
+			BlockInterval:     15 * time.Second,
+			ConfirmationDepth: 6,
+			Natives:           registry,
+			PoolLimit:         100_000,
+		},
+		Consensus:  ConsensusPoW,
+		Validators: 4,
+		Seed:       seed,
+	}
+}
+
+// Config describes a universe.
+type Config struct {
+	Specs []ChainSpec
+	// Clients is the number of pre-funded client key pairs.
+	Clients int
+	// ClientFunds is each client's genesis balance on every chain.
+	ClientFunds u256.Int
+	// SubmitDelay is the client-to-chain submission latency.
+	SubmitDelay time.Duration
+	// RelayDelay is the header relay latency between chains.
+	RelayDelay time.Duration
+	// NetSeed seeds the WAN jitter and message timing.
+	NetSeed int64
+	// ExtraGenesis, if set, runs per chain after client funding — used to
+	// pre-deploy shared contracts (token factories, game registries) at the
+	// same address on every shard.
+	ExtraGenesis func(id hashing.ChainID, db *state.DB)
+}
+
+// DefaultConfig returns a two-chain (Ethereum + Burrow) universe matching
+// the paper's IBC deployment, with the standard contract registry.
+func DefaultConfig(clients int) Config {
+	registry := contracts.NewRegistry()
+	return Config{
+		Specs: []ChainSpec{
+			EthereumSpec(1, registry, 42),
+			BurrowSpec(2, registry, 43),
+		},
+		Clients:     clients,
+		ClientFunds: u256.FromUint64(1 << 60),
+		SubmitDelay: 50 * time.Millisecond,
+		RelayDelay:  50 * time.Millisecond,
+		NetSeed:     7,
+	}
+}
+
+// ShardedConfig returns an S-shard Burrow deployment (the sharding
+// experiments of §VII: 10 validators per shard, 5 s blocks, p=2) with the
+// given number of pre-funded clients.
+func ShardedConfig(shards, clients int) Config {
+	registry := contracts.NewRegistry()
+	cfg := Config{
+		Clients:     clients,
+		ClientFunds: u256.FromUint64(1 << 60),
+		SubmitDelay: 50 * time.Millisecond,
+		RelayDelay:  50 * time.Millisecond,
+		NetSeed:     7,
+	}
+	for s := 0; s < shards; s++ {
+		cfg.Specs = append(cfg.Specs, BurrowSpec(hashing.ChainID(s+1), registry, int64(100+s)))
+	}
+	return cfg
+}
+
+// ClientKey returns the deterministic key pair of the i-th universe client;
+// genesis allocations and workloads use it to know client addresses before
+// the universe exists.
+func ClientKey(i int) *keys.KeyPair { return keys.Deterministic(uint64(1000 + i)) }
+
+// Universe is a running multi-chain simulation.
+type Universe struct {
+	Sched *simclock.Scheduler
+	Net   *simnet.Network
+
+	chains  map[hashing.ChainID]*chain.Chain
+	order   []hashing.ChainID
+	bft     []*chain.BFTNode
+	pow     []*chain.PoWNode
+	clients []*relay.Client
+}
+
+// New builds a universe; call Start to begin block production.
+func New(cfg Config) (*Universe, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, errors.New("universe: no chains configured")
+	}
+	sched := simclock.New()
+	net := simnet.New(sched, simnet.Config{JitterFrac: 0.1, Seed: cfg.NetSeed})
+	u := &Universe{
+		Sched:  sched,
+		Net:    net,
+		chains: make(map[hashing.ChainID]*chain.Chain, len(cfg.Specs)),
+	}
+
+	// Clients, funded on every chain.
+	clientKeys := make([]*keys.KeyPair, cfg.Clients)
+	for i := range clientKeys {
+		clientKeys[i] = ClientKey(i)
+		u.clients = append(u.clients, relay.NewClient(clientKeys[i], sched, cfg.SubmitDelay))
+	}
+	genesisFor := func(id hashing.ChainID) func(db *state.DB) {
+		return func(db *state.DB) {
+			for _, kp := range clientKeys {
+				db.AddBalance(kp.Address(), cfg.ClientFunds)
+			}
+			if cfg.ExtraGenesis != nil {
+				cfg.ExtraGenesis(id, db)
+			}
+		}
+	}
+
+	// Every chain knows every other chain's parameters (§IV-A).
+	params := make([]core.ChainParams, 0, len(cfg.Specs))
+	for _, spec := range cfg.Specs {
+		params = append(params, spec.Config.Params())
+	}
+
+	var nextNodeID simnet.NodeID = 1
+	for _, spec := range cfg.Specs {
+		c, err := chain.New(spec.Config, core.NewHeaderStore(params...), genesisFor(spec.Config.ChainID))
+		if err != nil {
+			return nil, fmt.Errorf("universe: %w", err)
+		}
+		u.chains[spec.Config.ChainID] = c
+		u.order = append(u.order, spec.Config.ChainID)
+
+		switch spec.Consensus {
+		case ConsensusBFT:
+			n := spec.Validators
+			ids := make([]simnet.NodeID, n)
+			regions := make([]simnet.Region, n)
+			for i := 0; i < n; i++ {
+				ids[i] = nextNodeID
+				nextNodeID++
+				regions[i] = simnet.Region((int(spec.Seed) + i) % simnet.RegionCount)
+			}
+			tmCfg := tendermint.DefaultConfig()
+			tmCfg.Interval = spec.Config.BlockInterval
+			node, err := chain.NewBFTNode(sched, net, c, tmCfg, ids, regions)
+			if err != nil {
+				return nil, fmt.Errorf("universe: %w", err)
+			}
+			u.bft = append(u.bft, node)
+		case ConsensusPoW:
+			u.pow = append(u.pow, chain.NewPoWNode(sched, c, spec.Seed, spec.Validators))
+		default:
+			return nil, fmt.Errorf("universe: unknown consensus kind %d", spec.Consensus)
+		}
+	}
+
+	// Bidirectional header relays between every pair.
+	for _, a := range u.order {
+		for _, b := range u.order {
+			if a != b {
+				chain.ConnectHeaderRelay(sched, u.chains[a], u.chains[b], cfg.RelayDelay)
+			}
+		}
+	}
+	return u, nil
+}
+
+// Start launches every chain's consensus.
+func (u *Universe) Start() {
+	for _, n := range u.bft {
+		n.Start()
+	}
+	for _, n := range u.pow {
+		n.Start()
+	}
+}
+
+// Chain returns a chain by id.
+func (u *Universe) Chain(id hashing.ChainID) *chain.Chain { return u.chains[id] }
+
+// ChainIDs returns the chain ids in configuration order.
+func (u *Universe) ChainIDs() []hashing.ChainID {
+	out := make([]hashing.ChainID, len(u.order))
+	copy(out, u.order)
+	return out
+}
+
+// Client returns the i-th pre-funded client.
+func (u *Universe) Client(i int) *relay.Client { return u.clients[i] }
+
+// Mover returns a mover from src to dst.
+func (u *Universe) Mover(src, dst hashing.ChainID) *relay.Mover {
+	return relay.NewMover(u.Sched, u.chains[src], u.chains[dst])
+}
+
+// Run advances the simulation by d.
+func (u *Universe) Run(d time.Duration) {
+	u.Sched.RunUntil(u.Sched.Now() + d)
+}
+
+// RunUntil advances the simulation until cond holds or the timeout elapses,
+// returning whether cond held.
+func (u *Universe) RunUntil(cond func() bool, timeout time.Duration) bool {
+	deadline := u.Sched.Now() + timeout
+	for u.Sched.Now() < deadline {
+		if cond() {
+			return true
+		}
+		u.Sched.RunUntil(u.Sched.Now() + 100*time.Millisecond)
+	}
+	return cond()
+}
+
+// ErrTxTimeout reports a transaction that did not commit in time.
+var ErrTxTimeout = errors.New("universe: transaction did not commit in time")
+
+// WaitTx advances the simulation until the transaction executes on c,
+// returning its receipt.
+func (u *Universe) WaitTx(c *chain.Chain, id hashing.Hash, timeout time.Duration) (*types.Receipt, error) {
+	ok := u.RunUntil(func() bool {
+		_, found := c.Receipt(id)
+		return found
+	}, timeout)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrTxTimeout, id, c.ChainID())
+	}
+	rec, _ := c.Receipt(id)
+	return rec, nil
+}
+
+// MustDeploy deploys a native contract via the client and runs the
+// simulation until it commits, returning the address.
+func (u *Universe) MustDeploy(cl *relay.Client, c *chain.Chain, name string, args []byte,
+	value u256.Int, timeout time.Duration) (hashing.Address, error) {
+	txid, err := cl.Create(c, evm.NativeDeployment(name, args), value)
+	if err != nil {
+		return hashing.Address{}, err
+	}
+	rec, err := u.WaitTx(c, txid, timeout)
+	if err != nil {
+		return hashing.Address{}, err
+	}
+	if !rec.Succeeded() {
+		return hashing.Address{}, fmt.Errorf("universe: deploy %s: %s", name, rec.Err)
+	}
+	return rec.Created, nil
+}
+
+// MustCall submits a call via the client and runs the simulation until it
+// commits, returning the receipt.
+func (u *Universe) MustCall(cl *relay.Client, c *chain.Chain, to hashing.Address,
+	data []byte, value u256.Int, timeout time.Duration) (*types.Receipt, error) {
+	txid, err := cl.Call(c, to, data, value)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := u.WaitTx(c, txid, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if !rec.Succeeded() {
+		return nil, fmt.Errorf("universe: call failed: %s", rec.Err)
+	}
+	return rec, nil
+}
+
+// CompleteAndWait finishes a move whose Move1 already executed and blocks
+// (in simulated time) until Move2 commits.
+func (u *Universe) CompleteAndWait(cl *relay.Client, src, dst hashing.ChainID,
+	contract hashing.Address, timeout time.Duration) (*relay.MoveResult, error) {
+	var result *relay.MoveResult
+	u.Mover(src, dst).Complete(cl, contract, func(r *relay.MoveResult) {
+		result = r
+	})
+	if !u.RunUntil(func() bool { return result != nil }, timeout) {
+		return nil, fmt.Errorf("%w: completion of %s", ErrTxTimeout, contract)
+	}
+	if result.Err != nil {
+		return result, result.Err
+	}
+	return result, nil
+}
+
+// MoveAndWait runs a full contract move and blocks (in simulated time)
+// until it finishes.
+func (u *Universe) MoveAndWait(cl *relay.Client, src, dst hashing.ChainID,
+	contract hashing.Address, timeout time.Duration) (*relay.MoveResult, error) {
+	var result *relay.MoveResult
+	u.Mover(src, dst).Move(cl, contract, core.MoveToInput(dst), func(r *relay.MoveResult) {
+		result = r
+	})
+	if !u.RunUntil(func() bool { return result != nil }, timeout) {
+		return nil, fmt.Errorf("%w: move of %s", ErrTxTimeout, contract)
+	}
+	if result.Err != nil {
+		return result, result.Err
+	}
+	return result, nil
+}

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"scmove/internal/contracts"
+	"scmove/internal/core"
+	"scmove/internal/hashing"
+	"scmove/internal/metrics"
+	"scmove/internal/relay"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+	"scmove/internal/universe"
+)
+
+// RebalanceConfig parameterizes the load-balancing extension: the paper's
+// conclusion names "decentralized load balancing smart contracts for
+// sharded blockchains" as the natural next step on top of the Move
+// primitive (§X); this workload implements and measures a centralized
+// version of that policy.
+type RebalanceConfig struct {
+	Shards int
+	// Contracts are deployed (all on shard 1, the hot spot) and hammered by
+	// one closed-loop client each.
+	Contracts int
+	// Interval is how often the rebalancer inspects shard load.
+	Interval time.Duration
+	// Duration is the measured window.
+	Duration time.Duration
+	// Enabled turns the rebalancer on; with it off the run is the
+	// hot-shard baseline.
+	Enabled bool
+	Seed    int64
+	// ShardCapacity models the per-block execution budget (as in the
+	// kitties replay).
+	ShardCapacity int
+}
+
+// DefaultRebalanceConfig returns the demo configuration.
+func DefaultRebalanceConfig(shards int, enabled bool) RebalanceConfig {
+	return RebalanceConfig{
+		Shards:    shards,
+		Contracts: 120,
+		Interval:  30 * time.Second,
+		Duration:  6 * time.Minute,
+		Enabled:   enabled,
+		Seed:      21,
+		// Low per-block capacity makes the single hot shard the bottleneck
+		// (the §IV-B congestion scenario); spreading contracts then pays.
+		ShardCapacity: 60,
+	}
+}
+
+// RebalanceResult reports the run.
+type RebalanceResult struct {
+	Config RebalanceConfig
+	// Throughput is committed successful txs/s over the window.
+	Throughput float64
+	// Timeline shows throughput recovering as contracts spread out.
+	Timeline *metrics.Timeline
+	// MovesIssued counts rebalancing migrations.
+	MovesIssued int
+	// FinalDistribution is the contract count per shard at the end.
+	FinalDistribution map[hashing.ChainID]int
+}
+
+// rebalanceState tracks one managed contract.
+type rebalanceContract struct {
+	addr   hashing.Address
+	shard  hashing.ChainID
+	moving bool
+	owner  *relay.Client
+}
+
+// RunRebalance measures a hot shard with and without Move-based load
+// balancing: all contracts start on shard 1; the rebalancer migrates
+// contracts from the most- to the least-loaded shard every Interval.
+func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
+	if cfg.Shards < 2 {
+		return nil, fmt.Errorf("workload: rebalancing needs at least two shards")
+	}
+	ucfg := universe.ShardedConfig(cfg.Shards, cfg.Contracts+1)
+	for i := range ucfg.Specs {
+		ucfg.Specs[i].Config.MaxBlockTxs = cfg.ShardCapacity
+	}
+	u, err := universe.New(ucfg)
+	if err != nil {
+		return nil, err
+	}
+	u.Start()
+
+	res := &RebalanceResult{
+		Config:            cfg,
+		Timeline:          metrics.NewTimeline(30 * time.Second),
+		FinalDistribution: make(map[hashing.ChainID]int),
+	}
+
+	// Deploy every contract on shard 1 (the congestion scenario of §IV-B:
+	// "as shards get congested and fees increase, users are tempted to
+	// move their contracts to underused shards").
+	cts := make([]*rebalanceContract, cfg.Contracts)
+	hot := u.Chain(1)
+	for i := range cts {
+		cl := u.Client(i)
+		addr, err := u.MustDeploy(cl, hot, contracts.StoreName,
+			contracts.StoreConstructorArgs(cl.Address(), 1), u256.Zero(), 20*time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		cts[i] = &rebalanceContract{addr: addr, shard: 1, owner: cl}
+	}
+
+	startAt := u.Sched.Now()
+	endAt := startAt + cfg.Duration
+	for s := 0; s < cfg.Shards; s++ {
+		c := u.Chain(hashing.ChainID(s + 1))
+		c.OnBlock(func(_ *types.Block, receipts []*types.Receipt) {
+			now := u.Sched.Now()
+			if now < startAt || now > endAt {
+				return
+			}
+			good := 0
+			for _, rec := range receipts {
+				if rec.Succeeded() {
+					good++
+				}
+			}
+			res.Timeline.Record(now-startAt, good)
+		})
+	}
+
+	// Closed-loop writers, one per contract.
+	var drive func(ct *rebalanceContract, i uint64)
+	drive = func(ct *rebalanceContract, i uint64) {
+		if u.Sched.Now() >= endAt {
+			return
+		}
+		if ct.moving {
+			u.Sched.After(time.Second, func() { drive(ct, i) })
+			return
+		}
+		c := u.Chain(ct.shard)
+		var v [32]byte
+		v[31] = byte(i%250) + 1
+		txid, err := ct.owner.Call(c, ct.addr,
+			contracts.EncodeCall("set", contracts.ArgUint(0), contracts.ArgWord(v)), u256.Zero())
+		if err != nil {
+			return
+		}
+		c.NotifyTx(txid, func(*types.Receipt, *types.Block) { drive(ct, i+1) })
+	}
+	for _, ct := range cts {
+		drive(ct, 0)
+	}
+
+	// The rebalancer: every Interval, move one batch of contracts from the
+	// most-loaded shard to the least-loaded one.
+	if cfg.Enabled {
+		var tick func()
+		tick = func() {
+			if u.Sched.Now() >= endAt {
+				return
+			}
+			counts := make(map[hashing.ChainID]int, cfg.Shards)
+			for _, ct := range cts {
+				counts[ct.shard]++
+			}
+			hotID, coldID := hashing.ChainID(1), hashing.ChainID(1)
+			for s := 0; s < cfg.Shards; s++ {
+				id := hashing.ChainID(s + 1)
+				if counts[id] > counts[hotID] {
+					hotID = id
+				}
+				if counts[id] < counts[coldID] {
+					coldID = id
+				}
+			}
+			// Move enough contracts to halve the imbalance, a few at a time.
+			quota := (counts[hotID] - counts[coldID]) / 2
+			if quota > 16 {
+				quota = 16
+			}
+			for _, ct := range cts {
+				if quota == 0 {
+					break
+				}
+				if ct.shard != hotID || ct.moving {
+					continue
+				}
+				quota--
+				ct.moving = true
+				dst := coldID
+				res.MovesIssued++
+				u.Mover(ct.shard, dst).Move(ct.owner, ct.addr, core.MoveToInput(dst),
+					func(r *relay.MoveResult) {
+						ct.moving = false
+						if r.Err == nil {
+							ct.shard = dst
+						}
+					})
+			}
+			u.Sched.After(cfg.Interval, tick)
+		}
+		u.Sched.After(cfg.Interval, tick)
+	}
+
+	u.RunUntil(func() bool { return u.Sched.Now() >= endAt+time.Minute }, cfg.Duration+20*time.Minute)
+	res.Throughput = float64(res.Timeline.Total()) / cfg.Duration.Seconds()
+	for _, ct := range cts {
+		res.FinalDistribution[ct.shard]++
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+// Package scmove is a Go implementation of the Move protocol from
+// "Smart Contracts on the Move" (Fynn, Bessani, Pedone — DSN 2020): a
+// primitive that lets smart contracts and accounts migrate consistently
+// between blockchains, enabling both interoperability and sharding.
+//
+// The package is the public facade over the full stack implemented in the
+// internal packages:
+//
+//   - an EVM-compatible execution layer with the OP_MOVE opcode and a
+//     yellow-paper gas schedule (internal/evm),
+//   - journaled world state with per-account location (Lc) and move-nonce
+//     fields committed into authenticated state trees — a Merkle Patricia
+//     trie for the Ethereum-like chain, a canonical Merkle search tree for
+//     the Burrow-like chain (internal/state, internal/mpt, internal/iavl),
+//   - the Move protocol itself: Move1 locking, Merkle proof construction,
+//     Move2 verification with completeness and replay protection
+//     (internal/core),
+//   - two chain substrates with real consensus dynamics — a Tendermint-like
+//     BFT validator cluster and a simulated-PoW chain — over a discrete-
+//     event WAN simulator (internal/tendermint, internal/pow,
+//     internal/simnet, internal/simclock),
+//   - a movable-contract standard library: the Listing-1 pattern, the
+//     SCoin/SAccount scalable token, ScalableKitties, the Fig.-3 currency
+//     relay (internal/contracts),
+//   - the paper's workloads and every figure's regenerator
+//     (internal/workload, internal/bench).
+//
+// # Quick start
+//
+//	u, err := scmove.NewUniverse(scmove.TwoChainConfig(1))
+//	// deploy a movable contract on the Burrow-like chain (id 2) ...
+//	// ... and move it to the Ethereum-like chain (id 1):
+//	res, err := u.MoveAndWait(u.Client(0), 2, 1, contractAddr, timeout)
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory and experiment index.
+package scmove
+
+import (
+	"scmove/internal/bench"
+	"scmove/internal/contracts"
+	"scmove/internal/core"
+	"scmove/internal/hashing"
+	"scmove/internal/relay"
+	"scmove/internal/universe"
+)
+
+// Core protocol and simulation types.
+type (
+	// Universe is a running multi-blockchain simulation.
+	Universe = universe.Universe
+	// UniverseConfig describes the chains, clients and wiring.
+	UniverseConfig = universe.Config
+	// ChainSpec describes one chain (consensus kind, gas schedule, p, ...).
+	ChainSpec = universe.ChainSpec
+	// Client signs and submits transactions with per-chain nonce tracking.
+	Client = relay.Client
+	// Mover orchestrates Move1 → proof → wait → Move2 across two chains.
+	Mover = relay.Mover
+	// MoveResult carries the per-phase latency and gas of one move.
+	MoveResult = relay.MoveResult
+	// ChainID identifies a blockchain.
+	ChainID = hashing.ChainID
+	// Address identifies an account or contract on any chain.
+	Address = hashing.Address
+	// ChainParams are the interoperability parameters of §IV-A.
+	ChainParams = core.ChainParams
+)
+
+// NewUniverse builds a multi-chain simulation; call Start on the result (or
+// use the Run helpers, which drive the discrete-event clock).
+func NewUniverse(cfg UniverseConfig) (*Universe, error) {
+	u, err := universe.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	u.Start()
+	return u, nil
+}
+
+// TwoChainConfig returns the paper's IBC deployment: chain 1 is the
+// Ethereum-like PoW chain (15 s blocks, p = 6, MPT state), chain 2 the
+// Burrow-like BFT chain (10 validators, 5 s blocks, p = 2, IAVL state),
+// with the movable contract standard library registered and the given
+// number of pre-funded clients.
+func TwoChainConfig(clients int) UniverseConfig {
+	return universe.DefaultConfig(clients)
+}
+
+// ShardedConfig returns an n-shard Burrow-like deployment (the sharding
+// experiments of §VII).
+func ShardedConfig(shards, clients int) UniverseConfig {
+	return universe.ShardedConfig(shards, clients)
+}
+
+// MoveToInput builds the standard moveTo(·) calldata for moving a contract
+// of the standard library to the target chain.
+func MoveToInput(target ChainID) []byte { return core.MoveToInput(target) }
+
+// Contract standard library handles.
+const (
+	// StoreContract is a movable contract with N 32-byte state variables.
+	StoreContract = contracts.StoreName
+	// SCoinContract is the scalable token factory of Listing 2.
+	SCoinContract = contracts.SCoinName
+	// SAccountContract is one user's movable token account.
+	SAccountContract = contracts.SAccountName
+	// KittiesContract is the ScalableKitties game registry.
+	KittiesContract = contracts.KittyRegistryName
+	// TokenRelayContract implements the Fig.-3 currency pegging relay.
+	TokenRelayContract = contracts.TokenRelayName
+)
+
+// Experiment regenerators (see EXPERIMENTS.md).
+var (
+	// RunFig5 regenerates the sharded ScalableKitties throughput figure.
+	RunFig5 = bench.RunFig5
+	// RunFig6 regenerates the SCoin cross-shard throughput figure.
+	RunFig6 = bench.RunFig6
+	// RunFig7 regenerates the latency CDFs (retries selects the panel).
+	RunFig7 = bench.RunFig7
+	// RunFig8And9 regenerates the IBC latency and gas figures.
+	RunFig8And9 = bench.RunFig8And9
+)

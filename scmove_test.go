@@ -1,0 +1,59 @@
+package scmove
+
+import (
+	"testing"
+	"time"
+
+	"scmove/internal/contracts"
+	"scmove/internal/core"
+	"scmove/internal/u256"
+)
+
+// TestFacadeQuickstart exercises the README's quick-start path through the
+// public facade only.
+func TestFacadeQuickstart(t *testing.T) {
+	u, err := NewUniverse(TwoChainConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := u.Client(0)
+	store, err := u.MustDeploy(client, u.Chain(2), StoreContract,
+		contracts.StoreConstructorArgs(client.Address(), 10), u256.Zero(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.MoveAndWait(client, 2, 1, store, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() <= 0 {
+		t.Fatal("move must take simulated time")
+	}
+	if u.Chain(1).StateDB().GetLocation(store) != 1 {
+		t.Fatal("contract must arrive on chain 1")
+	}
+}
+
+func TestFacadeShardedConfig(t *testing.T) {
+	cfg := ShardedConfig(3, 2)
+	if len(cfg.Specs) != 3 {
+		t.Fatalf("specs = %d", len(cfg.Specs))
+	}
+	u, err := NewUniverse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Run(30 * time.Second)
+	for _, id := range u.ChainIDs() {
+		if u.Chain(id).Head().Height == 0 {
+			t.Fatalf("shard %s produced no blocks", id)
+		}
+	}
+}
+
+func TestFacadeMoveToInput(t *testing.T) {
+	input := MoveToInput(ChainID(5))
+	if target, ok := core.ParseMoveToInput(input); !ok || target != 5 {
+		t.Fatal("MoveToInput must round-trip through the protocol parser")
+	}
+}
