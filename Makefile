@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/movebench -experiment all -scale 0.08

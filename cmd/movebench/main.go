@@ -2,11 +2,15 @@
 //
 // Usage:
 //
-//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations] [-scale 1.0]
+//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations|chaos] [-scale 1.0]
 //
 // Scale shrinks population sizes and measurement windows uniformly (0.08 is
 // the CI scale; 1.0 approximates the paper's populations). Results print as
 // the tables described in EXPERIMENTS.md.
+//
+// The chaos experiment drives repeated cross-chain moves while every
+// message path drops and duplicates traffic (-drop, -dup, -chaos-seed,
+// -moves), printing per-move latency and the fault/recovery counters.
 package main
 
 import (
@@ -20,14 +24,20 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance, chaos")
 	scale := flag.Float64("scale", 1.0, "population/duration scale (0.08 = CI, 1.0 = paper-like)")
+	flag.Float64Var(&chaosCfg.DropRate, "drop", chaosCfg.DropRate, "chaos: per-message drop probability on every link")
+	flag.Float64Var(&chaosCfg.DupRate, "dup", chaosCfg.DupRate, "chaos: per-message duplication probability on every link")
+	flag.Int64Var(&chaosCfg.Seed, "chaos-seed", chaosCfg.Seed, "chaos: fault RNG seed (same seed reproduces the run)")
+	flag.IntVar(&chaosCfg.Moves, "moves", chaosCfg.Moves, "chaos: number of back-and-forth moves to drive")
 	flag.Parse()
 	if err := run(*experiment, bench.Scale(*scale)); err != nil {
 		fmt.Fprintln(os.Stderr, "movebench:", err)
 		os.Exit(1)
 	}
 }
+
+var chaosCfg = bench.DefaultChaosConfig()
 
 func run(experiment string, scale bench.Scale) error {
 	runs := map[string]func(bench.Scale) error{
@@ -38,6 +48,7 @@ func run(experiment string, scale bench.Scale) error {
 		"fig9":      runFig89,
 		"ablations": runAblations,
 		"rebalance": runRebalance,
+		"chaos":     runChaos,
 	}
 	if experiment == "all" {
 		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "ablations", "rebalance"} {
@@ -121,6 +132,17 @@ func runAblations(bench.Scale) error {
 			return err
 		}
 		fmt.Println(twopc)
+		return nil
+	})
+}
+
+func runChaos(bench.Scale) error {
+	return timed("chaos", func() error {
+		res, err := bench.RunChaos(chaosCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
 		return nil
 	})
 }

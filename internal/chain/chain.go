@@ -247,6 +247,11 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 	}
 	block := &types.Block{Header: header, Txs: txs}
 	c.blocks = append(c.blocks, block)
+	// Evict included transactions from the pool only now: proposals select
+	// without consuming, so a failed consensus round cannot lose traffic.
+	for _, tx := range txs {
+		c.pool.Remove(tx.ID())
+	}
 	for _, rec := range receipts {
 		c.receipts[rec.TxID] = rec
 		c.txHeights[rec.TxID] = height

@@ -117,13 +117,36 @@ func (n *PoWNode) scheduleNext() {
 // dst's header store after the given network delay. Miners/validators of
 // interoperating chains run exactly this kind of relay (paper §IV-A).
 func ConnectHeaderRelay(sched *simclock.Scheduler, src, dst *Chain, delay time.Duration) {
+	ConnectHeaderRelayVia(src, dst, simnet.NewLink(sched, delay, simnet.LinkFaults{}, 0), 1)
+}
+
+// ConnectHeaderRelayVia wires the header feed from src to dst through a
+// (possibly lossy) link. Each committed block relays the last `window`
+// headers plus the head height, so a dropped relay message heals as soon as
+// any later one gets through — the retransmission behaviour real IBC
+// relayers implement. Use a window comfortably larger than the longest
+// outage, in blocks, the deployment should ride out.
+func ConnectHeaderRelayVia(src, dst *Chain, link *simnet.Link, window int) {
+	if window < 1 {
+		window = 1
+	}
 	src.OnBlock(func(b *types.Block, _ []*types.Receipt) {
-		header := b.Header
-		sched.After(delay, func() {
+		head := b.Header.Height
+		lo := uint64(1)
+		if head > uint64(window) {
+			lo = head - uint64(window) + 1
+		}
+		headers := make([]*types.Header, 0, head-lo+1)
+		for h := lo; h <= head; h++ {
+			if hdr, ok := src.HeaderAt(h); ok {
+				headers = append(headers, hdr)
+			}
+		}
+		link.Deliver(func() {
 			// Errors indicate a misconfigured relay (unknown chain); the
 			// universe wiring registers params up front, so drop silently
 			// is never expected — surface loudly.
-			if err := dst.Headers().Update(src.ChainID(), []*types.Header{header}, header.Height); err != nil {
+			if err := dst.Headers().Update(src.ChainID(), headers, head); err != nil {
 				panic(fmt.Sprintf("chain: header relay %s->%s: %v", src.ChainID(), dst.ChainID(), err))
 			}
 		})

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersIncAddGet(t *testing.T) {
+	c := NewCounters()
+	if c.Get("missing") != 0 {
+		t.Fatal("unset counter must read zero")
+	}
+	c.Inc("a")
+	c.Inc("a")
+	c.Add("b", 5)
+	if c.Get("a") != 2 || c.Get("b") != 5 {
+		t.Fatalf("a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+}
+
+func TestCountersNamesSorted(t *testing.T) {
+	c := NewCounters()
+	c.Inc("z.late")
+	c.Inc("a.early")
+	c.Inc("m.mid")
+	names := c.Names()
+	if len(names) != 3 || names[0] != "a.early" || names[1] != "m.mid" || names[2] != "z.late" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	c := NewCounters()
+	c.Inc("x")
+	snap := c.Snapshot()
+	c.Inc("x")
+	if snap["x"] != 1 || c.Get("x") != 2 {
+		t.Fatal("snapshot must not track later increments")
+	}
+}
+
+func TestCountersSumByPrefix(t *testing.T) {
+	c := NewCounters()
+	c.Add("relay.move1_retries", 3)
+	c.Add("relay.move2_retries", 4)
+	c.Add("wan.dropped", 100)
+	if got := c.Sum("relay."); got != 7 {
+		t.Fatalf("Sum(relay.) = %d", got)
+	}
+	if got := c.Sum("nope."); got != 0 {
+		t.Fatalf("Sum(nope.) = %d", got)
+	}
+}
+
+func TestCountersStringTable(t *testing.T) {
+	c := NewCounters()
+	c.Add("wan.dropped", 42)
+	s := c.String()
+	if !strings.Contains(s, "wan.dropped") || !strings.Contains(s, "42") {
+		t.Fatalf("table output missing row: %q", s)
+	}
+}

@@ -1,0 +1,529 @@
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"scmove/internal/chain"
+	"scmove/internal/core"
+	"scmove/internal/hashing"
+	"scmove/internal/metrics"
+	"scmove/internal/simclock"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+)
+
+// Errors distinguishing why a move failed.
+var (
+	// ErrConfirmTimeout reports that the proof's source height did not reach
+	// the confirmation depth on the target's light client in time.
+	ErrConfirmTimeout = errors.New("relay: confirmation deadline exceeded")
+	// ErrRetryBudget reports that a stage exhausted its resubmission budget.
+	ErrRetryBudget = errors.New("relay: retry budget exhausted")
+)
+
+// MoverConfig tunes the move state machine's deadlines and retry policy.
+type MoverConfig struct {
+	// PollInterval is how often the relayer re-checks the target light
+	// client for confirmation depth.
+	PollInterval time.Duration
+	// ConfirmDeadline bounds the total wait for the proof height to become
+	// p blocks deep on the target; exceeding it fails the move with
+	// ErrConfirmTimeout. Zero means no deadline.
+	ConfirmDeadline time.Duration
+	// StageDeadline bounds the wait for a submitted transaction (Move1 or
+	// Move2) to commit before it is resubmitted.
+	StageDeadline time.Duration
+	// RetryBase is the initial backoff before a resubmission; it doubles
+	// per attempt up to RetryMax.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff.
+	RetryMax time.Duration
+	// MaxAttempts is the per-stage resubmission budget.
+	MaxAttempts int
+}
+
+// DefaultMoverConfig returns deadlines generous enough for the paper's
+// slowest chain (15 s expected PoW blocks, p = 6) with a retry budget that
+// rides out double-digit loss rates.
+func DefaultMoverConfig() MoverConfig {
+	return MoverConfig{
+		PollInterval:    500 * time.Millisecond,
+		ConfirmDeadline: 15 * time.Minute,
+		StageDeadline:   90 * time.Second,
+		RetryBase:       2 * time.Second,
+		RetryMax:        time.Minute,
+		MaxAttempts:     10,
+	}
+}
+
+// Stage is the durable position of a move in the relayer state machine.
+type Stage uint8
+
+// Move stages in order.
+const (
+	// StagePending: accepted, Move1 not yet submitted.
+	StagePending Stage = iota
+	// StageMove1Submitted: Move1 signed and on the wire, awaiting receipt.
+	StageMove1Submitted
+	// StageWaitConfirm: proof built, waiting for p-deep confirmation.
+	StageWaitConfirm
+	// StageMove2Submitted: Move2 signed and on the wire, awaiting receipt.
+	StageMove2Submitted
+	// StageDone: Move2 committed successfully.
+	StageDone
+	// StageFailed: terminal failure, Result.Err is set.
+	StageFailed
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StagePending:
+		return "pending"
+	case StageMove1Submitted:
+		return "move1-submitted"
+	case StageWaitConfirm:
+		return "wait-confirm"
+	case StageMove2Submitted:
+		return "move2-submitted"
+	case StageDone:
+		return "done"
+	case StageFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// Entry is one journaled move: everything a restarted Mover needs to resume
+// it from the last durable stage — the signed transactions for idempotent
+// resubmission, the proof payload, and the stage marker.
+type Entry struct {
+	Contract    hashing.Address
+	MoveToInput []byte // nil for Complete-style moves (Move1 ran elsewhere)
+	Stage       Stage
+	Move1       *types.Transaction
+	Move2       *types.Transaction
+	Payload     *types.Move2Payload
+	// Attempts counts resubmissions within the current stage.
+	Attempts int
+	Result    *MoveResult
+	done      func(*MoveResult)
+	confirmAt time.Duration // when the confirmation wait started
+	// seq invalidates outstanding timers and receipt watchers whenever the
+	// entry transitions; a crashed Mover's stale callbacks see a newer seq
+	// and stand down.
+	seq uint64
+}
+
+// InFlight reports whether the move is neither done nor failed.
+func (e *Entry) InFlight() bool { return e.Stage != StageDone && e.Stage != StageFailed }
+
+// Journal records every move a Mover has accepted, keyed by contract. It is
+// the relayer's durable state: handing the same Journal to a new Mover
+// after a crash lets Recover resume every in-flight move from its last
+// recorded stage instead of losing it.
+type Journal struct {
+	entries map[hashing.Address]*Entry
+	order   []hashing.Address
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal {
+	return &Journal{entries: make(map[hashing.Address]*Entry)}
+}
+
+// Entry returns the journaled move of a contract.
+func (j *Journal) Entry(contract hashing.Address) (*Entry, bool) {
+	e, ok := j.entries[contract]
+	return e, ok
+}
+
+// InFlight returns every move that is neither done nor failed, in
+// acceptance order.
+func (j *Journal) InFlight() []*Entry {
+	var out []*Entry
+	for _, c := range j.order {
+		if e := j.entries[c]; e.InFlight() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// put records a (new) move, replacing any finished entry for the contract.
+func (j *Journal) put(e *Entry) {
+	if _, ok := j.entries[e.Contract]; !ok {
+		j.order = append(j.order, e.Contract)
+	}
+	j.entries[e.Contract] = e
+}
+
+// Mover drives moves from a source to a target chain as a crash-recoverable
+// state machine: every stage has a deadline, submissions retry with
+// exponential backoff against a budget, resubmission is idempotent (the
+// move nonce makes a duplicated Move2 a no-op on the target), and the
+// journal lets a restarted Mover resume in-flight moves.
+type Mover struct {
+	sched    *simclock.Scheduler
+	src      *chain.Chain
+	dst      *chain.Chain
+	cfg      MoverConfig
+	journal  *Journal
+	counters *metrics.Counters
+	alive    bool
+}
+
+// NewMover returns a mover between two chains with the default
+// configuration, a fresh journal, and its own counter set.
+func NewMover(sched *simclock.Scheduler, src, dst *chain.Chain) *Mover {
+	return NewMoverWith(sched, src, dst, DefaultMoverConfig(), NewJournal(), metrics.NewCounters())
+}
+
+// NewMoverWith returns a mover with explicit tuning, journal, and counters.
+// Passing a crashed Mover's journal and calling Recover resumes its
+// in-flight moves.
+func NewMoverWith(sched *simclock.Scheduler, src, dst *chain.Chain,
+	cfg MoverConfig, journal *Journal, counters *metrics.Counters) *Mover {
+	if journal == nil {
+		journal = NewJournal()
+	}
+	if counters == nil {
+		counters = metrics.NewCounters()
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	return &Mover{
+		sched: sched, src: src, dst: dst,
+		cfg: cfg, journal: journal, counters: counters,
+		alive: true,
+	}
+}
+
+// Journal returns the mover's journal (hand it to a replacement Mover after
+// Crash to resume).
+func (m *Mover) Journal() *Journal { return m.journal }
+
+// Counters returns the mover's fault/retry counters.
+func (m *Mover) Counters() *metrics.Counters { return m.counters }
+
+// Crash simulates a relayer crash: the Mover stops reacting to every
+// pending timer and receipt notification. The journal survives; a new
+// Mover over the same journal resumes via Recover.
+func (m *Mover) Crash() { m.alive = false }
+
+// Move runs the full move of contract via the client: it submits the Move1
+// call with the given moveTo calldata, builds the Merkle proof the moment
+// the Move1 block commits, waits until the target's light client holds that
+// height p blocks deep, submits Move2, and invokes done exactly once —
+// retrying lost submissions and failing with a distinct error on deadline
+// or budget exhaustion.
+func (m *Mover) Move(cl *Client, contract hashing.Address, moveToInput []byte, done func(*MoveResult)) {
+	e := &Entry{
+		Contract:    contract,
+		MoveToInput: moveToInput,
+		Stage:       StagePending,
+		Result:      &MoveResult{Contract: contract, StartedAt: m.sched.Now()},
+		done:        done,
+	}
+	m.journal.put(e)
+	m.submitMove1(cl, e)
+}
+
+// Complete finishes a move whose Move1 already executed (any client may do
+// this, §III-B): it builds the proof against the current committed state,
+// waits for the confirmation depth, and submits Move2. The TokenRelay flow
+// uses it because Move1 runs inside the creation transaction (Fig. 3).
+func (m *Mover) Complete(cl *Client, contract hashing.Address, done func(*MoveResult)) {
+	now := m.sched.Now()
+	e := &Entry{
+		Contract: contract,
+		Stage:    StagePending,
+		Result:   &MoveResult{Contract: contract, StartedAt: now, Move1At: now},
+		done:     done,
+	}
+	m.journal.put(e)
+	m.startConfirm(cl, e)
+}
+
+// Recover resumes every in-flight journaled move on this (restarted)
+// Mover, re-entering the state machine at each entry's last durable stage.
+// Submitted transactions are resubmitted (idempotently) in case they were
+// lost while the previous Mover was down.
+func (m *Mover) Recover(cl *Client) {
+	for _, e := range m.journal.InFlight() {
+		m.counters.Inc("relay.recoveries")
+		switch e.Stage {
+		case StagePending:
+			if e.MoveToInput == nil {
+				m.startConfirm(cl, e)
+			} else {
+				m.submitMove1(cl, e)
+			}
+		case StageMove1Submitted:
+			cl.SubmitSigned(m.src, e.Move1)
+			m.watchMove1(cl, e)
+		case StageWaitConfirm:
+			// The confirmation deadline restarts: a recovering relayer has no
+			// way to know how long the previous incarnation already waited.
+			e.confirmAt = m.sched.Now()
+			m.pollConfirm(cl, e)
+		case StageMove2Submitted:
+			cl.SubmitSigned(m.dst, e.Move2)
+			m.watchMove2(cl, e)
+		}
+	}
+}
+
+// fail terminates a move with an error.
+func (m *Mover) fail(e *Entry, stage string, err error) {
+	e.seq++
+	e.Stage = StageFailed
+	e.Result.Err = fmt.Errorf("%s: %w", stage, err)
+	m.counters.Inc("relay.moves_failed")
+	if e.done != nil {
+		e.done(e.Result)
+	}
+}
+
+// backoff returns the exponential delay before resubmission attempt n
+// (1-based), capped at RetryMax.
+func (m *Mover) backoff(attempt int) time.Duration {
+	d := m.cfg.RetryBase
+	if d <= 0 {
+		d = time.Second
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if m.cfg.RetryMax > 0 && d >= m.cfg.RetryMax {
+			return m.cfg.RetryMax
+		}
+	}
+	if m.cfg.RetryMax > 0 && d > m.cfg.RetryMax {
+		d = m.cfg.RetryMax
+	}
+	return d
+}
+
+// submitMove1 signs (if needed) and submits the Move1 transaction, then
+// watches for its receipt.
+func (m *Mover) submitMove1(cl *Client, e *Entry) {
+	if e.Move1 == nil {
+		tx, err := cl.SignedCall(m.src, e.Contract, e.MoveToInput, u256.Zero())
+		if err != nil {
+			m.fail(e, "move1 sign", err)
+			return
+		}
+		e.Move1 = tx
+		e.Result.Move1Tx = tx.ID()
+	}
+	e.Stage = StageMove1Submitted
+	cl.SubmitSigned(m.src, e.Move1)
+	m.watchMove1(cl, e)
+}
+
+// watchMove1 arms the Move1 receipt watcher and the stage deadline.
+func (m *Mover) watchMove1(cl *Client, e *Entry) {
+	e.seq++
+	seq := e.seq
+	live := func() bool {
+		return m.alive && e.seq == seq && e.Stage == StageMove1Submitted
+	}
+	m.src.NotifyTx(e.Move1.ID(), func(rec *types.Receipt, _ *types.Block) {
+		if !live() {
+			return
+		}
+		e.seq++
+		e.Result.Move1At = m.sched.Now()
+		e.Result.Move1Gas = rec.GasUsed
+		if !rec.Succeeded() {
+			// A nonce failure is transient (the client desynced after a lost
+			// submission): resync and rebuild. Everything else — a reverting
+			// moveTo guard above all — is terminal.
+			if strings.Contains(rec.Err, "bad nonce") && m.budget(e) {
+				m.counters.Inc("relay.move1_retries")
+				cl.NoteBadNonce(m.src.ChainID())
+				e.Move1 = nil
+				m.sched.After(m.backoff(e.Attempts), func() {
+					if m.alive && e.Stage == StageMove1Submitted {
+						m.submitMove1(cl, e)
+					}
+				})
+				return
+			}
+			m.fail(e, "move1", errors.New(rec.Err))
+			return
+		}
+		m.startConfirm(cl, e)
+	})
+	if m.cfg.StageDeadline <= 0 {
+		return
+	}
+	m.sched.After(m.cfg.StageDeadline, func() {
+		if !live() {
+			return
+		}
+		// No receipt inside the deadline: the submission (or its receipt
+		// path) was lost. Resubmit the same signed transaction after the
+		// backoff — same nonce, same id, idempotent.
+		if !m.budget(e) {
+			m.fail(e, "move1", fmt.Errorf("%w after %d attempts", ErrRetryBudget, e.Attempts))
+			return
+		}
+		m.counters.Inc("relay.move1_retries")
+		e.seq++
+		m.sched.After(m.backoff(e.Attempts), func() {
+			if m.alive && e.Stage == StageMove1Submitted {
+				cl.SubmitSigned(m.src, e.Move1)
+				m.watchMove1(cl, e)
+			}
+		})
+	})
+}
+
+// budget consumes one retry attempt, reporting whether any remain.
+func (m *Mover) budget(e *Entry) bool {
+	if m.cfg.MaxAttempts > 0 && e.Attempts >= m.cfg.MaxAttempts {
+		return false
+	}
+	e.Attempts++
+	return true
+}
+
+// startConfirm builds the proof (once) and enters the confirmation wait.
+func (m *Mover) startConfirm(cl *Client, e *Entry) {
+	if e.Payload == nil {
+		// Build the proof against the current committed state: the contract
+		// is locked, so its record cannot change, and this head's root will
+		// reach the target's light client within p blocks.
+		proofHeight := m.src.Head().Height
+		payload, err := core.BuildMoveProof(m.src.StateDB(), e.Contract, proofHeight)
+		if err != nil {
+			m.fail(e, "build proof", err)
+			return
+		}
+		e.Payload = payload
+	}
+	e.Stage = StageWaitConfirm
+	e.Attempts = 0
+	e.confirmAt = m.sched.Now()
+	m.pollConfirm(cl, e)
+}
+
+// pollConfirm polls the target light client until the proof's source height
+// is p blocks deep, failing with ErrConfirmTimeout past the deadline.
+func (m *Mover) pollConfirm(cl *Client, e *Entry) {
+	e.seq++
+	seq := e.seq
+	if m.dst.Headers().ConfirmedAt(e.Payload.SourceChain, e.Payload.SourceHeight) {
+		m.submitMove2(cl, e)
+		return
+	}
+	if m.cfg.ConfirmDeadline > 0 && m.sched.Now()-e.confirmAt >= m.cfg.ConfirmDeadline {
+		m.counters.Inc("relay.confirm_timeouts")
+		m.fail(e, "confirm", ErrConfirmTimeout)
+		return
+	}
+	m.counters.Inc("relay.confirm_retries")
+	m.sched.After(m.cfg.PollInterval, func() {
+		if m.alive && e.seq == seq && e.Stage == StageWaitConfirm {
+			m.pollConfirm(cl, e)
+		}
+	})
+}
+
+// submitMove2 signs (if needed) and submits the Move2 transaction, then
+// watches for its receipt.
+func (m *Mover) submitMove2(cl *Client, e *Entry) {
+	if e.Result.ProofReadyAt == 0 {
+		e.Result.ProofReadyAt = m.sched.Now()
+	}
+	if e.Move2 == nil {
+		tx, err := cl.SignedMove2(m.dst, e.Payload)
+		if err != nil {
+			m.fail(e, "move2 sign", err)
+			return
+		}
+		e.Move2 = tx
+		e.Result.Move2Tx = tx.ID()
+	}
+	e.Stage = StageMove2Submitted
+	cl.SubmitSigned(m.dst, e.Move2)
+	m.watchMove2(cl, e)
+}
+
+// transientMove2 reports receipt errors worth a retry: nonce desyncs and
+// confirmation races (the depth check can regress only if our poll and the
+// chain's header store briefly disagree).
+func transientMove2(msg string) bool {
+	return strings.Contains(msg, "bad nonce") ||
+		strings.Contains(msg, "not yet p blocks deep") ||
+		strings.Contains(msg, "header not known")
+}
+
+// watchMove2 arms the Move2 receipt watcher and the stage deadline.
+func (m *Mover) watchMove2(cl *Client, e *Entry) {
+	e.seq++
+	seq := e.seq
+	live := func() bool {
+		return m.alive && e.seq == seq && e.Stage == StageMove2Submitted
+	}
+	m.dst.NotifyTx(e.Move2.ID(), func(rec *types.Receipt, _ *types.Block) {
+		if !live() {
+			return
+		}
+		e.seq++
+		e.Result.Move2At = m.sched.Now()
+		e.Result.Move2Gas = rec.GasUsed
+		if !rec.Succeeded() {
+			if transientMove2(rec.Err) && m.budget(e) {
+				m.counters.Inc("relay.move2_retries")
+				if strings.Contains(rec.Err, "bad nonce") {
+					cl.NoteBadNonce(m.dst.ChainID())
+				}
+				// Rebuild with a fresh nonce and re-verify confirmation depth
+				// before resubmitting.
+				e.Move2 = nil
+				e.Stage = StageWaitConfirm
+				e.confirmAt = m.sched.Now()
+				m.sched.After(m.backoff(e.Attempts), func() {
+					if m.alive && e.Stage == StageWaitConfirm {
+						m.pollConfirm(cl, e)
+					}
+				})
+				return
+			}
+			m.fail(e, "move2", errors.New(rec.Err))
+			return
+		}
+		e.seq++
+		e.Stage = StageDone
+		m.counters.Inc("relay.moves_completed")
+		if e.done != nil {
+			e.done(e.Result)
+		}
+	})
+	if m.cfg.StageDeadline <= 0 {
+		return
+	}
+	m.sched.After(m.cfg.StageDeadline, func() {
+		if !live() {
+			return
+		}
+		if !m.budget(e) {
+			m.fail(e, "move2", fmt.Errorf("%w after %d attempts", ErrRetryBudget, e.Attempts))
+			return
+		}
+		m.counters.Inc("relay.move2_retries")
+		e.seq++
+		m.sched.After(m.backoff(e.Attempts), func() {
+			if m.alive && e.Stage == StageMove2Submitted {
+				cl.SubmitSigned(m.dst, e.Move2)
+				m.watchMove2(cl, e)
+			}
+		})
+	})
+}

@@ -1,20 +1,23 @@
 // Package relay implements the client side of the Move protocol: a Client
-// that signs and submits transactions with realistic submission latency,
-// and a Mover that orchestrates the full Move1 → proof → wait-p-blocks →
-// Move2 sequence across two chains, recording the per-phase timings and gas
-// that the paper's IBC experiments report (Figs. 8 and 9).
+// that signs and submits transactions with realistic submission latency
+// (optionally over a lossy fault-injected link), and a Mover that drives
+// the full Move1 → proof → wait-p-blocks → Move2 sequence across two
+// chains as a crash-recoverable state machine with per-stage deadlines,
+// exponential-backoff retries, and an in-memory journal, while recording
+// the per-phase timings and gas that the paper's IBC experiments report
+// (Figs. 8 and 9).
 package relay
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
 	"scmove/internal/chain"
-	"scmove/internal/core"
 	"scmove/internal/hashing"
 	"scmove/internal/keys"
 	"scmove/internal/simclock"
+	"scmove/internal/simnet"
+	"scmove/internal/txpool"
 	"scmove/internal/types"
 	"scmove/internal/u256"
 )
@@ -30,14 +33,17 @@ const DefaultGasLimit = 40_000_000
 var DefaultGasPrice = u256.FromUint64(2)
 
 // Client is one transaction-submitting principal: a key pair plus local
-// per-chain nonce counters. Closed-loop experiment clients wait for each
-// transaction's receipt before sending the next, so local nonce tracking
-// never desynchronizes.
+// per-chain nonce counters. A failed signing or a pool rejection rolls the
+// burnt nonce back (or, when later nonces were already handed out, flags
+// the chain for a resync against committed state) so retries never wedge
+// behind a permanently missing nonce.
 type Client struct {
 	kp          *keys.KeyPair
 	sched       *simclock.Scheduler
 	submitDelay time.Duration
 	nonces      map[hashing.ChainID]uint64
+	desynced    map[hashing.ChainID]bool
+	links       map[hashing.ChainID]*simnet.Link
 }
 
 // NewClient returns a client submitting with the given client-to-chain
@@ -48,6 +54,8 @@ func NewClient(kp *keys.KeyPair, sched *simclock.Scheduler, submitDelay time.Dur
 		sched:       sched,
 		submitDelay: submitDelay,
 		nonces:      make(map[hashing.ChainID]uint64),
+		desynced:    make(map[hashing.ChainID]bool),
+		links:       make(map[hashing.ChainID]*simnet.Link),
 	}
 }
 
@@ -57,32 +65,88 @@ func (cl *Client) Address() hashing.Address { return cl.kp.Address() }
 // Key returns the client's key pair.
 func (cl *Client) Key() *keys.KeyPair { return cl.kp }
 
-// nextNonce hands out the next nonce for a chain.
-func (cl *Client) nextNonce(id hashing.ChainID) uint64 {
+// SetSubmitLink routes this client's submissions to the given chain through
+// a (possibly lossy) link instead of the fixed submission delay.
+func (cl *Client) SetSubmitLink(id hashing.ChainID, link *simnet.Link) {
+	cl.links[id] = link
+}
+
+// nextNonce hands out the next nonce for a chain, resyncing from committed
+// chain state first if a previous submission failure desynchronized the
+// local counter. The resync is eventually consistent: it may briefly reuse
+// a nonce still pending in the pool, in which case one of the two
+// transactions fails its nonce check and the counter resyncs again.
+func (cl *Client) nextNonce(c *chain.Chain) uint64 {
+	id := c.ChainID()
+	if cl.desynced[id] {
+		cl.nonces[id] = c.StateDB().GetNonce(cl.kp.Address())
+		cl.desynced[id] = false
+	}
 	n := cl.nonces[id]
 	cl.nonces[id] = n + 1
 	return n
 }
 
-// submit signs tx and delivers it to the chain after the submission delay.
-func (cl *Client) submit(c *chain.Chain, tx *types.Transaction) (hashing.Hash, error) {
-	if err := tx.Sign(cl.kp); err != nil {
-		return hashing.Hash{}, err
+// rollbackNonce returns a burnt nonce after a failed submission. If it is
+// the most recently handed out nonce the counter simply steps back;
+// otherwise later nonces are already in flight and the counter is flagged
+// for a resync from chain state.
+func (cl *Client) rollbackNonce(id hashing.ChainID, nonce uint64) {
+	if cl.nonces[id] == nonce+1 {
+		cl.nonces[id] = nonce
+		return
 	}
-	id := tx.ID()
-	cl.sched.After(cl.submitDelay, func() {
-		// Pool rejections (full pool, races) surface through the missing
-		// receipt; closed-loop clients time out and retry.
-		_ = c.SubmitTx(tx)
-	})
-	return id, nil
+	cl.desynced[id] = true
 }
 
-// Call submits a contract call (or plain transfer) and returns the tx id.
-func (cl *Client) Call(c *chain.Chain, to hashing.Address, data []byte, value u256.Int) (hashing.Hash, error) {
-	return cl.submit(c, &types.Transaction{
+// NoteBadNonce flags the chain's nonce counter for a resync; movers call it
+// when a transaction commits with a nonce failure.
+func (cl *Client) NoteBadNonce(id hashing.ChainID) { cl.desynced[id] = true }
+
+// deliver hands a signed transaction to the chain over the submission path:
+// the chain's lossy link if one is set, the fixed submission delay
+// otherwise. Pool rejections roll the nonce back so a retry can reuse it;
+// duplicate rejections are expected for idempotent resubmissions and leave
+// the counter alone.
+func (cl *Client) deliver(c *chain.Chain, tx *types.Transaction) {
+	apply := func() {
+		if err := c.SubmitTx(tx); err != nil && !errors.Is(err, txpool.ErrDuplicate) {
+			cl.rollbackNonce(c.ChainID(), tx.Nonce)
+		}
+	}
+	if link := cl.links[c.ChainID()]; link != nil {
+		link.Deliver(apply)
+		return
+	}
+	cl.sched.After(cl.submitDelay, apply)
+}
+
+// sign signs tx, rolling the consumed nonce back on failure.
+func (cl *Client) sign(c *chain.Chain, tx *types.Transaction) (*types.Transaction, error) {
+	if err := tx.Sign(cl.kp); err != nil {
+		cl.rollbackNonce(c.ChainID(), tx.Nonce)
+		return nil, err
+	}
+	return tx, nil
+}
+
+// SubmitSigned re-delivers an already-signed transaction over the
+// submission path. Resubmission is idempotent: the pool deduplicates by
+// transaction id while the first copy is pending, and stale nonces are
+// dropped at proposal time, so a transaction that already committed can
+// never re-execute.
+func (cl *Client) SubmitSigned(c *chain.Chain, tx *types.Transaction) hashing.Hash {
+	cl.deliver(c, tx)
+	return tx.ID()
+}
+
+// SignedCall builds and signs a call transaction, consuming a nonce,
+// without submitting it. Movers use it to keep the signed bytes for
+// idempotent resubmission.
+func (cl *Client) SignedCall(c *chain.Chain, to hashing.Address, data []byte, value u256.Int) (*types.Transaction, error) {
+	return cl.sign(c, &types.Transaction{
 		ChainID:  c.ChainID(),
-		Nonce:    cl.nextNonce(c.ChainID()),
+		Nonce:    cl.nextNonce(c),
 		Kind:     types.TxCall,
 		To:       to,
 		Value:    value,
@@ -92,11 +156,26 @@ func (cl *Client) Call(c *chain.Chain, to hashing.Address, data []byte, value u2
 	})
 }
 
-// Create submits a contract deployment.
-func (cl *Client) Create(c *chain.Chain, code []byte, value u256.Int) (hashing.Hash, error) {
-	return cl.submit(c, &types.Transaction{
+// SignedMove2 builds and signs a Move2 transaction carrying the given proof
+// payload without submitting it.
+func (cl *Client) SignedMove2(c *chain.Chain, payload *types.Move2Payload) (*types.Transaction, error) {
+	return cl.sign(c, &types.Transaction{
 		ChainID:  c.ChainID(),
-		Nonce:    cl.nextNonce(c.ChainID()),
+		Nonce:    cl.nextNonce(c),
+		Kind:     types.TxMove2,
+		GasLimit: DefaultGasLimit,
+		GasPrice: DefaultGasPrice,
+		Move2:    payload,
+	})
+}
+
+// SignedCreate builds and signs a deployment transaction, consuming a
+// nonce, without submitting it — for idempotent resubmission by retrying
+// harnesses.
+func (cl *Client) SignedCreate(c *chain.Chain, code []byte, value u256.Int) (*types.Transaction, error) {
+	return cl.sign(c, &types.Transaction{
+		ChainID:  c.ChainID(),
+		Nonce:    cl.nextNonce(c),
 		Kind:     types.TxCreate,
 		Value:    value,
 		GasLimit: DefaultGasLimit,
@@ -105,17 +184,35 @@ func (cl *Client) Create(c *chain.Chain, code []byte, value u256.Int) (hashing.H
 	})
 }
 
+// Call submits a contract call (or plain transfer) and returns the tx id.
+func (cl *Client) Call(c *chain.Chain, to hashing.Address, data []byte, value u256.Int) (hashing.Hash, error) {
+	tx, err := cl.SignedCall(c, to, data, value)
+	if err != nil {
+		return hashing.Hash{}, err
+	}
+	cl.deliver(c, tx)
+	return tx.ID(), nil
+}
+
+// Create submits a contract deployment.
+func (cl *Client) Create(c *chain.Chain, code []byte, value u256.Int) (hashing.Hash, error) {
+	tx, err := cl.SignedCreate(c, code, value)
+	if err != nil {
+		return hashing.Hash{}, err
+	}
+	cl.deliver(c, tx)
+	return tx.ID(), nil
+}
+
 // SubmitMove2 submits a Move2 transaction carrying the given proof payload.
 // Any client may complete an unfinished move this way (§III-B).
 func (cl *Client) SubmitMove2(c *chain.Chain, payload *types.Move2Payload) (hashing.Hash, error) {
-	return cl.submit(c, &types.Transaction{
-		ChainID:  c.ChainID(),
-		Nonce:    cl.nextNonce(c.ChainID()),
-		Kind:     types.TxMove2,
-		GasLimit: DefaultGasLimit,
-		GasPrice: DefaultGasPrice,
-		Move2:    payload,
-	})
+	tx, err := cl.SignedMove2(c, payload)
+	if err != nil {
+		return hashing.Hash{}, err
+	}
+	cl.deliver(c, tx)
+	return tx.ID(), nil
 }
 
 // Locate finds the chain a contract currently lives on by following the
@@ -184,101 +281,3 @@ func (r *MoveResult) Move2Latency() time.Duration { return r.Move2At - r.ProofRe
 
 // Total is the end-to-end move latency.
 func (r *MoveResult) Total() time.Duration { return r.Move2At - r.StartedAt }
-
-// Mover drives moves from a source to a target chain.
-type Mover struct {
-	sched *simclock.Scheduler
-	src   *chain.Chain
-	dst   *chain.Chain
-	// PollInterval is how often the relayer re-checks the target light
-	// client for confirmation depth.
-	PollInterval time.Duration
-}
-
-// NewMover returns a mover between two chains.
-func NewMover(sched *simclock.Scheduler, src, dst *chain.Chain) *Mover {
-	return &Mover{sched: sched, src: src, dst: dst, PollInterval: 500 * time.Millisecond}
-}
-
-// Move runs the full move of contract via the client: it submits the Move1
-// call with the given moveTo calldata, builds the Merkle proof the moment
-// the Move1 block commits, waits until the target's light client holds that
-// height p blocks deep, submits Move2, and invokes done exactly once.
-func (m *Mover) Move(cl *Client, contract hashing.Address, moveToInput []byte, done func(*MoveResult)) {
-	res := &MoveResult{Contract: contract, StartedAt: m.sched.Now()}
-	fail := func(stage string, err error) {
-		res.Err = fmt.Errorf("%s: %w", stage, err)
-		done(res)
-	}
-
-	move1ID, err := cl.Call(m.src, contract, moveToInput, u256.Zero())
-	if err != nil {
-		fail("move1 submit", err)
-		return
-	}
-	res.Move1Tx = move1ID
-
-	m.src.NotifyTx(move1ID, func(rec *types.Receipt, block *types.Block) {
-		res.Move1At = m.sched.Now()
-		res.Move1Gas = rec.GasUsed
-		if !rec.Succeeded() {
-			fail("move1", errors.New(rec.Err))
-			return
-		}
-		m.complete(cl, contract, res, done)
-	})
-}
-
-// Complete finishes a move whose Move1 already executed (any client may do
-// this, §III-B): it builds the proof against the current committed state,
-// waits for the confirmation depth, and submits Move2. The TokenRelay flow
-// uses it because Move1 runs inside the creation transaction (Fig. 3).
-func (m *Mover) Complete(cl *Client, contract hashing.Address, done func(*MoveResult)) {
-	res := &MoveResult{Contract: contract, StartedAt: m.sched.Now(), Move1At: m.sched.Now()}
-	m.complete(cl, contract, res, done)
-}
-
-func (m *Mover) complete(cl *Client, contract hashing.Address,
-	res *MoveResult, done func(*MoveResult)) {
-	fail := func(stage string, err error) {
-		res.Err = fmt.Errorf("%s: %w", stage, err)
-		done(res)
-	}
-	// Build the proof against the current committed state: the contract is
-	// locked, so its record cannot change, and this head's root will reach
-	// the target's light client within p blocks.
-	proofHeight := m.src.Head().Height
-	payload, err := core.BuildMoveProof(m.src.StateDB(), contract, proofHeight)
-	if err != nil {
-		fail("build proof", err)
-		return
-	}
-	m.waitConfirmed(payload, func() {
-		res.ProofReadyAt = m.sched.Now()
-		move2ID, err := cl.SubmitMove2(m.dst, payload)
-		if err != nil {
-			fail("move2 submit", err)
-			return
-		}
-		res.Move2Tx = move2ID
-		m.dst.NotifyTx(move2ID, func(rec *types.Receipt, _ *types.Block) {
-			res.Move2At = m.sched.Now()
-			res.Move2Gas = rec.GasUsed
-			if !rec.Succeeded() {
-				fail("move2", errors.New(rec.Err))
-				return
-			}
-			done(res)
-		})
-	})
-}
-
-// waitConfirmed polls the target light client until the proof's source
-// height is p blocks deep.
-func (m *Mover) waitConfirmed(payload *types.Move2Payload, then func()) {
-	if m.dst.Headers().ConfirmedAt(payload.SourceChain, payload.SourceHeight) {
-		then()
-		return
-	}
-	m.sched.After(m.PollInterval, func() { m.waitConfirmed(payload, then) })
-}

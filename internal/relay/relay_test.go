@@ -115,6 +115,110 @@ func TestClientChainsKeepSeparateNonces(t *testing.T) {
 	}
 }
 
+// tinyPoolChain is a chain whose pool holds a single transaction, for
+// forcing pool-rejection paths.
+func tinyPoolChain(t *testing.T, sched *simclock.Scheduler, id hashing.ChainID, funded ...hashing.Address) *chain.Chain {
+	t.Helper()
+	cfg := chain.Config{
+		ChainID: id, TreeKind: trie.KindMPT, Schedule: evm.EthereumSchedule(),
+		BlockGasLimit: 100_000_000, MaxBlockTxs: 100, ConfirmationDepth: 2,
+		PoolLimit: 1,
+	}
+	c, err := chain.New(cfg, core.NewHeaderStore(), func(db *state.DB) {
+		for _, a := range funded {
+			db.AddBalance(a, u256.FromUint64(1<<50))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var produce func()
+	produce = func() {
+		c.ApplyBlock(c.ProposeBatch(), sched.NowUnix(), chain.ProposerAddress(id, 0))
+		sched.After(time.Second, produce)
+	}
+	sched.After(time.Second, produce)
+	return c
+}
+
+func TestClientNonceRollbackAndResyncOnRejection(t *testing.T) {
+	sched := simclock.New()
+	kp, other := keys.Deterministic(5), keys.Deterministic(6)
+	cl := relay.NewClient(kp, sched, time.Millisecond)
+	filler := relay.NewClient(other, sched, time.Millisecond)
+	c := tinyPoolChain(t, sched, 1, kp.Address(), other.Address())
+
+	// The filler occupies the single pool slot first; the client's two
+	// rapid-fire calls (nonces 0 and 1) both bounce off the full pool. The
+	// first rejection happens with nonce 1 already handed out, so the
+	// counter cannot simply step back — it must flag a resync.
+	if _, err := filler.Call(c, hashing.AddressFromBytes([]byte{1}), nil, u256.One()); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(2 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Call(c, hashing.AddressFromBytes([]byte{1}), nil, u256.One()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both rejections land, then the block commits the filler tx.
+	sched.RunUntil(1500 * time.Millisecond)
+
+	// A fresh call must reuse nonce 0 (resynced from committed state), not
+	// wedge at nonce 2 behind the two burnt ones.
+	id, err := cl.Call(c, hashing.AddressFromBytes([]byte{1}), nil, u256.One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(5 * time.Second)
+	rec, ok := c.Receipt(id)
+	if !ok || !rec.Succeeded() {
+		t.Fatalf("post-rollback call must commit: %+v ok=%v", rec, ok)
+	}
+	if got := c.StateDB().GetNonce(kp.Address()); got != 1 {
+		t.Fatalf("account nonce = %d, want 1 (rolled-back nonces reused)", got)
+	}
+}
+
+func TestSubmitSignedIdempotent(t *testing.T) {
+	sched := simclock.New()
+	kp := keys.Deterministic(7)
+	cl := relay.NewClient(kp, sched, time.Millisecond)
+	c := testChain(t, sched, 1, kp.Address())
+
+	tx, err := cl.SignedCall(c, hashing.AddressFromBytes([]byte{0x05}), nil, u256.One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triple submission before commit: the pool deduplicates by id.
+	for i := 0; i < 3; i++ {
+		cl.SubmitSigned(c, tx)
+	}
+	sched.RunUntil(3 * time.Second)
+	rec, ok := c.Receipt(tx.ID())
+	if !ok || !rec.Succeeded() {
+		t.Fatalf("tx must commit once: %+v ok=%v", rec, ok)
+	}
+	if got := c.StateDB().GetNonce(kp.Address()); got != 1 {
+		t.Fatalf("nonce = %d: duplicates must not execute", got)
+	}
+
+	// Resubmission after commit: the stale copy is dropped at proposal time
+	// and must not overwrite the success receipt with a nonce failure.
+	cl.SubmitSigned(c, tx)
+	sched.RunUntil(6 * time.Second)
+	rec, _ = c.Receipt(tx.ID())
+	if !rec.Succeeded() {
+		t.Fatalf("late resubmission overwrote the receipt: %+v", rec)
+	}
+	if got := c.StateDB().GetNonce(kp.Address()); got != 1 {
+		t.Fatalf("nonce moved to %d after stale resubmission", got)
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatal("stale copy must be evicted from the pool")
+	}
+}
+
 func TestMoveResultPhaseArithmetic(t *testing.T) {
 	r := &relay.MoveResult{
 		StartedAt:    10 * time.Second,

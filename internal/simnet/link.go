@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"scmove/internal/metrics"
+	"scmove/internal/simclock"
+)
+
+// LinkFaults configures probabilistic faults on one message path. All
+// probabilities are per message; the zero value is a perfect link.
+type LinkFaults struct {
+	// DropRate is the probability a message is silently lost.
+	DropRate float64
+	// DupRate is the probability a message is delivered twice (the second
+	// copy takes an independently jittered delay).
+	DupRate float64
+	// JitterFrac stretches or shrinks the base delay by up to ±JitterFrac.
+	JitterFrac float64
+	// ReorderFrac is the probability a message is held back by an extra
+	// random delay of up to MaxReorderDelay, letting later messages overtake
+	// it.
+	ReorderFrac float64
+	// MaxReorderDelay bounds the reordering hold-back (defaults to the base
+	// delay when zero).
+	MaxReorderDelay time.Duration
+}
+
+// active reports whether any fault is configured.
+func (f LinkFaults) active() bool {
+	return f.DropRate > 0 || f.DupRate > 0 || f.JitterFrac > 0 || f.ReorderFrac > 0
+}
+
+// LinkStats counts one link's delivery events.
+type LinkStats struct {
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+	Reordered  uint64
+}
+
+// Link is a lossy unidirectional message path outside the validator WAN:
+// the client-to-chain submission path and the inter-chain header relays use
+// it. Faults are drawn from a seeded RNG so chaos runs are deterministic,
+// and the link can be cut outright to model a partitioned relayer.
+type Link struct {
+	sched  *simclock.Scheduler
+	rng    *rand.Rand
+	base   time.Duration
+	faults LinkFaults
+	cut    bool
+
+	stats    LinkStats
+	counters *metrics.Counters
+	prefix   string
+}
+
+// NewLink returns a link with the given base one-way delay and fault
+// configuration, drawing fault decisions from the seeded RNG.
+func NewLink(sched *simclock.Scheduler, base time.Duration, faults LinkFaults, seed int64) *Link {
+	return &Link{
+		sched:  sched,
+		rng:    rand.New(rand.NewSource(seed)),
+		base:   base,
+		faults: faults,
+	}
+}
+
+// Observe mirrors the link's events into the shared counter set under
+// prefix (e.g. "submit" yields "submit.dropped").
+func (l *Link) Observe(c *metrics.Counters, prefix string) {
+	l.counters = c
+	l.prefix = prefix
+}
+
+// SetCut severs (true) or heals (false) the link. A cut link drops every
+// message.
+func (l *Link) SetCut(cut bool) { l.cut = cut }
+
+// Cut reports whether the link is currently severed.
+func (l *Link) Cut() bool { return l.cut }
+
+// SetFaults replaces the fault configuration.
+func (l *Link) SetFaults(f LinkFaults) { l.faults = f }
+
+// Stats returns the link's delivery counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+func (l *Link) count(event string, field *uint64) {
+	*field++
+	if l.counters != nil {
+		l.counters.Inc(l.prefix + "." + event)
+	}
+}
+
+// delay draws one delivery delay: base latency, ±jitter, plus an optional
+// reordering hold-back.
+func (l *Link) delay() time.Duration {
+	d := l.base
+	if l.faults.JitterFrac > 0 {
+		jitter := (l.rng.Float64()*2 - 1) * l.faults.JitterFrac
+		d = time.Duration(float64(d) * (1 + jitter))
+	}
+	if l.faults.ReorderFrac > 0 && l.rng.Float64() < l.faults.ReorderFrac {
+		max := l.faults.MaxReorderDelay
+		if max <= 0 {
+			max = l.base
+		}
+		if max > 0 {
+			d += time.Duration(l.rng.Int63n(int64(max) + 1))
+		}
+		l.count("reordered", &l.stats.Reordered)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Deliver schedules fn across the link: it may run never (drop or cut),
+// once, or twice (duplication), each copy after an independently drawn
+// delay.
+func (l *Link) Deliver(fn func()) {
+	if l.cut || (l.faults.DropRate > 0 && l.rng.Float64() < l.faults.DropRate) {
+		l.count("dropped", &l.stats.Dropped)
+		return
+	}
+	copies := 1
+	if l.faults.DupRate > 0 && l.rng.Float64() < l.faults.DupRate {
+		copies = 2
+		l.count("duplicated", &l.stats.Duplicated)
+	}
+	for i := 0; i < copies; i++ {
+		l.count("delivered", &l.stats.Delivered)
+		l.sched.After(l.delay(), fn)
+	}
+}

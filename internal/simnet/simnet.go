@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"scmove/internal/metrics"
 	"scmove/internal/simclock"
 )
 
@@ -74,8 +75,27 @@ type Config struct {
 	JitterFrac float64
 	// DropRate is the probability a message is silently lost.
 	DropRate float64
+	// DupRate is the probability a message is delivered twice.
+	DupRate float64
+	// ReorderFrac is the probability a message is held back by an extra
+	// random delay of up to MaxReorderDelay, letting later traffic overtake.
+	ReorderFrac float64
+	// MaxReorderDelay bounds the reordering hold-back (defaults to the base
+	// latency when zero).
+	MaxReorderDelay time.Duration
 	// Seed makes delivery timing reproducible.
 	Seed int64
+}
+
+// faults extracts the global per-message fault configuration.
+func (c Config) faults() LinkFaults {
+	return LinkFaults{
+		DropRate:        c.DropRate,
+		DupRate:         c.DupRate,
+		JitterFrac:      c.JitterFrac,
+		ReorderFrac:     c.ReorderFrac,
+		MaxReorderDelay: c.MaxReorderDelay,
+	}
 }
 
 // Network delivers messages between registered nodes over the simulated
@@ -85,12 +105,17 @@ type Network struct {
 	cfg   Config
 	rng   *rand.Rand
 
-	nodes map[NodeID]*nodeInfo
-	down  map[NodeID]bool
-	cut   map[[2]NodeID]bool
+	nodes      map[NodeID]*nodeInfo
+	down       map[NodeID]bool
+	cut        map[[2]NodeID]bool
+	linkFaults map[[2]NodeID]LinkFaults
 
-	delivered uint64
-	dropped   uint64
+	delivered  uint64
+	dropped    uint64
+	duplicated uint64
+	reordered  uint64
+
+	counters *metrics.Counters
 }
 
 type nodeInfo struct {
@@ -101,12 +126,24 @@ type nodeInfo struct {
 // New returns an empty network on the given scheduler.
 func New(sched *simclock.Scheduler, cfg Config) *Network {
 	return &Network{
-		sched: sched,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		nodes: make(map[NodeID]*nodeInfo),
-		down:  make(map[NodeID]bool),
-		cut:   make(map[[2]NodeID]bool),
+		sched:      sched,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		nodes:      make(map[NodeID]*nodeInfo),
+		down:       make(map[NodeID]bool),
+		cut:        make(map[[2]NodeID]bool),
+		linkFaults: make(map[[2]NodeID]LinkFaults),
+	}
+}
+
+// Observe mirrors the network's fault events into the shared counter set
+// under the "wan." prefix.
+func (n *Network) Observe(c *metrics.Counters) { n.counters = c }
+
+func (n *Network) count(event string, field *uint64) {
+	*field++
+	if n.counters != nil {
+		n.counters.Inc("wan." + event)
 	}
 }
 
@@ -140,33 +177,55 @@ func (n *Network) Send(from, to NodeID, payload any) {
 	src, okFrom := n.nodes[from]
 	dst, okTo := n.nodes[to]
 	if !okFrom || !okTo {
-		n.dropped++
+		n.count("dropped", &n.dropped)
 		return
 	}
 	if n.down[from] || n.cut[linkKey(from, to)] {
-		n.dropped++
+		n.count("dropped", &n.dropped)
 		return
 	}
-	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
-		n.dropped++
+	faults := n.cfg.faults()
+	if override, ok := n.linkFaults[linkKey(from, to)]; ok {
+		faults = override
+	}
+	if faults.DropRate > 0 && n.rng.Float64() < faults.DropRate {
+		n.count("dropped", &n.dropped)
 		return
 	}
-	delay := Latency(src.region, dst.region)
-	if n.cfg.JitterFrac > 0 {
-		jitter := (n.rng.Float64()*2 - 1) * n.cfg.JitterFrac
-		delay = time.Duration(float64(delay) * (1 + jitter))
+	copies := 1
+	if faults.DupRate > 0 && n.rng.Float64() < faults.DupRate {
+		copies = 2
+		n.count("duplicated", &n.duplicated)
 	}
-	n.sched.After(delay, func() {
-		// Down-state and handler are re-checked at delivery time so crashes
-		// that happen while the message is in flight take effect.
-		info, ok := n.nodes[to]
-		if !ok || n.down[to] {
-			n.dropped++
-			return
+	base := Latency(src.region, dst.region)
+	for i := 0; i < copies; i++ {
+		delay := base
+		if faults.JitterFrac > 0 {
+			jitter := (n.rng.Float64()*2 - 1) * faults.JitterFrac
+			delay = time.Duration(float64(delay) * (1 + jitter))
 		}
-		n.delivered++
-		info.handler(from, payload)
-	})
+		if faults.ReorderFrac > 0 && n.rng.Float64() < faults.ReorderFrac {
+			max := faults.MaxReorderDelay
+			if max <= 0 {
+				max = base
+			}
+			if max > 0 {
+				delay += time.Duration(n.rng.Int63n(int64(max) + 1))
+			}
+			n.count("reordered", &n.reordered)
+		}
+		n.sched.After(delay, func() {
+			// Down-state and handler are re-checked at delivery time so crashes
+			// that happen while the message is in flight take effect.
+			info, ok := n.nodes[to]
+			if !ok || n.down[to] {
+				n.count("dropped", &n.dropped)
+				return
+			}
+			n.count("delivered", &n.delivered)
+			info.handler(from, payload)
+		})
+	}
 }
 
 // Broadcast sends payload from one node to every other registered node.
@@ -190,9 +249,66 @@ func (n *Network) SetLinkCut(a, b NodeID, cut bool) {
 	n.cut[linkKey(b, a)] = cut
 }
 
+// SetLinkFaults overrides the fault configuration of the (bidirectional)
+// link between two nodes, replacing the global Config faults for it.
+func (n *Network) SetLinkFaults(a, b NodeID, f LinkFaults) {
+	n.linkFaults[linkKey(a, b)] = f
+	n.linkFaults[linkKey(b, a)] = f
+}
+
+// ClearLinkFaults removes a per-link fault override.
+func (n *Network) ClearLinkFaults(a, b NodeID) {
+	delete(n.linkFaults, linkKey(a, b))
+	delete(n.linkFaults, linkKey(b, a))
+}
+
+// SchedulePartition cuts every link between the given group and the rest of
+// the network at simulated time `at` and heals it at `healAt`. Nodes are
+// resolved at fire time, so nodes registered after the call still partition.
+func (n *Network) SchedulePartition(at, healAt time.Duration, group ...NodeID) {
+	inGroup := make(map[NodeID]bool, len(group))
+	for _, id := range group {
+		inGroup[id] = true
+	}
+	setCut := func(cut bool) {
+		for id := range n.nodes {
+			if inGroup[id] {
+				continue
+			}
+			for _, g := range group {
+				n.SetLinkCut(g, id, cut)
+			}
+		}
+	}
+	n.sched.At(at, func() { setCut(true) })
+	if healAt > at {
+		n.sched.At(healAt, func() { setCut(false) })
+	}
+}
+
+// ScheduleCrash takes a node down at simulated time `at` and restarts it at
+// `restartAt`. A restartAt ≤ at leaves the node down permanently.
+func (n *Network) ScheduleCrash(id NodeID, at, restartAt time.Duration) {
+	n.sched.At(at, func() { n.SetNodeDown(id, true) })
+	if restartAt > at {
+		n.sched.At(restartAt, func() { n.SetNodeDown(id, false) })
+	}
+}
+
 // Stats returns delivered and dropped message counts.
 func (n *Network) Stats() (delivered, dropped uint64) {
 	return n.delivered, n.dropped
+}
+
+// FaultStats returns the full delivery event counts, including duplicates
+// and reordered messages.
+func (n *Network) FaultStats() LinkStats {
+	return LinkStats{
+		Delivered:  n.delivered,
+		Dropped:    n.dropped,
+		Duplicated: n.duplicated,
+		Reordered:  n.reordered,
+	}
 }
 
 func linkKey(a, b NodeID) [2]NodeID { return [2]NodeID{a, b} }

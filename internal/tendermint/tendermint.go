@@ -39,13 +39,19 @@ type Config struct {
 	// ProposeTimeout bounds waiting for a proposal before moving to the
 	// next round (and proposer).
 	ProposeTimeout time.Duration
+	// MaxRoundTimeout caps the per-round timeout growth. Without a cap a
+	// long partition drives the round count — and with it the linear
+	// timeout — so high that the cluster waits minutes before retrying
+	// after the partition heals. Zero means uncapped.
+	MaxRoundTimeout time.Duration
 }
 
 // DefaultConfig returns the experiment configuration of §VI.
 func DefaultConfig() Config {
 	return Config{
-		Interval:       5 * time.Second,
-		ProposeTimeout: 2 * time.Second,
+		Interval:        5 * time.Second,
+		ProposeTimeout:  2 * time.Second,
+		MaxRoundTimeout: 30 * time.Second,
 	}
 }
 
@@ -114,6 +120,41 @@ func (c *Cluster) Quorum() int { return 2*len(c.validators)/3 + 1 }
 func (c *Cluster) CrashValidator(i int) {
 	c.net.SetNodeDown(c.validators[i].id, true)
 	c.validators[i].crashed = true
+}
+
+// RestartValidator revives a crashed validator: its volatile consensus
+// state (votes, buffered messages) is lost, and it rejoins at the height
+// after the highest commit the replicated application knows, catching up
+// on the current height via its peers' traffic.
+func (c *Cluster) RestartValidator(i int) {
+	v := c.validators[i]
+	if !v.crashed {
+		return
+	}
+	c.net.SetNodeDown(v.id, false)
+	v.crashed = false
+	v.votes = make(map[voteKey]map[int]bool)
+	v.pending = nil
+	v.startHeight(c.CommittedHeight() + 1)
+}
+
+// ScheduleCrashRestart crashes validator i at simulated time `at` and
+// restarts it at `restartAt` (restartAt ≤ at leaves it down).
+func (c *Cluster) ScheduleCrashRestart(i int, at, restartAt time.Duration) {
+	c.sched.At(at, func() { c.CrashValidator(i) })
+	if restartAt > at {
+		c.sched.At(restartAt, func() { c.RestartValidator(i) })
+	}
+}
+
+// NodeIDs returns each validator's network node id, in validator order —
+// fault schedules (partitions, crash-restarts) target these.
+func (c *Cluster) NodeIDs() []simnet.NodeID {
+	ids := make([]simnet.NodeID, len(c.validators))
+	for i, v := range c.validators {
+		ids[i] = v.id
+	}
+	return ids
 }
 
 // CommittedHeight returns the highest committed height.
@@ -231,9 +272,13 @@ func (v *Validator) startRound() {
 	}
 	// Round timeout: if this round does not decide in time, try the next
 	// proposer. Grows linearly with the round to eventually outwait WAN
-	// latency under crash faults.
+	// latency under crash faults, capped so liveness recovers promptly
+	// after long partitions.
 	height, round := v.height, v.round
 	timeout := v.cluster.cfg.ProposeTimeout * time.Duration(round+1)
+	if max := v.cluster.cfg.MaxRoundTimeout; max > 0 && timeout > max {
+		timeout = max
+	}
 	v.cluster.sched.After(timeout, func() {
 		if v.crashed || v.decided || v.height != height || v.round != round {
 			return
@@ -252,18 +297,33 @@ func (v *Validator) broadcast(msg any) {
 	}
 }
 
+// catchUp simulates block sync: a validator that sees traffic for a future
+// height while its own height has already committed cluster-wide jumps
+// forward (a real node would fetch the missed blocks from its peers).
+// Without this, a validator whose quorum votes were lost to the WAN stalls
+// behind forever and erodes the quorum at the current height — under
+// message loss the cluster would grind to a halt within a few blocks.
+func (v *Validator) catchUp(msgHeight uint64) {
+	if v.decided || msgHeight <= v.height || !v.cluster.committed[v.height] {
+		return
+	}
+	v.startHeight(v.cluster.CommittedHeight() + 1)
+}
+
 func (v *Validator) handle(payload any) {
 	if v.crashed {
 		return
 	}
 	switch msg := payload.(type) {
 	case msgProposal:
+		v.catchUp(msg.Height)
 		if msg.Height > v.height || (msg.Height == v.height && msg.Round > v.round) {
 			v.pending = append(v.pending, msg)
 			return
 		}
 		v.onProposal(msg)
 	case msgVote:
+		v.catchUp(msg.Height)
 		if msg.Height > v.height {
 			v.pending = append(v.pending, msg)
 			return

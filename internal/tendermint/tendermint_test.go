@@ -132,6 +132,96 @@ func TestQuorumSizes(t *testing.T) {
 	}
 }
 
+func TestRestartValidatorRejoins(t *testing.T) {
+	sched, cluster, _ := newCluster(t, 10) // quorum = 7
+	// 4 crashes halt the cluster; restarting one restores the quorum.
+	for _, i := range []int{0, 3, 6, 9} {
+		cluster.CrashValidator(i)
+	}
+	cluster.Start()
+	sched.RunUntil(60 * time.Second)
+	if got := cluster.CommittedHeight(); got != 0 {
+		t.Fatalf("height = %d before restart, want halt", got)
+	}
+	cluster.RestartValidator(0)
+	sched.RunUntil(4 * time.Minute)
+	if got := cluster.CommittedHeight(); got < 3 {
+		t.Fatalf("height = %d after restart, want recovery", got)
+	}
+}
+
+func TestScheduleCrashRestartOutage(t *testing.T) {
+	sched, cluster, _ := newCluster(t, 10)
+	// Take 4 of 10 down for a window: commits stop, then resume.
+	for _, i := range []int{0, 3, 6, 9} {
+		cluster.ScheduleCrashRestart(i, 30*time.Second, 2*time.Minute)
+	}
+	cluster.Start()
+	sched.RunUntil(30 * time.Second)
+	beforeOutage := cluster.CommittedHeight()
+	if beforeOutage < 2 {
+		t.Fatalf("height = %d before the outage", beforeOutage)
+	}
+	sched.RunUntil(2 * time.Minute)
+	duringOutage := cluster.CommittedHeight()
+	sched.RunUntil(6 * time.Minute)
+	after := cluster.CommittedHeight()
+	if after <= duringOutage {
+		t.Fatalf("height stuck at %d after restarts", after)
+	}
+}
+
+func TestRoundTimeoutCapped(t *testing.T) {
+	sched := simclock.New()
+	net := simnet.New(sched, simnet.Config{Seed: 1})
+	cfg := DefaultConfig()
+	cfg.ProposeTimeout = 2 * time.Second
+	cfg.MaxRoundTimeout = 10 * time.Second
+	ids := []simnet.NodeID{1, 2, 3, 4}
+	regions := make([]simnet.Region, 4)
+	cluster, err := NewCluster(sched, net, newRecordingApp(), cfg, ids, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With only 2 of 4 validators up the cluster cannot commit; rounds keep
+	// advancing. Uncapped, round r waits 2(r+1) seconds, so by 10 minutes a
+	// validator would sit at round ~23; capped at 10 s it must churn through
+	// far more rounds, which is what bounds the post-partition recovery time.
+	cluster.CrashValidator(2)
+	cluster.CrashValidator(3)
+	cluster.Start()
+	sched.RunUntil(10 * time.Minute)
+	if r := cluster.validators[0].round; r < 40 {
+		t.Fatalf("round = %d after 10 min, want steady ~10 s rounds under the cap", r)
+	}
+}
+
+func TestStragglerCatchesUpAfterLoss(t *testing.T) {
+	// Drop every message to and from one validator for a while: it falls
+	// behind. Once traffic heals it must catch back up via block sync
+	// rather than stalling the quorum forever.
+	sched, cluster, _ := newCluster(t, 10)
+	ids := cluster.NodeIDs()
+	for _, other := range ids[1:] {
+		// SetLinkCut is bidirectional.
+		cluster.net.SetLinkCut(ids[0], other, true)
+	}
+	cluster.Start()
+	sched.RunUntil(60 * time.Second)
+	behind := cluster.validators[0].height
+	committed := cluster.CommittedHeight()
+	if behind >= committed {
+		t.Fatalf("isolated validator at %d, cluster at %d: expected a straggler", behind, committed)
+	}
+	for _, other := range ids[1:] {
+		cluster.net.SetLinkCut(ids[0], other, false)
+	}
+	sched.RunUntil(2 * time.Minute)
+	if got := cluster.validators[0].height; got <= committed {
+		t.Fatalf("validator stuck at %d after heal (cluster committed %d)", got, cluster.CommittedHeight())
+	}
+}
+
 func TestDeterministicRuns(t *testing.T) {
 	run := func() []uint64 {
 		sched, cluster, app := newCluster(t, 7)

@@ -75,31 +75,38 @@ func (p *Pool) Contains(id hashing.Hash) bool {
 // per-sender nonce sequencing against the provided current account nonces:
 // a transaction whose nonce is not the sender's next is skipped (left in
 // the pool) so it can run in a later block.
+//
+// Selection does not consume: the batch stays pending until Remove (called
+// by the chain when a block commits). A consensus round that fails after
+// proposing must not destroy its transactions — under message loss that
+// would silently drop client traffic every failed round. Stale entries
+// (nonce below the account's committed nonce) are evicted here: typically
+// idempotent resubmissions of a transaction that already landed, which must
+// never re-execute and overwrite a success receipt with a nonce failure.
 func (p *Pool) NextBatch(max int, nonceOf func(hashing.Address) uint64) []*types.Transaction {
 	if max <= 0 {
 		return nil
 	}
 	batch := make([]*types.Transaction, 0, max)
 	next := make(map[hashing.Address]uint64)
-	var rest []*entry
-	for i, e := range p.queue {
-		if len(batch) >= max {
-			rest = append(rest, p.queue[i:]...)
-			break
-		}
+	keep := p.queue[:0]
+	for _, e := range p.queue {
 		want, seen := next[e.sender]
 		if !seen {
 			want = nonceOf(e.sender)
 		}
-		if e.tx.Nonce != want {
-			rest = append(rest, e)
+		if e.tx.Nonce < want {
+			delete(p.pending, e.tx.ID())
+			continue
+		}
+		keep = append(keep, e)
+		if len(batch) >= max || e.tx.Nonce != want {
 			continue
 		}
 		batch = append(batch, e.tx)
 		next[e.sender] = want + 1
-		delete(p.pending, e.tx.ID())
 	}
-	p.queue = rest
+	p.queue = keep
 	return batch
 }
 

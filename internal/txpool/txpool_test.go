@@ -43,8 +43,20 @@ func TestAddAndBatchFIFO(t *testing.T) {
 	if len(batch) != 2 || batch[0].ID() != tx1.ID() || batch[1].ID() != tx2.ID() {
 		t.Fatal("batch must preserve FIFO order")
 	}
+	// Selection must not consume: the txs stay pending (and deduplicated)
+	// until the block that includes them commits, so a failed consensus
+	// round cannot lose them.
+	if p.Len() != 2 {
+		t.Fatalf("pool must keep proposed txs, len = %d", p.Len())
+	}
+	if err := p.Add(tx1); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("proposed tx must stay deduplicated, got %v", err)
+	}
+	for _, tx := range batch {
+		p.Remove(tx.ID())
+	}
 	if p.Len() != 0 {
-		t.Fatal("batch must drain the pool")
+		t.Fatal("commit-time removal must drain the pool")
 	}
 }
 
@@ -95,12 +107,14 @@ func TestNonceSequencing(t *testing.T) {
 	if len(batch) != 1 || batch[0].Nonce != 0 {
 		t.Fatalf("batch = %v", batch)
 	}
+	p.Remove(batch[0].ID()) // block with tx0 commits
 	batch = p.NextBatch(10, func(hashing.Address) uint64 { return 1 })
 	if len(batch) != 1 || batch[0].Nonce != 1 {
 		t.Fatalf("second batch = %v", batch)
 	}
+	p.Remove(batch[0].ID())
 	if p.Len() != 0 {
-		t.Fatal("pool must drain")
+		t.Fatal("pool must drain once both blocks commit")
 	}
 }
 
@@ -115,6 +129,12 @@ func TestBatchRespectsMax(t *testing.T) {
 	batch := p.NextBatch(3, zeroNonce)
 	if len(batch) != 3 {
 		t.Fatalf("batch = %d", len(batch))
+	}
+	if p.Len() != 5 {
+		t.Fatalf("pool must keep everything until commit, len = %d", p.Len())
+	}
+	for _, tx := range batch {
+		p.Remove(tx.ID())
 	}
 	if p.Len() != 2 {
 		t.Fatalf("left = %d", p.Len())

@@ -16,6 +16,7 @@ import (
 	"scmove/internal/evm"
 	"scmove/internal/hashing"
 	"scmove/internal/keys"
+	"scmove/internal/metrics"
 	"scmove/internal/relay"
 	"scmove/internal/simclock"
 	"scmove/internal/simnet"
@@ -92,6 +93,28 @@ func EthereumSpec(id hashing.ChainID, registry *evm.Registry, seed int64) ChainS
 	}
 }
 
+// ChaosConfig switches on systematic fault injection across every message
+// path of the universe: the validator WAN, the client-to-chain submission
+// links, and the inter-chain header relays. All faults draw from seeded
+// RNGs, so chaos runs are deterministic.
+type ChaosConfig struct {
+	// WAN overrides the consensus network's fault configuration
+	// (drop/duplicate/jitter/reorder on every validator link).
+	WAN simnet.LinkFaults
+	// Submit applies to every client→chain submission link.
+	Submit simnet.LinkFaults
+	// HeaderRelay applies to every inter-chain header relay link.
+	HeaderRelay simnet.LinkFaults
+	// HeaderWindow is how many recent headers each relay message re-sends
+	// (dropped relay messages heal once any later one arrives). Defaults
+	// to 8; raise it to ride out longer partitions.
+	HeaderWindow int
+	// Seed decorrelates the chaos RNGs from the base NetSeed.
+	Seed int64
+	// Mover overrides the relayer's deadline/retry tuning.
+	Mover *relay.MoverConfig
+}
+
 // Config describes a universe.
 type Config struct {
 	Specs []ChainSpec
@@ -105,6 +128,9 @@ type Config struct {
 	RelayDelay time.Duration
 	// NetSeed seeds the WAN jitter and message timing.
 	NetSeed int64
+	// Chaos, if set, injects faults into every message path and tunes the
+	// relayer for recovery (nil runs a fault-free network).
+	Chaos *ChaosConfig
 	// ExtraGenesis, if set, runs per chain after client funding — used to
 	// pre-deploy shared contracts (token factories, game registries) at the
 	// same address on every shard.
@@ -161,6 +187,11 @@ type Universe struct {
 	bft     []*chain.BFTNode
 	pow     []*chain.PoWNode
 	clients []*relay.Client
+
+	counters    *metrics.Counters
+	moverCfg    relay.MoverConfig
+	submitLinks map[hashing.ChainID]*simnet.Link
+	relayLinks  map[[2]hashing.ChainID]*simnet.Link
 }
 
 // New builds a universe; call Start to begin block production.
@@ -169,18 +200,55 @@ func New(cfg Config) (*Universe, error) {
 		return nil, errors.New("universe: no chains configured")
 	}
 	sched := simclock.New()
-	net := simnet.New(sched, simnet.Config{JitterFrac: 0.1, Seed: cfg.NetSeed})
+	netCfg := simnet.Config{JitterFrac: 0.1, Seed: cfg.NetSeed}
+	chaosSeed := cfg.NetSeed
+	if cfg.Chaos != nil {
+		chaosSeed = cfg.Chaos.Seed
+		wan := cfg.Chaos.WAN
+		netCfg.DropRate = wan.DropRate
+		netCfg.DupRate = wan.DupRate
+		netCfg.ReorderFrac = wan.ReorderFrac
+		netCfg.MaxReorderDelay = wan.MaxReorderDelay
+		if wan.JitterFrac > 0 {
+			netCfg.JitterFrac = wan.JitterFrac
+		}
+	}
+	net := simnet.New(sched, netCfg)
 	u := &Universe{
-		Sched:  sched,
-		Net:    net,
-		chains: make(map[hashing.ChainID]*chain.Chain, len(cfg.Specs)),
+		Sched:       sched,
+		Net:         net,
+		chains:      make(map[hashing.ChainID]*chain.Chain, len(cfg.Specs)),
+		counters:    metrics.NewCounters(),
+		moverCfg:    relay.DefaultMoverConfig(),
+		submitLinks: make(map[hashing.ChainID]*simnet.Link, len(cfg.Specs)),
+		relayLinks:  make(map[[2]hashing.ChainID]*simnet.Link),
+	}
+	net.Observe(u.counters)
+	if cfg.Chaos != nil && cfg.Chaos.Mover != nil {
+		u.moverCfg = *cfg.Chaos.Mover
+	}
+
+	// One (possibly lossy) submission link per chain, shared by every
+	// client: the client-to-chain path the chaos knobs can degrade.
+	var submitFaults simnet.LinkFaults
+	if cfg.Chaos != nil {
+		submitFaults = cfg.Chaos.Submit
+	}
+	for i, spec := range cfg.Specs {
+		link := simnet.NewLink(sched, cfg.SubmitDelay, submitFaults, chaosSeed+int64(i)*7919+1)
+		link.Observe(u.counters, "submit")
+		u.submitLinks[spec.Config.ChainID] = link
 	}
 
 	// Clients, funded on every chain.
 	clientKeys := make([]*keys.KeyPair, cfg.Clients)
 	for i := range clientKeys {
 		clientKeys[i] = ClientKey(i)
-		u.clients = append(u.clients, relay.NewClient(clientKeys[i], sched, cfg.SubmitDelay))
+		cl := relay.NewClient(clientKeys[i], sched, cfg.SubmitDelay)
+		for id, link := range u.submitLinks {
+			cl.SetSubmitLink(id, link)
+		}
+		u.clients = append(u.clients, cl)
 	}
 	genesisFor := func(id hashing.ChainID) func(db *state.DB) {
 		return func(db *state.DB) {
@@ -232,15 +300,57 @@ func New(cfg Config) (*Universe, error) {
 		}
 	}
 
-	// Bidirectional header relays between every pair.
+	// Bidirectional header relays between every pair, each over its own
+	// (possibly lossy) link. Each relay message re-sends a window of recent
+	// headers, so drops heal as soon as a later message gets through.
+	var relayFaults simnet.LinkFaults
+	window := 1
+	if cfg.Chaos != nil {
+		relayFaults = cfg.Chaos.HeaderRelay
+		window = cfg.Chaos.HeaderWindow
+		if window <= 0 {
+			window = 8
+		}
+	}
+	pair := 0
 	for _, a := range u.order {
 		for _, b := range u.order {
 			if a != b {
-				chain.ConnectHeaderRelay(sched, u.chains[a], u.chains[b], cfg.RelayDelay)
+				link := simnet.NewLink(sched, cfg.RelayDelay, relayFaults, chaosSeed+int64(pair)*104729+2)
+				link.Observe(u.counters, "headers")
+				u.relayLinks[[2]hashing.ChainID{a, b}] = link
+				chain.ConnectHeaderRelayVia(u.chains[a], u.chains[b], link, window)
+				pair++
 			}
 		}
 	}
 	return u, nil
+}
+
+// Counters returns the universe's shared fault/retry counter set: simnet
+// drops and duplicates, submission and header-relay link events, and every
+// mover's retry/recovery/timeout counts.
+func (u *Universe) Counters() *metrics.Counters { return u.counters }
+
+// SubmitLink returns the client→chain submission link of a chain (cut it to
+// isolate clients from the chain).
+func (u *Universe) SubmitLink(id hashing.ChainID) *simnet.Link { return u.submitLinks[id] }
+
+// RelayLink returns the header relay link from chain a to chain b.
+func (u *Universe) RelayLink(a, b hashing.ChainID) *simnet.Link {
+	return u.relayLinks[[2]hashing.ChainID{a, b}]
+}
+
+// SetRelayerCut severs (or heals) every relayer-facing link in the
+// universe: all client submission paths and all header relays. It models a
+// relayer whose network partitions away mid-move.
+func (u *Universe) SetRelayerCut(cut bool) {
+	for _, link := range u.submitLinks {
+		link.SetCut(cut)
+	}
+	for _, link := range u.relayLinks {
+		link.SetCut(cut)
+	}
 }
 
 // Start launches every chain's consensus.
@@ -266,9 +376,13 @@ func (u *Universe) ChainIDs() []hashing.ChainID {
 // Client returns the i-th pre-funded client.
 func (u *Universe) Client(i int) *relay.Client { return u.clients[i] }
 
-// Mover returns a mover from src to dst.
+// Mover returns a mover from src to dst, tuned by the chaos config (when
+// set) and wired into the universe's shared counters. Each call returns a
+// fresh mover with its own journal; hold on to one to exercise
+// crash-recovery via Crash/Recover.
 func (u *Universe) Mover(src, dst hashing.ChainID) *relay.Mover {
-	return relay.NewMover(u.Sched, u.chains[src], u.chains[dst])
+	return relay.NewMoverWith(u.Sched, u.chains[src], u.chains[dst],
+		u.moverCfg, relay.NewJournal(), u.counters)
 }
 
 // Run advances the simulation by d.
@@ -306,15 +420,46 @@ func (u *Universe) WaitTx(c *chain.Chain, id hashing.Hash, timeout time.Duration
 	return rec, nil
 }
 
+// waitSigned delivers a signed transaction and advances the simulation
+// until it commits, resubmitting the same signed bytes every half minute:
+// with a lossy submission link a single delivery attempt would wedge the
+// harness on the first dropped message. Resubmission is idempotent (pool
+// dedup + stale-nonce drop), so a duplicate can never re-execute.
+func (u *Universe) waitSigned(cl *relay.Client, c *chain.Chain, tx *types.Transaction,
+	timeout time.Duration) (*types.Receipt, error) {
+	const resubmitEvery = 30 * time.Second
+	txid := tx.ID()
+	deadline := u.Sched.Now() + timeout
+	for {
+		cl.SubmitSigned(c, tx)
+		window := resubmitEvery
+		if left := deadline - u.Sched.Now(); left < window {
+			window = left
+		}
+		ok := u.RunUntil(func() bool {
+			_, found := c.Receipt(txid)
+			return found
+		}, window)
+		if ok {
+			rec, _ := c.Receipt(txid)
+			return rec, nil
+		}
+		if u.Sched.Now() >= deadline {
+			return nil, fmt.Errorf("%w: %s on %s", ErrTxTimeout, txid, c.ChainID())
+		}
+	}
+}
+
 // MustDeploy deploys a native contract via the client and runs the
-// simulation until it commits, returning the address.
+// simulation until it commits, returning the address. The submission is
+// retried, so it survives a lossy submission link.
 func (u *Universe) MustDeploy(cl *relay.Client, c *chain.Chain, name string, args []byte,
 	value u256.Int, timeout time.Duration) (hashing.Address, error) {
-	txid, err := cl.Create(c, evm.NativeDeployment(name, args), value)
+	tx, err := cl.SignedCreate(c, evm.NativeDeployment(name, args), value)
 	if err != nil {
 		return hashing.Address{}, err
 	}
-	rec, err := u.WaitTx(c, txid, timeout)
+	rec, err := u.waitSigned(cl, c, tx, timeout)
 	if err != nil {
 		return hashing.Address{}, err
 	}
@@ -325,14 +470,15 @@ func (u *Universe) MustDeploy(cl *relay.Client, c *chain.Chain, name string, arg
 }
 
 // MustCall submits a call via the client and runs the simulation until it
-// commits, returning the receipt.
+// commits, returning the receipt. The submission is retried, so it survives
+// a lossy submission link.
 func (u *Universe) MustCall(cl *relay.Client, c *chain.Chain, to hashing.Address,
 	data []byte, value u256.Int, timeout time.Duration) (*types.Receipt, error) {
-	txid, err := cl.Call(c, to, data, value)
+	tx, err := cl.SignedCall(c, to, data, value)
 	if err != nil {
 		return nil, err
 	}
-	rec, err := u.WaitTx(c, txid, timeout)
+	rec, err := u.waitSigned(cl, c, tx, timeout)
 	if err != nil {
 		return nil, err
 	}
