@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench benchsmoke benchdiff experiments
 
-check: vet race
+check: vet race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -16,5 +16,24 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench writes a full performance snapshot as BENCH_<n>.json (next free
+# index). Compare two snapshots with `make benchdiff OLD=... NEW=...`.
 bench:
+	$(GO) run ./cmd/benchsnap
+
+# benchsmoke is the CI-scale sanity pass: a quick snapshot into /tmp plus a
+# self-compare, proving the harness and the diff gate both run. Quick-mode
+# numbers are too noisy to gate on, so it only checks the machinery.
+benchsmoke:
+	$(GO) run ./cmd/benchsnap -quick -out /tmp/scmove_bench_smoke.json
+	$(GO) run ./cmd/benchdiff /tmp/scmove_bench_smoke.json /tmp/scmove_bench_smoke.json
+
+OLD ?= BENCH_0.json
+NEW ?= BENCH_1.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+# experiments reruns the paper's figure experiments end to end (the old
+# `make bench` behaviour, before bench came to mean performance snapshots).
+experiments:
 	$(GO) run ./cmd/movebench -experiment all -scale 0.08

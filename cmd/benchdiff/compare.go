@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// result and snapshot mirror the cmd/benchsnap JSON schema. The types are
+// duplicated rather than imported to keep this command stdlib-only; the
+// JSON field names are the contract between the two commands.
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type snapshot struct {
+	Created    string   `json:"created"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Quick      bool     `json:"quick"`
+	Results    []result `json:"results"`
+}
+
+func readSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compare matches benchmarks by name and flags regressions. Benchmarks
+// present in only one snapshot are reported but never fail the diff, so
+// adding or retiring a benchmark does not break CI. A zero old value (e.g.
+// allocs/op on an already zero-alloc path) regresses if the new value is
+// anything above zero plus threshold-free slack of one object, since a
+// ratio against zero is meaningless.
+func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh float64) (rows []string, regressed bool) {
+	oldByName := make(map[string]result, len(oldSnap.Results))
+	for _, r := range oldSnap.Results {
+		oldByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(newSnap.Results))
+	for _, n := range newSnap.Results {
+		seen[n.Name] = true
+		o, ok := oldByName[n.Name]
+		if !ok {
+			rows = append(rows, fmt.Sprintf("%-24s (new benchmark, no baseline)", n.Name))
+			continue
+		}
+		timeDelta := ratio(o.NsPerOp, n.NsPerOp)
+		allocDelta := ratio(o.AllocsPerOp, n.AllocsPerOp)
+		mark := ""
+		if timeBad := timeDelta > timeThresh; timeBad {
+			mark = "  REGRESSION(time)"
+			regressed = true
+		}
+		if allocBad(o.AllocsPerOp, n.AllocsPerOp, allocThresh) {
+			mark += "  REGRESSION(allocs)"
+			regressed = true
+		}
+		rows = append(rows, fmt.Sprintf("%-24s %12.0f -> %12.0f ns/op (%+6.1f%%)  %10.1f -> %10.1f allocs/op (%+6.1f%%)%s",
+			n.Name, o.NsPerOp, n.NsPerOp, timeDelta*100, o.AllocsPerOp, n.AllocsPerOp, allocDelta*100, mark))
+	}
+	for _, o := range oldSnap.Results {
+		if !seen[o.Name] {
+			rows = append(rows, fmt.Sprintf("%-24s (removed, was %0.f ns/op)", o.Name, o.NsPerOp))
+		}
+	}
+	return rows, regressed
+}
+
+// ratio returns (new-old)/old, or 0 when old is zero (delta undefined).
+func ratio(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// allocBad applies the alloc threshold, special-casing a zero baseline:
+// a path that was zero-alloc must stay within one object per op.
+func allocBad(old, new, thresh float64) bool {
+	if old == 0 {
+		return new > 1
+	}
+	return (new-old)/old > thresh
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(results ...result) *snapshot {
+	return &snapshot{Created: "2026-01-01T00:00:00Z", Results: results}
+}
+
+// TestInjectedTimeRegressionFails is the acceptance check for the diff
+// gate: a 20% ns/op slowdown against a 15% threshold must fail.
+func TestInjectedTimeRegressionFails(t *testing.T) {
+	oldSnap := snap(result{Name: "kitties_replay", NsPerOp: 100_000_000, AllocsPerOp: 235_000})
+	newSnap := snap(result{Name: "kitties_replay", NsPerOp: 120_000_000, AllocsPerOp: 235_000})
+	rows, regressed := compare(oldSnap, newSnap, 0.15, 0.05)
+	if !regressed {
+		t.Fatal("20% time regression not flagged at 15% threshold")
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0], "REGRESSION(time)") {
+		t.Fatalf("rows = %q, want one row marked REGRESSION(time)", rows)
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	oldSnap := snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0})
+	newSnap := snap(result{Name: "mpt_get", NsPerOp: 220, AllocsPerOp: 0})
+	if _, regressed := compare(oldSnap, newSnap, 0.15, 0.05); regressed {
+		t.Fatal("10% time delta flagged at 15% threshold")
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	oldSnap := snap(result{Name: "evm_tight_loop", NsPerOp: 50_000, AllocsPerOp: 10})
+	newSnap := snap(result{Name: "evm_tight_loop", NsPerOp: 30_000, AllocsPerOp: 3})
+	if _, regressed := compare(oldSnap, newSnap, 0.15, 0.05); regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	oldSnap := snap(result{Name: "kitties_replay", NsPerOp: 100, AllocsPerOp: 100})
+	newSnap := snap(result{Name: "kitties_replay", NsPerOp: 100, AllocsPerOp: 110})
+	rows, regressed := compare(oldSnap, newSnap, 0.15, 0.05)
+	if !regressed {
+		t.Fatal("10% alloc regression not flagged at 5% threshold")
+	}
+	if !strings.Contains(rows[0], "REGRESSION(allocs)") {
+		t.Fatalf("row = %q, want REGRESSION(allocs)", rows[0])
+	}
+}
+
+// TestZeroAllocBaselineGuard pins the special case: a path that was
+// zero-alloc may not start allocating (beyond one object of pool jitter),
+// even though a ratio against zero is undefined.
+func TestZeroAllocBaselineGuard(t *testing.T) {
+	oldSnap := snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0})
+	if _, regressed := compare(oldSnap,
+		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0.5}), 0.15, 0.05); regressed {
+		t.Fatal("half an object of jitter on a zero baseline flagged")
+	}
+	if _, regressed := compare(oldSnap,
+		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 2}), 0.15, 0.05); !regressed {
+		t.Fatal("2 allocs/op on a zero-alloc baseline not flagged")
+	}
+}
+
+func TestAddedAndRemovedBenchmarksNeverFail(t *testing.T) {
+	oldSnap := snap(result{Name: "retired", NsPerOp: 100})
+	newSnap := snap(result{Name: "brand_new", NsPerOp: 1_000_000, AllocsPerOp: 1e9})
+	rows, regressed := compare(oldSnap, newSnap, 0.15, 0.05)
+	if regressed {
+		t.Fatal("unmatched benchmarks must not fail the diff")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want a row for the new and the removed benchmark, got %q", rows)
+	}
+}

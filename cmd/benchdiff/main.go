@@ -1,0 +1,49 @@
+// Command benchdiff compares two benchsnap snapshots and exits non-zero if
+// any benchmark regressed beyond a threshold. It is the gate that keeps the
+// hot-path optimizations from silently rotting: CI (or a reviewer) runs
+//
+//	benchdiff BENCH_0.json BENCH_1.json
+//
+// and a >15% ns/op regression on any shared benchmark fails the build.
+// Allocation counts are compared with a tight default threshold (5%)
+// because they are deterministic, unlike wall-clock time.
+//
+// The command deliberately imports nothing outside the standard library so
+// it can be vendored into CI images or run against snapshots from other
+// checkouts without dragging in the simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	timeThresh := flag.Float64("threshold", 0.15, "max allowed ns/op regression (fraction, e.g. 0.15 = 15%)")
+	allocThresh := flag.Float64("alloc-threshold", 0.05, "max allowed allocs/op regression (fraction)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold frac] [-alloc-threshold frac] old.json new.json")
+		os.Exit(2)
+	}
+	oldSnap, err := readSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newSnap, err := readSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	rows, regressed := compare(oldSnap, newSnap, *timeThresh, *allocThresh)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond threshold (time %.0f%%, allocs %.0f%%)\n",
+			*timeThresh*100, *allocThresh*100)
+		os.Exit(1)
+	}
+}

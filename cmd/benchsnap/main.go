@@ -1,0 +1,278 @@
+// Command benchsnap measures the performance-critical paths of the
+// simulator — trie ops, hashing, the EVM interpreter loop, the Kitties
+// replay, and the parallel Fig. 6 grid — and writes the results as a JSON
+// snapshot (BENCH_<n>.json by default, picking the next free index).
+//
+// Snapshots are the repository's performance baseline: compare two of them
+// with cmd/benchdiff, which fails on regressions beyond a threshold.
+//
+// Usage:
+//
+//	benchsnap [-quick] [-out file.json]
+//
+// -quick cuts iteration counts ~10x for smoke tests; its numbers are
+// noisier and should not be committed as baselines.
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"scmove/internal/bench"
+	"scmove/internal/evm"
+	"scmove/internal/evm/asm"
+	"scmove/internal/hashing"
+	"scmove/internal/mpt"
+	"scmove/internal/state"
+	"scmove/internal/trie"
+	"scmove/internal/u256"
+	"scmove/internal/workload"
+)
+
+// Result is one measured benchmark.
+type Result struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the file format consumed by cmd/benchdiff.
+type Snapshot struct {
+	Created    string   `json:"created"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Quick      bool     `json:"quick,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "cut iterations ~10x (smoke runs, not baselines)")
+	out := flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
+	flag.Parse()
+
+	snap := Snapshot{
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	div := 1
+	if *quick {
+		div = 10
+	}
+	for _, b := range benchmarks() {
+		iters := b.iters / div
+		if iters < 1 {
+			iters = 1
+		}
+		res, err := b.run(iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", b.name, err)
+			os.Exit(1)
+		}
+		res.Name = b.name
+		snap.Results = append(snap.Results, res)
+		fmt.Printf("%-24s %10d iters  %12.0f ns/op  %10.0f B/op  %8.1f allocs/op\n",
+			res.Name, res.Iters, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	path := *out
+	if path == "" {
+		path = nextSnapshotPath()
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}
+
+// nextSnapshotPath returns BENCH_<n>.json for the first free n.
+func nextSnapshotPath() string {
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+type benchmark struct {
+	name  string
+	iters int
+	run   func(iters int) (Result, error)
+}
+
+// measure times iters repetitions of op, collecting allocation deltas from
+// the runtime. A GC fence before sampling keeps concurrent sweep noise out
+// of the byte counts.
+func measure(iters int, op func() error) (Result, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return Result{
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+	}, nil
+}
+
+func benchmarks() []benchmark {
+	return []benchmark{
+		{name: "hashing_sum_512B", iters: 1_000_000, run: runHashingSum},
+		{name: "mpt_get", iters: 1_000_000, run: runMptGet},
+		{name: "mpt_set_overwrite", iters: 500_000, run: runMptSet},
+		{name: "evm_tight_loop", iters: 20_000, run: runEvmLoop},
+		{name: "kitties_replay", iters: 5, run: runKitties},
+		{name: "fig6_grid_ci", iters: 2, run: runFig6Grid},
+	}
+}
+
+func runHashingSum(iters int) (Result, error) {
+	buf := make([]byte, 512)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	return measure(iters, func() error {
+		hashing.Sum(buf)
+		return nil
+	})
+}
+
+func mptTree(entries int) *mpt.Tree {
+	tr := mpt.New(32)
+	var key [32]byte
+	for i := uint64(0); i < uint64(entries); i++ {
+		binary.BigEndian.PutUint64(key[:8], i*0x9e3779b97f4a7c15)
+		if err := tr.Set(key[:], key[:8]); err != nil {
+			panic(err)
+		}
+	}
+	tr.RootHash()
+	return tr
+}
+
+func runMptGet(iters int) (Result, error) {
+	tr := mptTree(4096)
+	var key [32]byte
+	i := uint64(123)
+	binary.BigEndian.PutUint64(key[:8], i*0x9e3779b97f4a7c15)
+	return measure(iters, func() error {
+		if _, ok := tr.Get(key[:]); !ok {
+			return fmt.Errorf("mpt_get: key missing")
+		}
+		return nil
+	})
+}
+
+func runMptSet(iters int) (Result, error) {
+	tr := mptTree(4096)
+	var key [32]byte
+	i := uint64(123)
+	binary.BigEndian.PutUint64(key[:8], i*0x9e3779b97f4a7c15)
+	val := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	return measure(iters, func() error {
+		return tr.Set(key[:], val)
+	})
+}
+
+func runEvmLoop(iters int) (Result, error) {
+	code := asm.MustAssemble(`
+		PUSH1 0
+		PUSH1 100
+	@loop:
+		JUMPDEST
+		DUP1
+		ISZERO
+		PUSH @done
+		JUMPI
+		DUP1
+		SWAP2
+		ADD
+		SWAP1
+		PUSH1 1
+		SWAP1
+		SUB
+		PUSH @loop
+		JUMP
+	@done:
+		JUMPDEST
+		POP
+		PUSH1 0
+		MSTORE
+		PUSH1 32
+		PUSH1 0
+		RETURN
+	`)
+	const chainID = hashing.ChainID(1)
+	db, err := state.NewDB(chainID, trie.KindMPT)
+	if err != nil {
+		return Result{}, err
+	}
+	var origin, contract hashing.Address
+	origin[0], contract[0] = 0xee, 0xcc
+	db.AddBalance(origin, u256.FromUint64(1_000_000))
+	db.CreateContract(contract, code)
+	block := evm.BlockContext{ChainID: chainID, Number: 10, Time: 1_000_000, GasLimit: 30_000_000}
+	e := evm.New(evm.EthereumSchedule(), db, block, evm.TxContext{Origin: origin}, nil)
+	return measure(iters, func() error {
+		_, _, err := e.Call(origin, contract, nil, u256.Zero(), 10_000_000)
+		return err
+	})
+}
+
+func runKitties(iters int) (Result, error) {
+	cfg := workload.KittiesConfig{
+		Shards:           2,
+		Users:            32,
+		PromoCats:        200,
+		Breeds:           400,
+		LocalityBias:     0.93,
+		OutstandingLimit: 250,
+		Seed:             5,
+		MaxDuration:      4 * time.Hour,
+	}
+	var simTPS float64
+	res, err := measure(iters, func() error {
+		out, err := workload.RunKitties(cfg)
+		if err != nil {
+			return err
+		}
+		simTPS = out.Throughput
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Extra = map[string]float64{"sim_tx_s": simTPS}
+	return res, nil
+}
+
+func runFig6Grid(iters int) (Result, error) {
+	return measure(iters, func() error {
+		_, err := bench.RunFig6Grid(bench.ScaleCI, []int{1, 2, 4}, []float64{0, 0.10})
+		return err
+	})
+}

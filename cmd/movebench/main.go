@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations|chaos] [-scale 1.0]
+//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations|chaos|chaossweep] [-scale 1.0]
 //
 // Scale shrinks population sizes and measurement windows uniformly (0.08 is
 // the CI scale; 1.0 approximates the paper's populations). Results print as
@@ -11,6 +11,8 @@
 // The chaos experiment drives repeated cross-chain moves while every
 // message path drops and duplicates traffic (-drop, -dup, -chaos-seed,
 // -moves), printing per-move latency and the fault/recovery counters.
+// chaossweep runs the default fault-rate grid with each configuration on
+// its own goroutine.
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance, chaos")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance, chaos, chaossweep")
 	scale := flag.Float64("scale", 1.0, "population/duration scale (0.08 = CI, 1.0 = paper-like)")
 	flag.Float64Var(&chaosCfg.DropRate, "drop", chaosCfg.DropRate, "chaos: per-message drop probability on every link")
 	flag.Float64Var(&chaosCfg.DupRate, "dup", chaosCfg.DupRate, "chaos: per-message duplication probability on every link")
@@ -41,14 +43,15 @@ var chaosCfg = bench.DefaultChaosConfig()
 
 func run(experiment string, scale bench.Scale) error {
 	runs := map[string]func(bench.Scale) error{
-		"fig5":      runFig5,
-		"fig6":      runFig6,
-		"fig7":      runFig7,
-		"fig8":      runFig89,
-		"fig9":      runFig89,
-		"ablations": runAblations,
-		"rebalance": runRebalance,
-		"chaos":     runChaos,
+		"fig5":       runFig5,
+		"fig6":       runFig6,
+		"fig7":       runFig7,
+		"fig8":       runFig89,
+		"fig9":       runFig89,
+		"ablations":  runAblations,
+		"rebalance":  runRebalance,
+		"chaos":      runChaos,
+		"chaossweep": runChaosSweep,
 	}
 	if experiment == "all" {
 		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "ablations", "rebalance"} {
@@ -143,6 +146,19 @@ func runChaos(bench.Scale) error {
 			return err
 		}
 		fmt.Println(res)
+		return nil
+	})
+}
+
+func runChaosSweep(bench.Scale) error {
+	return timed("chaossweep", func() error {
+		results, err := bench.RunChaosSweep(bench.DefaultChaosSweep())
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			fmt.Println(res)
+		}
 		return nil
 	})
 }

@@ -82,6 +82,26 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	return res, nil
 }
 
+// DefaultChaosSweep is the fault-rate grid of the chaos suite: drops and
+// duplicates ramped together from a clean network to the headline 20/20
+// scenario, all on the same seed so the sweep is reproducible.
+func DefaultChaosSweep() []ChaosConfig {
+	var cfgs []ChaosConfig
+	for _, rate := range []float64{0, 0.05, 0.10, 0.20} {
+		cfgs = append(cfgs, ChaosConfig{DropRate: rate, DupRate: rate, Seed: 12345, Moves: 4})
+	}
+	return cfgs
+}
+
+// RunChaosSweep runs the given chaos configurations as independent parallel
+// cells (each with its own universe and fault RNGs) and returns the results
+// in cfgs order.
+func RunChaosSweep(cfgs []ChaosConfig) ([]*ChaosResult, error) {
+	return runCells(len(cfgs), func(i int) (*ChaosResult, error) {
+		return RunChaos(cfgs[i])
+	})
+}
+
 // String renders the per-move latencies and the counter table.
 func (r *ChaosResult) String() string {
 	out := fmt.Sprintf("Chaos: %d moves under %.0f%% drop + %.0f%% duplication (seed %d)\n",

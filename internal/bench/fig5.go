@@ -43,10 +43,11 @@ func RunFig5(scale Scale) (*Fig5Result, error) {
 	return RunFig5Shards(scale, []int{1, 2, 4, 8})
 }
 
-// RunFig5Shards replays the trace for the given shard counts.
+// RunFig5Shards replays the trace for the given shard counts. Each shard
+// count is an independent simulation cell; cells run in parallel and the
+// rows are assembled in shardCounts order.
 func RunFig5Shards(scale Scale, shardCounts []int) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	for _, shards := range shardCounts {
+	outs, err := runCells(len(shardCounts), func(i int) (*workload.KittiesResult, error) {
 		// The trace must be wide enough that the DAG, not the client
 		// window, limits submission only at the largest shard counts (the
 		// paper's 8-shard starvation): keep at least 2000 initial cats so
@@ -64,7 +65,7 @@ func RunFig5Shards(scale Scale, shardCounts []int) (*Fig5Result, error) {
 			users = 128
 		}
 		cfg := workload.KittiesConfig{
-			Shards:           shards,
+			Shards:           shardCounts[i],
 			Users:            users,
 			PromoCats:        promos,
 			Breeds:           breeds,
@@ -76,8 +77,15 @@ func RunFig5Shards(scale Scale, shardCounts []int) (*Fig5Result, error) {
 		}
 		out, err := workload.RunKitties(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig5 shards=%d: %w", shards, err)
+			return nil, fmt.Errorf("fig5 shards=%d: %w", shardCounts[i], err)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	for i, out := range outs {
 		peak := 0.0
 		for _, p := range out.Timeline.Series() {
 			if p.TPS > peak {
@@ -85,13 +93,13 @@ func RunFig5Shards(scale Scale, shardCounts []int) (*Fig5Result, error) {
 			}
 		}
 		res.Rows = append(res.Rows, Fig5Row{
-			Shards:     shards,
+			Shards:     shardCounts[i],
 			Throughput: out.Throughput,
 			PeakTPS:    peak,
 			CrossRate:  out.CrossRate,
 			Starved:    len(out.StarvedAt) > 0,
 		})
-		if shards == shardCounts[len(shardCounts)-1] {
+		if i == len(outs)-1 {
 			res.Timeline = out.Timeline.Series()
 			res.StarvedAt = out.StarvedAt
 		}

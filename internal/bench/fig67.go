@@ -27,35 +27,48 @@ func RunFig6(scale Scale) (*Fig6Result, error) {
 	return RunFig6Grid(scale, []int{1, 2, 4, 8}, []float64{0, 0.01, 0.05, 0.10, 0.30})
 }
 
-// RunFig6Grid measures the given grid.
+// RunFig6Grid measures the given grid. Every (cross rate, shard count) pair
+// is an independent simulation cell; cells run in parallel and the result
+// keeps the sequential cell order (cross-rate major, shard count minor).
 func RunFig6Grid(scale Scale, shardCounts []int, crossRates []float64) (*Fig6Result, error) {
-	res := &Fig6Result{}
+	type cell struct {
+		shards int
+		cross  float64
+	}
+	var grid []cell
 	for _, cross := range crossRates {
 		for _, shards := range shardCounts {
 			if shards == 1 && cross > 0 {
 				// The paper shows the one-shard bar once as a reference.
 				continue
 			}
-			cfg := workload.SCoinConfig{
-				Shards:            shards,
-				ClientsPerShard:   scale.clients(250),
-				ReceiversPerShard: 16,
-				CrossFraction:     cross,
-				Duration:          scale.window(5 * time.Minute),
-				Seed:              11,
-			}
-			out, err := workload.RunSCoin(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 shards=%d cross=%v: %w", shards, cross, err)
-			}
-			res.Cells = append(res.Cells, Fig6Cell{
-				Shards:       shards,
-				CrossPercent: cross * 100,
-				Throughput:   out.Throughput,
-			})
+			grid = append(grid, cell{shards: shards, cross: cross})
 		}
 	}
-	return res, nil
+	cells, err := runCells(len(grid), func(i int) (Fig6Cell, error) {
+		c := grid[i]
+		cfg := workload.SCoinConfig{
+			Shards:            c.shards,
+			ClientsPerShard:   scale.clients(250),
+			ReceiversPerShard: 16,
+			CrossFraction:     c.cross,
+			Duration:          scale.window(5 * time.Minute),
+			Seed:              11,
+		}
+		out, err := workload.RunSCoin(cfg)
+		if err != nil {
+			return Fig6Cell{}, fmt.Errorf("fig6 shards=%d cross=%v: %w", c.shards, c.cross, err)
+		}
+		return Fig6Cell{
+			Shards:       c.shards,
+			CrossPercent: c.cross * 100,
+			Throughput:   out.Throughput,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{Cells: cells}, nil
 }
 
 // Throughput returns the cell value for a configuration.

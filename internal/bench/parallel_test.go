@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestFig6GridParallelDeterminism pins the parallel harness to sequential
+// semantics: the same grid run on a single CPU and with full parallelism
+// must produce identical cells in identical order. Each cell owns its
+// universe and seeds, so the only way this can fail is cells sharing state
+// or the assembly order depending on completion order.
+func TestFig6GridParallelDeterminism(t *testing.T) {
+	shards := []int{1, 2}
+	rates := []float64{0, 0.10}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := RunFig6Grid(ScaleCI, shards, rates)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunFig6Grid(ScaleCI, shards, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel grid diverged from serial run:\nserial:   %+v\nparallel: %+v",
+			serial.Cells, parallel.Cells)
+	}
+}
+
+// TestRunCellsOrderAndErrors checks the harness itself: results are
+// assembled by input index, and any cell error fails the whole run.
+func TestRunCellsOrderAndErrors(t *testing.T) {
+	out, err := runCells(8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+
+	_, err = runCells(4, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errTestCell
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("cell error was swallowed")
+	}
+}
+
+var errTestCell = errForTest("cell failed")
+
+type errForTest string
+
+func (e errForTest) Error() string { return string(e) }

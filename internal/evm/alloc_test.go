@@ -1,0 +1,60 @@
+package evm_test
+
+import (
+	"testing"
+
+	"scmove/internal/evm/asm"
+	"scmove/internal/u256"
+)
+
+// TestInterpreterLoopAllocsBounded is the allocation-regression guard for
+// the interpreter hot path: a message call running a tight arithmetic loop
+// must stay within a handful of allocations. Frame, stack, and memory come
+// from the frame pool and the jumpdest bitmap from the code-hash cache, so
+// what remains is the state snapshot/journal machinery and the returned
+// copy of memory. A pool miss after GC can add an object or two, which the
+// bound tolerates — tripling it cannot happen without losing the pooling.
+func TestInterpreterLoopAllocsBounded(t *testing.T) {
+	code := asm.MustAssemble(`
+		PUSH1 0
+		PUSH1 100
+	@loop:
+		JUMPDEST
+		DUP1
+		ISZERO
+		PUSH @done
+		JUMPI
+		DUP1
+		SWAP2
+		ADD
+		SWAP1
+		PUSH1 1
+		SWAP1
+		SUB
+		PUSH @loop
+		JUMP
+	@done:
+		JUMPDEST
+		POP
+		PUSH1 0
+		MSTORE
+		PUSH1 32
+		PUSH1 0
+		RETURN
+	`)
+	e := newEnv(t, nil)
+	e.db.CreateContract(contract, code)
+	// Warm the frame pool and the jumpdest cache.
+	if _, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := e.evm.Call(origin, contract, nil, u256.Zero(), testGas); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 6
+	if allocs > maxAllocs {
+		t.Fatalf("tight-loop call allocates %.1f objects/op, want <= %d", allocs, maxAllocs)
+	}
+}

@@ -3,6 +3,7 @@ package evm
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"scmove/internal/hashing"
 	"scmove/internal/u256"
@@ -34,7 +35,10 @@ func (e *EVM) Block() BlockContext { return e.block }
 // State returns the underlying state access.
 func (e *EVM) State() StateAccess { return e.state }
 
-// frame is one call frame.
+// frame is one call frame. Frames are pooled (acquireFrame/releaseFrame):
+// the gas meter and stack are embedded by value, and the stack and memory
+// backing arrays survive release, so a call frame costs no allocations once
+// the pool is warm.
 type frame struct {
 	self     hashing.Address // storage and balance context
 	codeAddr hashing.Address // whose code runs (differs under DELEGATECALL)
@@ -42,12 +46,30 @@ type frame struct {
 	code     []byte
 	input    []byte
 	value    u256.Int
-	gas      *GasMeter
+	gas      GasMeter
 	static   bool
 
 	mem        memory
-	stk        *stack
+	stk        stack
 	returnData []byte
+}
+
+// framePool recycles call frames across message calls; a frame is acquired
+// and released for every call, so pooling removes the frame, stack, and
+// memory allocations from the interpreter hot path.
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func acquireFrame() *frame { return framePool.Get().(*frame) }
+
+// releaseFrame zeroes the frame for reuse, retaining the stack's and
+// memory's backing arrays. Callers must capture gas.Remaining() and must not
+// retain the frame (or views into its memory) past release.
+func releaseFrame(f *frame) {
+	*f = frame{
+		mem: memory{data: f.mem.data[:0]},
+		stk: stack{data: f.stk.data[:0]},
+	}
+	framePool.Put(f)
 }
 
 // Call runs a message call from caller to to.
@@ -72,28 +94,29 @@ func (e *EVM) callInner(caller, self, codeAddr hashing.Address, input []byte,
 			return nil, gas, err
 		}
 	}
-	f := &frame{
-		self:     self,
-		codeAddr: codeAddr,
-		caller:   caller,
-		code:     e.state.GetCode(codeAddr),
-		input:    input,
-		value:    value,
-		gas:      NewGasMeter(gas),
-		static:   static,
-		stk:      newStack(e.sched.StackLimit),
-	}
+	f := acquireFrame()
+	f.self = self
+	f.codeAddr = codeAddr
+	f.caller = caller
+	f.code = e.state.GetCode(codeAddr)
+	f.input = input
+	f.value = value
+	f.gas = GasMeter{remaining: gas}
+	f.static = static
+	f.stk.limit = int(e.sched.StackLimit)
 	e.depth++
 	ret, err := e.execute(f)
 	e.depth--
+	gasLeft := f.gas.Remaining()
+	releaseFrame(f)
 	if err != nil {
 		e.state.RevertToSnapshot(snap)
 		if errors.Is(err, ErrRevert) {
-			return ret, f.gas.Remaining(), err
+			return ret, gasLeft, err
 		}
 		return nil, 0, err
 	}
-	return ret, f.gas.Remaining(), nil
+	return ret, gasLeft, nil
 }
 
 // Create deploys a payload as a new contract whose address is derived from
@@ -172,23 +195,25 @@ func (e *EVM) createAt(caller, addr hashing.Address, code []byte, impl Native,
 		if err := meter.Consume(childGas); err != nil {
 			return 0, err
 		}
-		childFrame := &frame{
-			self:     addr,
-			codeAddr: addr,
-			caller:   caller,
-			code:     code,
-			value:    value,
-			gas:      NewGasMeter(childGas),
-		}
+		childFrame := acquireFrame()
+		childFrame.self = addr
+		childFrame.codeAddr = addr
+		childFrame.caller = caller
+		childFrame.code = code
+		childFrame.value = value
+		childFrame.gas = GasMeter{remaining: childGas}
+		childFrame.stk.limit = int(e.sched.StackLimit)
 		childCall := &NativeCall{evm: e, frame: childFrame, impl: impl}
 		e.depth++
 		err := impl.OnCreate(childCall, args)
 		e.depth--
+		childLeft := childFrame.gas.Remaining()
+		releaseFrame(childFrame)
 		if err != nil {
 			e.state.RevertToSnapshot(snap)
 			return 0, fmt.Errorf("constructor: %w", err)
 		}
-		meter.Refund(childFrame.gas.Remaining())
+		meter.Refund(childLeft)
 	}
 	return meter.Remaining(), nil
 }
@@ -252,7 +277,7 @@ func (e *EVM) execute(f *frame) ([]byte, error) {
 func (e *EVM) interpret(f *frame) ([]byte, error) {
 	var (
 		s         = &e.sched
-		dests     = jumpdests(f.code)
+		dests     = cachedJumpdests(e.state.GetCodeHash(f.codeAddr), f.code)
 		pc        uint64
 		memWords  uint64
 		codeLen   = uint64(len(f.code))
@@ -992,6 +1017,41 @@ func (e *EVM) opCall(f *frame, op Opcode, expand func(off, size u256.Int) (uint6
 func (e *EVM) runNative(f *frame, n Native) ([]byte, error) {
 	call := &NativeCall{evm: e, frame: f, impl: n}
 	return n.Run(call, f.input)
+}
+
+// jumpdestCache memoizes jumpdest analysis by code hash: contracts are
+// called many times per run, and rescanning the code for every frame is
+// O(len(code)) of pure waste. The cache is package-level and shared across
+// EVM instances — including parallel simulation universes — which is safe
+// because entries are keyed by content hash. It is bounded by flushing
+// wholesale when it reaches jumpdestCacheLimit distinct code blobs.
+var jumpdestCache = struct {
+	sync.RWMutex
+	m map[hashing.Hash][]bool
+}{m: make(map[hashing.Hash][]bool)}
+
+const jumpdestCacheLimit = 4096
+
+// cachedJumpdests returns the jumpdest bitmap for code, consulting the cache
+// when a non-zero code hash is available.
+func cachedJumpdests(codeHash hashing.Hash, code []byte) []bool {
+	if codeHash.IsZero() {
+		return jumpdests(code)
+	}
+	jumpdestCache.RLock()
+	dests, ok := jumpdestCache.m[codeHash]
+	jumpdestCache.RUnlock()
+	if ok {
+		return dests
+	}
+	dests = jumpdests(code)
+	jumpdestCache.Lock()
+	if len(jumpdestCache.m) >= jumpdestCacheLimit {
+		jumpdestCache.m = make(map[hashing.Hash][]bool, jumpdestCacheLimit)
+	}
+	jumpdestCache.m[codeHash] = dests
+	jumpdestCache.Unlock()
+	return dests
 }
 
 // jumpdests scans code and marks valid JUMPDEST positions, skipping PUSH

@@ -36,10 +36,18 @@ func (m *memory) expansionWords(off, n u256.Int) (uint64, bool) {
 	return toWords(end), true
 }
 
-// resize grows memory to words*32 bytes.
+// resize grows memory to words*32 bytes. Spare capacity left behind by a
+// pooled frame is reused, but must be cleared: EVM memory is defined to be
+// zero-initialized, and the capacity may hold bytes from an earlier frame.
 func (m *memory) resize(words uint64) {
 	newSize := words * 32
 	if newSize <= m.size() {
+		return
+	}
+	if newSize <= uint64(cap(m.data)) {
+		old := len(m.data)
+		m.data = m.data[:newSize]
+		clear(m.data[old:])
 		return
 	}
 	grown := make([]byte, newSize)

@@ -2,14 +2,11 @@ package evm
 
 import "scmove/internal/u256"
 
-// stack is the 256-bit word stack of one call frame.
+// stack is the 256-bit word stack of one call frame. Frames embed it by
+// value; the backing array is reused when the frame is pooled.
 type stack struct {
 	data  []u256.Int
 	limit int
-}
-
-func newStack(limit uint64) *stack {
-	return &stack{data: make([]u256.Int, 0, 32), limit: int(limit)}
 }
 
 func (s *stack) len() int { return len(s.data) }

@@ -1,0 +1,41 @@
+package hashing
+
+import "testing"
+
+// TestSumSingleChunkZeroAlloc pins the fast path: hashing one chunk goes
+// straight through sha256.Sum256 with no intermediate buffer.
+func TestSumSingleChunkZeroAlloc(t *testing.T) {
+	data := make([]byte, 200)
+	allocs := testing.AllocsPerRun(200, func() {
+		Sum(data)
+	})
+	if allocs != 0 {
+		t.Fatalf("Sum(one chunk) allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSumMultiChunkPooled bounds the slow path: multi-chunk sums draw a
+// pooled hasher, so steady-state allocation stays near zero (an occasional
+// pool miss after GC is tolerated).
+func TestSumMultiChunkPooled(t *testing.T) {
+	a, b := make([]byte, 64), make([]byte, 64)
+	Sum(a, b) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		Sum(a, b)
+	})
+	if allocs > 1 {
+		t.Fatalf("Sum(two chunks) allocates %.1f objects/op, want <= 1", allocs)
+	}
+}
+
+// TestSumTaggedPooled mirrors TestSumMultiChunkPooled for the tagged form.
+func TestSumTaggedPooled(t *testing.T) {
+	data := make([]byte, 100)
+	SumTagged(0x4e, data)
+	allocs := testing.AllocsPerRun(200, func() {
+		SumTagged(0x4e, data)
+	})
+	if allocs > 1 {
+		t.Fatalf("SumTagged allocates %.1f objects/op, want <= 1", allocs)
+	}
+}

@@ -36,14 +36,19 @@ var ZeroHash Hash
 // ZeroAddress is the all-zero address.
 var ZeroAddress Address
 
-// Sum hashes the concatenation of the given byte slices.
+// Sum hashes the concatenation of the given byte slices. The single-chunk
+// form is allocation-free; multi-chunk input concatenates in a pooled
+// buffer instead of a fresh digest.
 func Sum(chunks ...[]byte) Hash {
-	h := sha256.New()
+	if len(chunks) == 1 {
+		return Hash(sha256.Sum256(chunks[0]))
+	}
+	h := AcquireHasher()
 	for _, c := range chunks {
 		h.Write(c)
 	}
-	var out Hash
-	copy(out[:], h.Sum(nil))
+	out := h.Sum()
+	ReleaseHasher(h)
 	return out
 }
 
@@ -51,13 +56,13 @@ func Sum(chunks ...[]byte) Hash {
 // tags guarantee that, e.g., trie leaves can never be confused with trie
 // branches (second-preimage protection in Merkle proofs).
 func SumTagged(tag byte, chunks ...[]byte) Hash {
-	h := sha256.New()
-	h.Write([]byte{tag})
+	h := AcquireHasher()
+	h.Byte(tag)
 	for _, c := range chunks {
 		h.Write(c)
 	}
-	var out Hash
-	copy(out[:], h.Sum(nil))
+	out := h.Sum()
+	ReleaseHasher(h)
 	return out
 }
 

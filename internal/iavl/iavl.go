@@ -13,9 +13,9 @@ package iavl
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
-	"scmove/internal/codec"
 	"scmove/internal/hashing"
 	"scmove/internal/trie"
 )
@@ -30,7 +30,11 @@ type node struct {
 	prio        hashing.Hash
 	left, right *node
 
+	// hash and enc cache the node hash and its canonical encoding while the
+	// subtree is clean, so unchanged subtrees are neither re-encoded nor
+	// re-hashed by RootHash or Prove.
 	hash  hashing.Hash
+	enc   []byte
 	clean bool
 }
 
@@ -223,30 +227,46 @@ func rotateLeft(n *node) *node {
 	return r
 }
 
-// encode returns the canonical encoding hashed into the node hash.
-func (n *node) encode() []byte {
-	w := codec.NewWriter(96)
-	w.WriteUvarint(tagNode)
-	w.WriteBytes(n.key)
-	w.WriteBytes(n.value)
+// appendEncode appends the canonical node encoding to b, byte-identical to
+// the codec.Writer format proofs decode: uvarint tag, length-prefixed key
+// and value, raw child hashes.
+func (n *node) appendEncode(b []byte) []byte {
+	b = binary.AppendUvarint(b, tagNode)
+	b = binary.AppendUvarint(b, uint64(len(n.key)))
+	b = append(b, n.key...)
+	b = binary.AppendUvarint(b, uint64(len(n.value)))
+	b = append(b, n.value...)
 	if n.left == nil {
-		w.WriteHash(hashing.ZeroHash)
+		b = append(b, hashing.ZeroHash[:]...)
 	} else {
-		w.WriteHash(n.left.hashNode())
+		h := n.left.hashNode()
+		b = append(b, h[:]...)
 	}
 	if n.right == nil {
-		w.WriteHash(hashing.ZeroHash)
+		b = append(b, hashing.ZeroHash[:]...)
 	} else {
-		w.WriteHash(n.right.hashNode())
+		h := n.right.hashNode()
+		b = append(b, h[:]...)
 	}
-	return w.Bytes()
+	return b
+}
+
+// encode returns the canonical encoding of a clean node, hashing (and
+// caching) it first if needed. The returned slice is the node's cache;
+// callers must not retain or mutate it across tree mutations.
+func (n *node) encode() []byte {
+	if !n.clean {
+		n.hashNode()
+	}
+	return n.enc
 }
 
 func (n *node) hashNode() hashing.Hash {
 	if n.clean {
 		return n.hash
 	}
-	n.hash = hashing.Sum(n.encode())
+	n.enc = n.appendEncode(n.enc[:0])
+	n.hash = hashing.Sum(n.enc)
 	n.clean = true
 	return n.hash
 }

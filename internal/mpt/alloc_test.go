@@ -1,0 +1,63 @@
+package mpt
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Allocation-regression tests: the trie sits under every SLOAD/SSTORE of
+// the simulator, so its per-op allocation profile is a contract, not an
+// accident. testing.AllocsPerRun fails loudly if a future change starts
+// allocating on the read path again.
+
+func allocTestTree(tb testing.TB, n int) *Tree {
+	tb.Helper()
+	tr := New(4)
+	for i := 0; i < n; i++ {
+		var key [4]byte
+		binary.BigEndian.PutUint32(key[:], uint32(i*2654435761))
+		if err := tr.Set(key[:], []byte{byte(i), byte(i >> 8), 1}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestGetZeroAlloc pins the headline property of the scratch-buffer work:
+// Get on a committed (hashed) tree allocates nothing at all.
+func TestGetZeroAlloc(t *testing.T) {
+	tr := allocTestTree(t, 512)
+	tr.RootHash()
+	var key [4]byte
+	i := 100
+	binary.BigEndian.PutUint32(key[:], uint32(i*2654435761))
+	if _, ok := tr.Get(key[:]); !ok {
+		t.Fatal("key must be present")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Get(key[:])
+	})
+	if allocs != 0 {
+		t.Fatalf("Get on committed tree allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSetOverwriteAllocsBounded bounds the write path: overwriting an
+// existing key copies the value (one allocation) and must not reallocate
+// the path nodes or the key nibbles.
+func TestSetOverwriteAllocsBounded(t *testing.T) {
+	tr := allocTestTree(t, 512)
+	tr.RootHash()
+	var key [4]byte
+	i := 100
+	binary.BigEndian.PutUint32(key[:], uint32(i*2654435761))
+	val := []byte{9, 9, 9}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := tr.Set(key[:], val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Set overwrite allocates %.1f objects/op, want <= 1 (the value copy)", allocs)
+	}
+}

@@ -14,9 +14,9 @@ package mpt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
-	"scmove/internal/codec"
 	"scmove/internal/hashing"
 	"scmove/internal/trie"
 )
@@ -43,16 +43,24 @@ type node struct {
 	child    *node  // ext only
 	children [16]*node
 
+	// hash and enc cache the node hash and its canonical encoding while the
+	// subtree is clean, so unchanged subtrees are neither re-encoded nor
+	// re-hashed by RootHash or Prove.
 	hash  hashing.Hash
+	enc   []byte
 	clean bool
 }
 
 // Tree is a Merkle Patricia trie. Construct with New; the zero value is not
 // usable because the key length must be fixed up front.
+//
+// A Tree is not safe for concurrent use: lookups share a scratch nibble
+// buffer so that reads on a committed tree are allocation-free.
 type Tree struct {
-	root   *node
-	keyLen int
-	count  int
+	root       *node
+	keyLen     int
+	count      int
+	nibScratch []byte // reusable key-nibble buffer for Get/Set/Delete/Prove
 }
 
 var _ trie.Tree = (*Tree)(nil)
@@ -77,7 +85,7 @@ func (t *Tree) Get(key []byte) ([]byte, bool) {
 		return nil, false
 	}
 	n := t.root
-	nibs := bytesToNibbles(key)
+	nibs := t.keyNibbles(key)
 	for n != nil {
 		switch n.kind {
 		case kindLeaf:
@@ -112,7 +120,8 @@ func (t *Tree) Set(key, value []byte) error {
 	val := make([]byte, len(value))
 	copy(val, value)
 	var added bool
-	t.root, added = insert(t.root, bytesToNibbles(key), val)
+	// keyNibbles is a scratch buffer: insert copies any path it retains.
+	t.root, added = insert(t.root, t.keyNibbles(key), val)
 	if added {
 		t.count++
 	}
@@ -125,7 +134,7 @@ func (t *Tree) Delete(key []byte) error {
 		return fmt.Errorf("%w: got %d want %d", trie.ErrKeyLength, len(key), t.keyLen)
 	}
 	var removed bool
-	t.root, removed = remove(t.root, bytesToNibbles(key))
+	t.root, removed = remove(t.root, t.keyNibbles(key))
 	if removed {
 		t.count--
 	}
@@ -169,10 +178,11 @@ func (t *Tree) Iterate(fn func(key, value []byte) bool) {
 }
 
 // insert returns the updated subtree and whether a new key was added (as
-// opposed to replacing an existing value).
+// opposed to replacing an existing value). nibs may point into the tree's
+// scratch buffer, so any retained path is copied (cloneNibs).
 func insert(n *node, nibs, value []byte) (*node, bool) {
 	if n == nil {
-		return &node{kind: kindLeaf, nibbles: nibs, value: value}, true
+		return &node{kind: kindLeaf, nibbles: cloneNibs(nibs), value: value}, true
 	}
 	n.clean = false
 	switch n.kind {
@@ -187,7 +197,7 @@ func insert(n *node, nibs, value []byte) (*node, bool) {
 		// exhausted, so both remainders are non-empty.
 		old := &node{kind: kindLeaf, nibbles: n.nibbles[p+1:], value: n.value}
 		branch.children[n.nibbles[p]] = old
-		branch.children[nibs[p]] = &node{kind: kindLeaf, nibbles: nibs[p+1:], value: value}
+		branch.children[nibs[p]] = &node{kind: kindLeaf, nibbles: cloneNibs(nibs[p+1:]), value: value}
 		return wrapExt(nibs[:p], branch), true
 	case kindExt:
 		p := commonPrefix(n.nibbles, nibs)
@@ -199,7 +209,7 @@ func insert(n *node, nibs, value []byte) (*node, bool) {
 		// Split the extension at the divergence point.
 		branch := &node{kind: kindBranch}
 		branch.children[n.nibbles[p]] = wrapExt(n.nibbles[p+1:], n.child)
-		branch.children[nibs[p]] = &node{kind: kindLeaf, nibbles: nibs[p+1:], value: value}
+		branch.children[nibs[p]] = &node{kind: kindLeaf, nibbles: cloneNibs(nibs[p+1:]), value: value}
 		return wrapExt(nibs[:p], branch), true
 	default: // branch
 		idx := nibs[0]
@@ -289,6 +299,12 @@ func concatNibs(a, b []byte) []byte {
 	return append(out, b...)
 }
 
+func cloneNibs(nibs []byte) []byte {
+	out := make([]byte, len(nibs))
+	copy(out, nibs)
+	return out
+}
+
 func commonPrefix(a, b []byte) int {
 	i := 0
 	for i < len(a) && i < len(b) && a[i] == b[i] {
@@ -297,39 +313,70 @@ func commonPrefix(a, b []byte) int {
 	return i
 }
 
-// encode returns the canonical byte encoding of a node; the node hash is the
-// chain hash of this encoding.
-func (n *node) encode() []byte {
-	w := codec.NewWriter(64)
+// appendEncode appends the canonical byte encoding of a node to b. The
+// format is byte-identical to the codec.Writer encoding proofs decode:
+// uvarint tag, length-prefixed byte strings, raw 32-byte hashes.
+func (n *node) appendEncode(b []byte) []byte {
 	switch n.kind {
 	case kindLeaf:
-		w.WriteUvarint(tagLeaf)
-		w.WriteBytes(n.nibbles)
-		w.WriteBytes(n.value)
+		b = binary.AppendUvarint(b, tagLeaf)
+		b = binary.AppendUvarint(b, uint64(len(n.nibbles)))
+		b = append(b, n.nibbles...)
+		b = binary.AppendUvarint(b, uint64(len(n.value)))
+		b = append(b, n.value...)
 	case kindExt:
-		w.WriteUvarint(tagExt)
-		w.WriteBytes(n.nibbles)
-		w.WriteHash(n.child.hashNode())
+		b = binary.AppendUvarint(b, tagExt)
+		b = binary.AppendUvarint(b, uint64(len(n.nibbles)))
+		b = append(b, n.nibbles...)
+		h := n.child.hashNode()
+		b = append(b, h[:]...)
 	default:
-		w.WriteUvarint(tagBranch)
+		b = binary.AppendUvarint(b, tagBranch)
 		for i := 0; i < 16; i++ {
 			if n.children[i] == nil {
-				w.WriteHash(hashing.ZeroHash)
+				b = append(b, hashing.ZeroHash[:]...)
 			} else {
-				w.WriteHash(n.children[i].hashNode())
+				h := n.children[i].hashNode()
+				b = append(b, h[:]...)
 			}
 		}
 	}
-	return w.Bytes()
+	return b
+}
+
+// encode returns the canonical encoding of a clean node, hashing (and
+// caching) it first if needed. The returned slice is the node's cache;
+// callers must not retain or mutate it across tree mutations.
+func (n *node) encode() []byte {
+	if !n.clean {
+		n.hashNode()
+	}
+	return n.enc
 }
 
 func (n *node) hashNode() hashing.Hash {
 	if n.clean {
 		return n.hash
 	}
-	n.hash = hashing.Sum(n.encode())
+	n.enc = n.appendEncode(n.enc[:0])
+	n.hash = hashing.Sum(n.enc)
 	n.clean = true
 	return n.hash
+}
+
+// keyNibbles expands key into the tree's scratch nibble buffer. The result
+// is valid until the next keyNibbles call; retained paths must be copied.
+func (t *Tree) keyNibbles(key []byte) []byte {
+	need := len(key) * 2
+	if cap(t.nibScratch) < need {
+		t.nibScratch = make([]byte, need)
+	}
+	nibs := t.nibScratch[:need]
+	for i, b := range key {
+		nibs[i*2] = b >> 4
+		nibs[i*2+1] = b & 0x0f
+	}
+	return nibs
 }
 
 // bytesToNibbles expands each byte into two hex nibbles (high first).

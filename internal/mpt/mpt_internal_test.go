@@ -91,6 +91,72 @@ func checkShape(t *testing.T, n *node) {
 	}
 }
 
+// TestDifferentialAgainstFreshTree extends TestHashCacheConsistency to the
+// full authenticated surface: after randomized insert/delete/re-insert
+// traffic, the long-lived tree — with its populated hash caches, encoding
+// caches, and reused scratch buffers — must be indistinguishable from a
+// tree built fresh from the surviving entries. Root hashes must match and
+// every membership proof must be byte-identical.
+func TestDifferentialAgainstFreshTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr := New(4)
+	live := map[uint32][]byte{}
+	for op := 0; op < 3000; op++ {
+		k := uint32(rng.Intn(256))
+		var key [4]byte
+		binary.BigEndian.PutUint32(key[:], k)
+		if rng.Intn(4) == 0 {
+			if err := tr.Delete(key[:]); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, k)
+		} else {
+			v := []byte{byte(op), byte(op >> 8), 3}
+			if err := tr.Set(key[:], v); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = v
+		}
+		if op%250 != 0 || len(live) == 0 {
+			continue
+		}
+		fresh := New(4)
+		for lk, lv := range live {
+			var fk [4]byte
+			binary.BigEndian.PutUint32(fk[:], lk)
+			if err := fresh.Set(fk[:], lv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root := tr.RootHash()
+		if fresh.RootHash() != root {
+			t.Fatalf("op %d: root diverges from fresh tree", op)
+		}
+		for lk, lv := range live {
+			var pk [4]byte
+			binary.BigEndian.PutUint32(pk[:], lk)
+			p1, err := tr.Prove(pk[:])
+			if err != nil {
+				t.Fatalf("op %d key %08x: prove (lived): %v", op, lk, err)
+			}
+			p2, err := fresh.Prove(pk[:])
+			if err != nil {
+				t.Fatalf("op %d key %08x: prove (fresh): %v", op, lk, err)
+			}
+			if !bytes.Equal(p1, p2) {
+				t.Fatalf("op %d key %08x: proofs diverge", op, lk)
+			}
+			entry, err := VerifyProof(root, p1)
+			if err != nil {
+				t.Fatalf("op %d key %08x: verify: %v", op, lk, err)
+			}
+			if !bytes.Equal(entry.Key, pk[:]) || !bytes.Equal(entry.Value, lv) {
+				t.Fatalf("op %d key %08x: proven entry mismatch", op, lk)
+			}
+		}
+	}
+}
+
 func TestHashCacheConsistency(t *testing.T) {
 	// Interleave reads of RootHash with mutations: the cached hashes must
 	// always equal a fresh recomputation.

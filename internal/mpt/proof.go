@@ -17,7 +17,7 @@ func (t *Tree) Prove(key []byte) ([]byte, error) {
 	if len(key) != t.keyLen {
 		return nil, fmt.Errorf("%w: got %d want %d", trie.ErrKeyLength, len(key), t.keyLen)
 	}
-	nibs := bytesToNibbles(key)
+	nibs := t.keyNibbles(key)
 	w := codec.NewWriter(512)
 	var steps int
 	body := codec.NewWriter(512)

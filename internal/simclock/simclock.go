@@ -10,16 +10,19 @@
 package simclock
 
 import (
-	"container/heap"
 	"time"
 )
 
 // Scheduler is a discrete-event clock. The zero value is ready to use.
 // It is not safe for concurrent use: the whole simulation is single-
 // threaded by design, which is what makes runs deterministic.
+//
+// The event queue is a hand-rolled binary heap over event values (not
+// pointers), so scheduling an event allocates nothing beyond amortized
+// slice growth — the scheduler sits on every hot path of the simulator.
 type Scheduler struct {
 	now    time.Duration
-	queue  eventQueue
+	queue  []event
 	nextID uint64
 }
 
@@ -40,7 +43,8 @@ func (s *Scheduler) At(t time.Duration, fn func()) {
 		t = s.now
 	}
 	s.nextID++
-	heap.Push(&s.queue, &event{at: t, seq: s.nextID, fn: fn})
+	s.queue = append(s.queue, event{at: t, seq: s.nextID, fn: fn})
+	s.siftUp(len(s.queue) - 1)
 }
 
 // After schedules fn to run d from now.
@@ -50,12 +54,16 @@ func (s *Scheduler) After(d time.Duration, fn func()) {
 
 // Step runs the next event, if any, advancing the clock to its time.
 func (s *Scheduler) Step() bool {
-	if s.queue.Len() == 0 {
+	if len(s.queue) == 0 {
 		return false
 	}
-	ev, ok := heap.Pop(&s.queue).(*event)
-	if !ok {
-		return false
+	ev := s.queue[0]
+	last := len(s.queue) - 1
+	s.queue[0] = s.queue[last]
+	s.queue[last] = event{} // release the closure for GC
+	s.queue = s.queue[:last]
+	if last > 0 {
+		s.siftDown(0)
 	}
 	s.now = ev.at
 	ev.fn()
@@ -71,7 +79,7 @@ func (s *Scheduler) Run() {
 // RunUntil executes events with time ≤ deadline, then sets the clock to the
 // deadline. Events scheduled beyond the deadline remain queued.
 func (s *Scheduler) RunUntil(deadline time.Duration) {
-	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
 		s.Step()
 	}
 	if s.now < deadline {
@@ -80,7 +88,7 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 }
 
 // Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return len(s.queue) }
 
 type event struct {
 	at  time.Duration
@@ -88,32 +96,42 @@ type event struct {
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders events by time, then scheduling order. The (at, seq) pair is
+// a strict total order, so the pop sequence — and with it simulation
+// determinism — is independent of the heap's internal layout.
+func (s *Scheduler) less(i, j int) bool {
+	if s.queue[i].at != s.queue[j].at {
+		return s.queue[i].at < s.queue[j].at
 	}
-	return q[i].seq < q[j].seq
+	return s.queue[i].seq < s.queue[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
+func (s *Scheduler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
 	}
-	*q = append(*q, ev)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && s.less(right, left) {
+			min = right
+		}
+		if !s.less(min, i) {
+			return
+		}
+		s.queue[i], s.queue[min] = s.queue[min], s.queue[i]
+		i = min
+	}
 }

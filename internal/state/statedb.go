@@ -1,6 +1,7 @@
 package state
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -25,6 +26,7 @@ type DB struct {
 	codes       map[hashing.Hash][]byte       // content-addressed code
 	cache       map[hashing.Address]*Account  // decoded working set
 	dirty       map[hashing.Address]struct{}  // accounts to flush on Commit
+	dirtyOrder  []hashing.Address             // dirty addresses, kept sorted
 
 	logs    []*evm.Log
 	journal journal
@@ -86,8 +88,24 @@ func (db *DB) mutable(addr hashing.Address) *Account {
 		acct = &Account{Location: db.chainID}
 		db.cache[addr] = acct
 	}
-	db.dirty[addr] = struct{}{}
+	db.markDirty(addr)
 	return acct
+}
+
+// markDirty records addr for the next Commit, maintaining dirtyOrder as a
+// sorted list so Commit flushes deterministically without re-sorting the
+// whole dirty set from scratch.
+func (db *DB) markDirty(addr hashing.Address) {
+	if _, ok := db.dirty[addr]; ok {
+		return
+	}
+	db.dirty[addr] = struct{}{}
+	i := sort.Search(len(db.dirtyOrder), func(i int) bool {
+		return bytes.Compare(db.dirtyOrder[i][:], addr[:]) >= 0
+	})
+	db.dirtyOrder = append(db.dirtyOrder, hashing.Address{})
+	copy(db.dirtyOrder[i+1:], db.dirtyOrder[i:])
+	db.dirtyOrder[i] = addr
 }
 
 func cloneAccount(a *Account) *Account {
@@ -201,14 +219,16 @@ func (db *DB) GetStorage(addr hashing.Address, key evm.Word) evm.Word {
 
 // SetStorage implements evm.StateAccess; storing the zero word deletes.
 func (db *DB) SetStorage(addr hashing.Address, key, value evm.Word) {
-	prev := db.GetStorage(addr, key)
-	_, hadPrev := db.storageTree(addr).Get(key[:])
+	// One tree lookup feeds both the journal entry and the existence check.
+	t := db.storageTree(addr)
+	prevBytes, hadPrev := t.Get(key[:])
+	var prev evm.Word
+	copy(prev[:], prevBytes)
 	db.journal.append(journalEntry{
 		kind: jStorage, addr: addr, key: key, prevValue: prev, prevExisted: hadPrev,
 	})
-	db.dirty[addr] = struct{}{}
+	db.markDirty(addr)
 	var zero evm.Word
-	t := db.storageTree(addr)
 	if value == zero {
 		// Fixed-length keys are enforced at this boundary, so errors are
 		// impossible; check anyway to honor the Tree contract.
@@ -258,7 +278,7 @@ func (db *DB) DeleteAccount(addr hashing.Address) {
 	})
 	db.journalStorageWipe(addr)
 	db.cache[addr] = nil
-	db.dirty[addr] = struct{}{}
+	db.markDirty(addr)
 	db.storage[addr] = trees.MustNew(db.kind, 32)
 }
 
@@ -308,15 +328,9 @@ func (db *DB) DiscardJournal() { db.journal.reset() }
 // Commit flushes dirty accounts into the account tree and returns the state
 // root. The journal is discarded: committed state cannot be reverted.
 func (db *DB) Commit() hashing.Hash {
-	// Deterministic flush order (map iteration is randomized).
-	addrs := make([]hashing.Address, 0, len(db.dirty))
-	for addr := range db.dirty {
-		addrs = append(addrs, addr)
-	}
-	sort.Slice(addrs, func(i, j int) bool {
-		return string(addrs[i][:]) < string(addrs[j][:])
-	})
-	for _, addr := range addrs {
+	// dirtyOrder is maintained sorted by markDirty, so the deterministic
+	// flush order comes for free (map iteration is randomized).
+	for _, addr := range db.dirtyOrder {
 		acct := db.cache[addr]
 		if acct == nil {
 			if err := db.accountTree.Delete(addr[:]); err != nil {
@@ -337,7 +351,8 @@ func (db *DB) Commit() hashing.Hash {
 			panic(fmt.Sprintf("state: commit set: %v", err))
 		}
 	}
-	db.dirty = make(map[hashing.Address]struct{})
+	clear(db.dirty)
+	db.dirtyOrder = db.dirtyOrder[:0]
 	db.journal.reset()
 	return db.accountTree.RootHash()
 }

@@ -30,14 +30,18 @@ type Pool struct {
 type entry struct {
 	tx     *types.Transaction
 	sender hashing.Address
+	id     hashing.Hash // tx.ID() captured at admission; an ID() call encodes and hashes the whole tx
 }
 
 // New returns a pool for the given chain holding at most limit transactions.
+// The pending set grows on demand: limits are commonly generous (100k) while
+// steady-state occupancy is tiny, so sizing the map up front wastes megabytes
+// per node.
 func New(chainID hashing.ChainID, limit int) *Pool {
 	return &Pool{
 		chainID: chainID,
 		limit:   limit,
-		pending: make(map[hashing.Hash]struct{}, limit),
+		pending: make(map[hashing.Hash]struct{}),
 	}
 }
 
@@ -61,7 +65,7 @@ func (p *Pool) Add(tx *types.Transaction) error {
 		return err
 	}
 	p.pending[id] = struct{}{}
-	p.queue = append(p.queue, &entry{tx: tx, sender: sender})
+	p.queue = append(p.queue, &entry{tx: tx, sender: sender, id: id})
 	return nil
 }
 
@@ -96,7 +100,7 @@ func (p *Pool) NextBatch(max int, nonceOf func(hashing.Address) uint64) []*types
 			want = nonceOf(e.sender)
 		}
 		if e.tx.Nonce < want {
-			delete(p.pending, e.tx.ID())
+			delete(p.pending, e.id)
 			continue
 		}
 		keep = append(keep, e)
@@ -118,7 +122,7 @@ func (p *Pool) Remove(id hashing.Hash) {
 	}
 	delete(p.pending, id)
 	for i, e := range p.queue {
-		if e.tx.ID() == id {
+		if e.id == id {
 			p.queue = append(p.queue[:i], p.queue[i+1:]...)
 			return
 		}

@@ -157,8 +157,50 @@ func decodeMove2(r *codec.Reader) *Move2Payload {
 // ID returns the transaction identifier: the hash of the unsigned encoding.
 // Signatures are excluded so the id is stable under re-signing, keeping
 // block hashes deterministic in simulations.
+//
+// The hash is computed through a pooled hasher rather than by materializing
+// encodeUnsigned(): ID is recomputed on every signature-cache check (see
+// Sender), which makes it one of the hottest functions in the system.
+// hashUnsigned must stay byte-identical to encodeUnsigned.
 func (tx *Transaction) ID() hashing.Hash {
-	return hashing.Sum(tx.encodeUnsigned())
+	h := hashing.AcquireHasher()
+	tx.hashUnsigned(h)
+	id := h.Sum()
+	hashing.ReleaseHasher(h)
+	return id
+}
+
+// hashUnsigned feeds the signed-field encoding into h, mirroring
+// encodeUnsigned byte for byte (TestIDMatchesUnsignedEncoding holds the two
+// in lockstep).
+func (tx *Transaction) hashUnsigned(h *hashing.Hasher) {
+	h.Uvarint(uint64(tx.ChainID))
+	h.Uvarint(tx.Nonce)
+	h.Uvarint(uint64(tx.Kind))
+	h.Write(tx.From[:])
+	h.Write(tx.To[:])
+	val := tx.Value.Bytes32()
+	h.Write(val[:])
+	h.Uvarint(tx.GasLimit)
+	gp := tx.GasPrice.Bytes32()
+	h.Write(gp[:])
+	h.LenPrefixed(tx.Data)
+	if tx.Move2 != nil {
+		h.Byte(1)
+		m := tx.Move2
+		h.Write(m.Contract[:])
+		h.Uvarint(uint64(m.SourceChain))
+		h.Uvarint(m.SourceHeight)
+		h.LenPrefixed(m.AccountProof)
+		h.LenPrefixed(m.Code)
+		h.Uvarint(uint64(len(m.Storage)))
+		for _, e := range m.Storage {
+			h.Write(e.Key[:])
+			h.Write(e.Value[:])
+		}
+	} else {
+		h.Byte(0)
+	}
 }
 
 // Sign sets From to the key's address and signs the transaction.

@@ -187,3 +187,43 @@ func TestReceiptSucceeded(t *testing.T) {
 		t.Fatal("failed receipt")
 	}
 }
+
+// TestIDMatchesUnsignedEncoding pins hashUnsigned to encodeUnsigned: ID is
+// computed from a streaming hasher for speed, and the two encodings must
+// never drift apart or every stored transaction id would change.
+func TestIDMatchesUnsignedEncoding(t *testing.T) {
+	txs := []*Transaction{
+		{},
+		{
+			ChainID:  7,
+			Nonce:    42,
+			Kind:     TxCreate,
+			From:     hashing.AddressFromBytes([]byte{0x01, 0x02}),
+			To:       hashing.AddressFromBytes([]byte{0xbe, 0xef}),
+			Value:    u256.FromUint64(12345),
+			GasLimit: 1 << 30,
+			GasPrice: u256.FromUint64(99),
+			Data:     bytes.Repeat([]byte{0xab}, 300),
+		},
+		{
+			ChainID: 2,
+			Kind:    TxMove2,
+			Move2: &Move2Payload{
+				Contract:     hashing.AddressFromBytes([]byte{0x11}),
+				SourceChain:  9,
+				SourceHeight: 1 << 40,
+				AccountProof: []byte("proof-bytes"),
+				Code:         []byte("code-bytes"),
+				Storage: []StorageEntry{
+					{Key: evm.Word{1}, Value: evm.Word{2}},
+					{Key: evm.Word{3}, Value: evm.Word{4}},
+				},
+			},
+		},
+	}
+	for i, tx := range txs {
+		if got, want := tx.ID(), hashing.Sum(tx.encodeUnsigned()); got != want {
+			t.Errorf("tx %d: ID() = %s, want Sum(encodeUnsigned()) = %s", i, got, want)
+		}
+	}
+}
