@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench benchsmoke benchdiff experiments
+.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke experiments
 
-check: vet race benchsmoke
+check: vet race detsmoke benchsmoke benchgate
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,23 @@ OLD ?= BENCH_0.json
 NEW ?= BENCH_1.json
 benchdiff:
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+# benchgate diffs the committed baseline against the committed current
+# snapshot when both exist (skipped otherwise, so fresh checkouts and
+# baseline-only branches still pass check).
+benchgate:
+	@if [ -f $(OLD) ] && [ -f $(NEW) ]; then \
+		$(GO) run ./cmd/benchdiff $(OLD) $(NEW); \
+	else \
+		echo "benchgate: skipped ($(OLD) and $(NEW) not both present)"; \
+	fi
+
+# detsmoke runs the seeded cross-GOMAXPROCS (1, 2, NumCPU) determinism
+# checks for the parallel crypto pool, the parallel state commit, and the
+# workload signing pipeline: bit-identical results at every worker count.
+detsmoke:
+	$(GO) test -run 'TestVerifyBatchMatchesSerial|TestRecoverSendersMatchesSerialAcrossGOMAXPROCS|TestCommitParallelMatchesSerial|TestHashParallelMatchesRootHashAndProofs|TestApplyBlockParallelDeterminism|TestKittiesReplayCrossGOMAXPROCSDeterminism' \
+		./internal/keys/ ./internal/types/ ./internal/state/ ./internal/chain/ ./internal/workload/
 
 # experiments reruns the paper's figure experiments end to end (the old
 # `make bench` behaviour, before bench came to mean performance snapshots).

@@ -37,13 +37,25 @@ func readSnapshot(path string) (*snapshot, error) {
 	return &s, nil
 }
 
-// compare matches benchmarks by name and flags regressions. Benchmarks
-// present in only one snapshot are reported but never fail the diff, so
-// adding or retiring a benchmark does not break CI. A zero old value (e.g.
-// allocs/op on an already zero-alloc path) regresses if the new value is
-// anything above zero plus threshold-free slack of one object, since a
-// ratio against zero is meaningless.
-func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh float64) (rows []string, regressed bool) {
+// diff is the outcome of comparing two snapshots: one row per benchmark
+// present in both, plus the names only one side has. Only shared benchmarks
+// can regress; Added and Removed are reported so a snapshot that grew or
+// retired benchmarks still diffs cleanly — silently skipping them would
+// read as "covered", and failing on them would make adding a benchmark a
+// breaking change.
+type diff struct {
+	rows      []string
+	added     []string // in new only
+	removed   []string // in old only
+	regressed bool
+}
+
+// compare matches benchmarks by name and flags regressions on the shared
+// set. A zero old value (e.g. allocs/op on an already zero-alloc path)
+// regresses if the new value is anything above zero plus threshold-free
+// slack of one object, since a ratio against zero is meaningless.
+func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh float64) diff {
+	var d diff
 	oldByName := make(map[string]result, len(oldSnap.Results))
 	for _, r := range oldSnap.Results {
 		oldByName[r.Name] = r
@@ -53,7 +65,7 @@ func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh float64) (rows 
 		seen[n.Name] = true
 		o, ok := oldByName[n.Name]
 		if !ok {
-			rows = append(rows, fmt.Sprintf("%-24s (new benchmark, no baseline)", n.Name))
+			d.added = append(d.added, n.Name)
 			continue
 		}
 		timeDelta := ratio(o.NsPerOp, n.NsPerOp)
@@ -61,21 +73,21 @@ func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh float64) (rows 
 		mark := ""
 		if timeBad := timeDelta > timeThresh; timeBad {
 			mark = "  REGRESSION(time)"
-			regressed = true
+			d.regressed = true
 		}
 		if allocBad(o.AllocsPerOp, n.AllocsPerOp, allocThresh) {
 			mark += "  REGRESSION(allocs)"
-			regressed = true
+			d.regressed = true
 		}
-		rows = append(rows, fmt.Sprintf("%-24s %12.0f -> %12.0f ns/op (%+6.1f%%)  %10.1f -> %10.1f allocs/op (%+6.1f%%)%s",
+		d.rows = append(d.rows, fmt.Sprintf("%-24s %12.0f -> %12.0f ns/op (%+6.1f%%)  %10.1f -> %10.1f allocs/op (%+6.1f%%)%s",
 			n.Name, o.NsPerOp, n.NsPerOp, timeDelta*100, o.AllocsPerOp, n.AllocsPerOp, allocDelta*100, mark))
 	}
 	for _, o := range oldSnap.Results {
 		if !seen[o.Name] {
-			rows = append(rows, fmt.Sprintf("%-24s (removed, was %0.f ns/op)", o.Name, o.NsPerOp))
+			d.removed = append(d.removed, o.Name)
 		}
 	}
-	return rows, regressed
+	return d
 }
 
 // ratio returns (new-old)/old, or 0 when old is zero (delta undefined).

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -14,19 +15,19 @@ func snap(results ...result) *snapshot {
 func TestInjectedTimeRegressionFails(t *testing.T) {
 	oldSnap := snap(result{Name: "kitties_replay", NsPerOp: 100_000_000, AllocsPerOp: 235_000})
 	newSnap := snap(result{Name: "kitties_replay", NsPerOp: 120_000_000, AllocsPerOp: 235_000})
-	rows, regressed := compare(oldSnap, newSnap, 0.15, 0.05)
-	if !regressed {
+	d := compare(oldSnap, newSnap, 0.15, 0.05)
+	if !d.regressed {
 		t.Fatal("20% time regression not flagged at 15% threshold")
 	}
-	if len(rows) != 1 || !strings.Contains(rows[0], "REGRESSION(time)") {
-		t.Fatalf("rows = %q, want one row marked REGRESSION(time)", rows)
+	if len(d.rows) != 1 || !strings.Contains(d.rows[0], "REGRESSION(time)") {
+		t.Fatalf("rows = %q, want one row marked REGRESSION(time)", d.rows)
 	}
 }
 
 func TestWithinThresholdPasses(t *testing.T) {
 	oldSnap := snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0})
 	newSnap := snap(result{Name: "mpt_get", NsPerOp: 220, AllocsPerOp: 0})
-	if _, regressed := compare(oldSnap, newSnap, 0.15, 0.05); regressed {
+	if d := compare(oldSnap, newSnap, 0.15, 0.05); d.regressed {
 		t.Fatal("10% time delta flagged at 15% threshold")
 	}
 }
@@ -34,7 +35,7 @@ func TestWithinThresholdPasses(t *testing.T) {
 func TestImprovementPasses(t *testing.T) {
 	oldSnap := snap(result{Name: "evm_tight_loop", NsPerOp: 50_000, AllocsPerOp: 10})
 	newSnap := snap(result{Name: "evm_tight_loop", NsPerOp: 30_000, AllocsPerOp: 3})
-	if _, regressed := compare(oldSnap, newSnap, 0.15, 0.05); regressed {
+	if d := compare(oldSnap, newSnap, 0.15, 0.05); d.regressed {
 		t.Fatal("improvement flagged as regression")
 	}
 }
@@ -42,12 +43,12 @@ func TestImprovementPasses(t *testing.T) {
 func TestAllocRegressionFails(t *testing.T) {
 	oldSnap := snap(result{Name: "kitties_replay", NsPerOp: 100, AllocsPerOp: 100})
 	newSnap := snap(result{Name: "kitties_replay", NsPerOp: 100, AllocsPerOp: 110})
-	rows, regressed := compare(oldSnap, newSnap, 0.15, 0.05)
-	if !regressed {
+	d := compare(oldSnap, newSnap, 0.15, 0.05)
+	if !d.regressed {
 		t.Fatal("10% alloc regression not flagged at 5% threshold")
 	}
-	if !strings.Contains(rows[0], "REGRESSION(allocs)") {
-		t.Fatalf("row = %q, want REGRESSION(allocs)", rows[0])
+	if !strings.Contains(d.rows[0], "REGRESSION(allocs)") {
+		t.Fatalf("row = %q, want REGRESSION(allocs)", d.rows[0])
 	}
 }
 
@@ -56,24 +57,41 @@ func TestAllocRegressionFails(t *testing.T) {
 // even though a ratio against zero is undefined.
 func TestZeroAllocBaselineGuard(t *testing.T) {
 	oldSnap := snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0})
-	if _, regressed := compare(oldSnap,
-		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0.5}), 0.15, 0.05); regressed {
+	if d := compare(oldSnap,
+		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0.5}), 0.15, 0.05); d.regressed {
 		t.Fatal("half an object of jitter on a zero baseline flagged")
 	}
-	if _, regressed := compare(oldSnap,
-		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 2}), 0.15, 0.05); !regressed {
+	if d := compare(oldSnap,
+		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 2}), 0.15, 0.05); !d.regressed {
 		t.Fatal("2 allocs/op on a zero-alloc baseline not flagged")
 	}
 }
 
-func TestAddedAndRemovedBenchmarksNeverFail(t *testing.T) {
-	oldSnap := snap(result{Name: "retired", NsPerOp: 100})
-	newSnap := snap(result{Name: "brand_new", NsPerOp: 1_000_000, AllocsPerOp: 1e9})
-	rows, regressed := compare(oldSnap, newSnap, 0.15, 0.05)
-	if regressed {
+// TestAsymmetricSnapshotsCompareSharedOnly pins the contract the BENCH_0 →
+// BENCH_1 diff relies on: only benchmarks present in both snapshots are
+// compared (and can regress), while names unique to one side are listed —
+// not skipped, not failed — as added/removed.
+func TestAsymmetricSnapshotsCompareSharedOnly(t *testing.T) {
+	oldSnap := snap(
+		result{Name: "kitties_replay", NsPerOp: 100, AllocsPerOp: 10},
+		result{Name: "retired", NsPerOp: 100},
+		result{Name: "also_retired", NsPerOp: 50},
+	)
+	newSnap := snap(
+		result{Name: "kitties_replay", NsPerOp: 90, AllocsPerOp: 10},
+		result{Name: "verify_batch", NsPerOp: 1_000_000, AllocsPerOp: 1e9},
+	)
+	d := compare(oldSnap, newSnap, 0.15, 0.05)
+	if d.regressed {
 		t.Fatal("unmatched benchmarks must not fail the diff")
 	}
-	if len(rows) != 2 {
-		t.Fatalf("want a row for the new and the removed benchmark, got %q", rows)
+	if len(d.rows) != 1 || !strings.Contains(d.rows[0], "kitties_replay") {
+		t.Fatalf("only the shared benchmark gets a comparison row, got %q", d.rows)
+	}
+	if !reflect.DeepEqual(d.added, []string{"verify_batch"}) {
+		t.Fatalf("added = %q", d.added)
+	}
+	if !reflect.DeepEqual(d.removed, []string{"retired", "also_retired"}) {
+		t.Fatalf("removed = %q", d.removed)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 func main() {
@@ -37,11 +38,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	rows, regressed := compare(oldSnap, newSnap, *timeThresh, *allocThresh)
-	for _, r := range rows {
+	d := compare(oldSnap, newSnap, *timeThresh, *allocThresh)
+	for _, r := range d.rows {
 		fmt.Println(r)
 	}
-	if regressed {
+	if len(d.added) > 0 {
+		fmt.Printf("added (no baseline, not compared):   %s\n", strings.Join(d.added, ", "))
+	}
+	if len(d.removed) > 0 {
+		fmt.Printf("removed (no new value, not compared): %s\n", strings.Join(d.removed, ", "))
+	}
+	if d.regressed {
 		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond threshold (time %.0f%%, allocs %.0f%%)\n",
 			*timeThresh*100, *allocThresh*100)
 		os.Exit(1)

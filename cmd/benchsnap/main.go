@@ -27,9 +27,11 @@ import (
 	"scmove/internal/evm"
 	"scmove/internal/evm/asm"
 	"scmove/internal/hashing"
+	"scmove/internal/keys"
 	"scmove/internal/mpt"
 	"scmove/internal/state"
 	"scmove/internal/trie"
+	"scmove/internal/types"
 	"scmove/internal/u256"
 	"scmove/internal/workload"
 )
@@ -145,9 +147,68 @@ func benchmarks() []benchmark {
 		{name: "mpt_get", iters: 1_000_000, run: runMptGet},
 		{name: "mpt_set_overwrite", iters: 500_000, run: runMptSet},
 		{name: "evm_tight_loop", iters: 20_000, run: runEvmLoop},
+		{name: "verify_batch_64", iters: 50, run: runVerifyBatch},
+		{name: "sender_cache_hit", iters: 500_000, run: runSenderCacheHit},
 		{name: "kitties_replay", iters: 5, run: runKitties},
 		{name: "fig6_grid_ci", iters: 2, run: runFig6Grid},
 	}
+}
+
+// runVerifyBatch measures batch ECDSA recovery of 64 signatures through the
+// worker pool — the unit of work ApplyBlock fans out per block. On a
+// multi-core host ns/op shrinks with GOMAXPROCS; the snapshot records the
+// host's parallel verification throughput.
+func runVerifyBatch(iters int) (Result, error) {
+	const n = 64
+	digests := make([]hashing.Hash, n)
+	sigs := make([]keys.Signature, n)
+	for i := range sigs {
+		kp := keys.Deterministic(uint64(i + 1))
+		digests[i] = hashing.Sum([]byte{byte(i), byte(i >> 8)})
+		sig, err := kp.Sign(digests[i])
+		if err != nil {
+			return Result{}, err
+		}
+		sigs[i] = sig
+	}
+	return measure(iters, func() error {
+		_, errs := keys.VerifyBatch(digests, sigs)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// runSenderCacheHit measures Sender on a transaction whose (id, signature)
+// is already cached but whose per-object memo is stripped every round — the
+// exact path consensus-decoded copies take at apply time.
+func runSenderCacheHit(iters int) (Result, error) {
+	kp := keys.Deterministic(1)
+	tx := &types.Transaction{
+		ChainID:  1,
+		Kind:     types.TxCall,
+		To:       hashing.AddressFromBytes([]byte{0x07}),
+		Value:    u256.FromUint64(1),
+		GasLimit: 21_000,
+		GasPrice: u256.FromUint64(2),
+	}
+	if err := tx.Sign(kp); err != nil {
+		return Result{}, err
+	}
+	enc := tx.Encode()
+	return measure(iters, func() error {
+		c, err := types.DecodeTransaction(enc)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Sender(); err != nil {
+			return err
+		}
+		return nil
+	})
 }
 
 func runHashingSum(iters int) (Result, error) {

@@ -183,6 +183,13 @@ func (c *Chain) SubmitTx(tx *types.Transaction) error {
 	return c.pool.Add(tx)
 }
 
+// SubmitTxs admits a batch of transactions, recovering all senders on the
+// crypto worker pool first; admission decisions and order are identical to
+// calling SubmitTx in a loop. One error slot is returned per transaction.
+func (c *Chain) SubmitTxs(txs []*types.Transaction) []error {
+	return c.pool.AddBatch(txs)
+}
+
 // PendingTxs returns the pool size.
 func (c *Chain) PendingTxs() int { return c.pool.Len() }
 
@@ -220,6 +227,14 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 		GasLimit:  c.cfg.BlockGasLimit,
 		BlockHash: c.blockHashFn(),
 	}
+	// Pre-recover every sender on the crypto worker pool before the serial
+	// execution loop. Recovery is pure per transaction and results land in
+	// input order, so execution below observes exactly what it would have
+	// computed inline — this only moves the ECDSA work off the critical
+	// path (and, for consensus-decoded copies, usually finds it already in
+	// the sender cache). Failures are re-surfaced by applyTx's own Sender
+	// call, which by then is a memoized lookup.
+	types.RecoverSenders(txs)
 	receipts := make([]*types.Receipt, 0, len(txs))
 	var gasUsed uint64
 	for _, tx := range txs {
@@ -284,7 +299,16 @@ func (c *Chain) blockHashFn() func(uint64) hashing.Hash {
 // Failed transactions still pay for the gas they consumed.
 func (c *Chain) applyTx(tx *types.Transaction, blockCtx evm.BlockContext) *types.Receipt {
 	rec := &types.Receipt{TxID: tx.ID(), Status: types.ReceiptFailed}
-	sender := tx.From
+	// Authenticate before touching state: executing on a trusted tx.From
+	// would let a forged From spend any account's balance. Sender memoizes
+	// through the process-wide cache, so for the overwhelmingly common case
+	// (admitted via the pool, or pre-recovered by ApplyBlock) this is a
+	// lookup, not an ECDSA verification.
+	sender, err := tx.Sender()
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
 	sched := &c.cfg.Schedule
 
 	if got := c.db.GetNonce(sender); tx.Nonce != got {

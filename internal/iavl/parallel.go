@@ -1,0 +1,60 @@
+package iavl
+
+import (
+	"runtime"
+	"sync"
+
+	"scmove/internal/hashing"
+	"scmove/internal/trie"
+)
+
+// hashFanDepth is how far below the root HashParallel looks for dirty
+// subtrees to hand to workers. Four levels of a binary tree yield up to 16
+// disjoint tasks; the treap's random priorities keep it balanced enough
+// that the frontier carries nearly all of the dirty mass.
+const hashFanDepth = 4
+
+// HashParallel returns the Merkle root, hashing dirty subtrees below the
+// root on r's workers. It implements trie.ParallelHasher: a node hash is a
+// pure function of subtree contents, and the fanned-out subtrees are
+// disjoint by construction (left/right descendants of distinct nodes), so
+// the result — and every cached node hash — is byte-identical to a serial
+// RootHash at any worker count. With a nil runner or a single-CPU process
+// it *is* a serial RootHash.
+func (t *Tree) HashParallel(r trie.Runner) hashing.Hash {
+	if t.root == nil {
+		return hashing.ZeroHash
+	}
+	if r != nil && runtime.GOMAXPROCS(0) > 1 {
+		var tasks []*node
+		collectDirty(t.root, hashFanDepth, &tasks)
+		if len(tasks) > 1 {
+			var wg sync.WaitGroup
+			wg.Add(len(tasks))
+			for _, n := range tasks {
+				n := n
+				r.Go(func() {
+					defer wg.Done()
+					n.hashNode()
+				})
+			}
+			wg.Wait()
+		}
+	}
+	// Dirty nodes above the fan-out frontier hash here, finding every
+	// frontier subtree already clean.
+	return t.root.hashNode()
+}
+
+// collectDirty gathers the dirty nodes exactly depth levels below n.
+func collectDirty(n *node, depth int, out *[]*node) {
+	if n == nil || n.clean {
+		return
+	}
+	if depth == 0 {
+		*out = append(*out, n)
+		return
+	}
+	collectDirty(n.left, depth-1, out)
+	collectDirty(n.right, depth-1, out)
+}

@@ -29,6 +29,7 @@ var (
 // with Generate or Deterministic.
 type KeyPair struct {
 	priv *ecdsa.PrivateKey
+	pub  []byte // encoded public key, computed once
 	addr hashing.Address
 }
 
@@ -63,9 +64,11 @@ func Deterministic(seed uint64) *KeyPair {
 }
 
 func fromPriv(priv *ecdsa.PrivateKey) *KeyPair {
+	pub := encodePub(&priv.PublicKey)
 	return &KeyPair{
 		priv: priv,
-		addr: hashing.AccountAddress(encodePub(&priv.PublicKey)),
+		pub:  pub,
+		addr: hashing.AccountAddress(pub),
 	}
 }
 
@@ -73,8 +76,9 @@ func fromPriv(priv *ecdsa.PrivateKey) *KeyPair {
 // same key pair yields the same address on every chain (§III-G(a)).
 func (k *KeyPair) Address() hashing.Address { return k.addr }
 
-// PublicKey returns the encoded public key.
-func (k *KeyPair) PublicKey() []byte { return encodePub(&k.priv.PublicKey) }
+// PublicKey returns the encoded public key. The returned slice is shared;
+// callers must not mutate it.
+func (k *KeyPair) PublicKey() []byte { return k.pub }
 
 // Sign signs digest and returns a signature that carries the public key, so
 // verifiers can both check the signature and derive the signer's address.

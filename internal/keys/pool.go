@@ -1,0 +1,106 @@
+package keys
+
+import (
+	"runtime"
+	"sync"
+
+	"scmove/internal/hashing"
+)
+
+// Pool is a bounded worker pool for ECDSA work (signing and verification).
+// P-256 operations cost tens of microseconds each and dominate the CPU
+// profile of every transaction-heavy experiment, so batch callers fan the
+// per-transaction work out to a fixed set of workers instead of running it
+// inline on the (otherwise single-threaded) simulation loop.
+//
+// A Pool only decides *where* crypto runs, never *what* it computes:
+// results are always gathered in input order, so any code path is
+// bit-identical at every GOMAXPROCS setting.
+type Pool struct {
+	jobs chan func()
+	once sync.Once
+}
+
+// NewPool returns a pool with the given number of workers; workers <= 0
+// sizes it to GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{jobs: make(chan func(), workers)}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for job := range p.jobs {
+		job()
+	}
+}
+
+// Go runs job on a pool worker. It blocks when every worker is busy and the
+// small submission buffer is full — backpressure, not unbounded queueing.
+func (p *Pool) Go(job func()) {
+	p.jobs <- job
+}
+
+// Close stops the workers once queued jobs drain. A closed pool must not be
+// used again.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.jobs) })
+}
+
+// sharedPool is the process-wide default pool, created on first use and
+// never closed (workers idle on an empty channel between batches).
+var (
+	sharedPoolOnce sync.Once
+	sharedPool     *Pool
+)
+
+// SharedPool returns the process-wide crypto worker pool, sized to
+// GOMAXPROCS at first use. Batch verification, block pre-recovery, and
+// deferred client signing all share it, so saturating one phase cannot
+// oversubscribe the machine.
+func SharedPool() *Pool {
+	sharedPoolOnce.Do(func() { sharedPool = NewPool(0) })
+	return sharedPool
+}
+
+// VerifyBatch verifies sigs[i] over digests[i] on the shared worker pool and
+// returns the recovered signer addresses in input order, with a per-index
+// error for every signature that failed. len(sigs) must equal len(digests).
+//
+// Order and content of the results are independent of parallelism: each
+// index is computed in isolation and written to its own slot.
+func VerifyBatch(digests []hashing.Hash, sigs []Signature) ([]hashing.Address, []error) {
+	if len(digests) != len(sigs) {
+		panic("keys: VerifyBatch length mismatch")
+	}
+	addrs := make([]hashing.Address, len(sigs))
+	errs := make([]error, len(sigs))
+	if len(sigs) == 0 {
+		return addrs, errs
+	}
+	// A single-entry batch (or a single-CPU box) gains nothing from the
+	// pool handoff; verify inline.
+	if len(sigs) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i := range sigs {
+			addrs[i], errs[i] = sigs[i].Verify(digests[i])
+		}
+		return addrs, errs
+	}
+	pool := SharedPool()
+	var wg sync.WaitGroup
+	wg.Add(len(sigs))
+	for i := range sigs {
+		i := i
+		pool.Go(func() {
+			defer wg.Done()
+			addrs[i], errs[i] = sigs[i].Verify(digests[i])
+		})
+	}
+	wg.Wait()
+	return addrs, errs
+}

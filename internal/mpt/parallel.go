@@ -1,0 +1,68 @@
+package mpt
+
+import (
+	"runtime"
+	"sync"
+
+	"scmove/internal/hashing"
+	"scmove/internal/trie"
+)
+
+// hashFanDepth is how far below the root HashParallel looks for dirty
+// subtrees to hand to workers. Two levels of a hex trie yield up to 256
+// disjoint tasks — plenty of parallelism without descending so deep that
+// per-task work no longer amortizes the handoff.
+const hashFanDepth = 2
+
+// HashParallel returns the Merkle root, hashing dirty subtrees below the
+// root on r's workers. It implements trie.ParallelHasher: a node hash is a
+// pure function of subtree contents, and the fanned-out subtrees are
+// disjoint by construction (distinct branch children), so the result — and
+// every cached node hash — is byte-identical to a serial RootHash at any
+// worker count. With a nil runner or a single-CPU process it *is* a serial
+// RootHash.
+func (t *Tree) HashParallel(r trie.Runner) hashing.Hash {
+	if t.root == nil {
+		return hashing.ZeroHash
+	}
+	if r != nil && runtime.GOMAXPROCS(0) > 1 {
+		var tasks []*node
+		collectDirty(t.root, hashFanDepth, &tasks)
+		if len(tasks) > 1 {
+			var wg sync.WaitGroup
+			wg.Add(len(tasks))
+			for _, n := range tasks {
+				n := n
+				r.Go(func() {
+					defer wg.Done()
+					n.hashNode()
+				})
+			}
+			wg.Wait()
+		}
+	}
+	// The few remaining dirty nodes above the fan-out frontier hash here,
+	// finding every frontier subtree already clean.
+	return t.root.hashNode()
+}
+
+// collectDirty gathers the dirty nodes exactly depth levels below n (or
+// shallower dirty leaves, which are too cheap to bother scheduling and are
+// left for the final serial pass).
+func collectDirty(n *node, depth int, out *[]*node) {
+	if n == nil || n.clean {
+		return
+	}
+	if depth == 0 {
+		*out = append(*out, n)
+		return
+	}
+	switch n.kind {
+	case kindExt:
+		collectDirty(n.child, depth-1, out)
+	case kindBranch:
+		for i := range n.children {
+			collectDirty(n.children[i], depth-1, out)
+		}
+	}
+}

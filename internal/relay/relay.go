@@ -10,6 +10,7 @@ package relay
 
 import (
 	"errors"
+	"runtime"
 	"time"
 
 	"scmove/internal/chain"
@@ -44,6 +45,7 @@ type Client struct {
 	nonces      map[hashing.ChainID]uint64
 	desynced    map[hashing.ChainID]bool
 	links       map[hashing.ChainID]*simnet.Link
+	signer      *keys.Pool // nil = sign inline on the event loop
 }
 
 // NewClient returns a client submitting with the given client-to-chain
@@ -70,6 +72,14 @@ func (cl *Client) Key() *keys.KeyPair { return cl.kp }
 func (cl *Client) SetSubmitLink(id hashing.ChainID, link *simnet.Link) {
 	cl.links[id] = link
 }
+
+// SetSigner moves this client's ECDSA signing onto the given worker pool.
+// The transaction's From and id are still fixed synchronously — nothing the
+// simulation orders on can change — while the signature itself overlaps
+// with whatever the event loop does until the submission delay elapses; the
+// delivery event then waits for it. Simulated timelines are identical with
+// and without a signer; only wall-clock changes.
+func (cl *Client) SetSigner(pool *keys.Pool) { cl.signer = pool }
 
 // nextNonce hands out the next nonce for a chain, resyncing from committed
 // chain state first if a previous submission failure desynchronized the
@@ -110,6 +120,13 @@ func (cl *Client) NoteBadNonce(id hashing.ChainID) { cl.desynced[id] = true }
 // the counter alone.
 func (cl *Client) deliver(c *chain.Chain, tx *types.Transaction) {
 	apply := func() {
+		// A deferred signature must land before admission reads it. In the
+		// common case it finished during the submission delay and this
+		// returns immediately.
+		if err := tx.WaitSig(); err != nil {
+			cl.rollbackNonce(c.ChainID(), tx.Nonce)
+			return
+		}
 		if err := c.SubmitTx(tx); err != nil && !errors.Is(err, txpool.ErrDuplicate) {
 			cl.rollbackNonce(c.ChainID(), tx.Nonce)
 		}
@@ -121,8 +138,17 @@ func (cl *Client) deliver(c *chain.Chain, tx *types.Transaction) {
 	cl.sched.After(cl.submitDelay, apply)
 }
 
-// sign signs tx, rolling the consumed nonce back on failure.
+// sign signs tx, rolling the consumed nonce back on failure. With a signer
+// pool configured the ECDSA is deferred to a worker and a failure (which
+// crypto/rand makes all but impossible) surfaces at delivery time instead,
+// where the nonce is likewise rolled back.
 func (cl *Client) sign(c *chain.Chain, tx *types.Transaction) (*types.Transaction, error) {
+	// With one CPU there is nothing to overlap with and the worker handoff
+	// is pure overhead, so the deferred path requires real parallelism.
+	if cl.signer != nil && runtime.GOMAXPROCS(0) > 1 {
+		tx.SignOn(cl.kp, cl.signer)
+		return tx, nil
+	}
 	if err := tx.Sign(cl.kp); err != nil {
 		cl.rollbackNonce(c.ChainID(), tx.Nonce)
 		return nil, err

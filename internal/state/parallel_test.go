@@ -1,0 +1,125 @@
+package state
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/trees"
+	"scmove/internal/trie"
+	"scmove/internal/u256"
+)
+
+// buildDirtyState creates a DB with many dirty accounts and storage trees,
+// deterministic in its inputs.
+func buildDirtyState(t *testing.T, kind trie.Kind, accounts, slots int) *DB {
+	t.Helper()
+	db, err := NewDB(1, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < accounts; a++ {
+		var raw [8]byte
+		binary.BigEndian.PutUint64(raw[:], uint64(a+1))
+		addr := hashing.AddressFromBytes(raw[:])
+		db.AddBalance(addr, u256.FromUint64(uint64(1000+a)))
+		db.SetNonce(addr, uint64(a))
+		for s := 0; s < slots; s++ {
+			var key, val evm.Word
+			key[31] = byte(s + 1)
+			val[0] = byte(a + 1)
+			val[31] = byte(s + 1)
+			db.SetStorage(addr, key, val)
+		}
+	}
+	return db
+}
+
+func TestCommitParallelMatchesSerial(t *testing.T) {
+	for _, kind := range []trie.Kind{trie.KindMPT, trie.KindIAVL} {
+		t.Run(kind.String(), func(t *testing.T) {
+			commit := func(procs int) hashing.Hash {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				db := buildDirtyState(t, kind, 24, 6)
+				return db.Commit()
+			}
+			want := commit(1)
+			for _, procs := range []int{2, runtime.NumCPU()} {
+				if got := commit(procs); got != want {
+					t.Fatalf("GOMAXPROCS=%d root %s, serial %s", procs, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestHashParallelMatchesRootHashAndProofs drives both tree kinds through
+// interleaved mutations, comparing HashParallel against a serially hashed
+// twin — roots and membership proofs must be byte-identical, since proofs
+// are built from the same per-node caches the parallel pass fills.
+func TestHashParallelMatchesRootHashAndProofs(t *testing.T) {
+	for _, kind := range []trie.Kind{trie.KindMPT, trie.KindIAVL} {
+		t.Run(kind.String(), func(t *testing.T) {
+			parallelT := trees.MustNew(kind, 8)
+			serialT := trees.MustNew(kind, 8)
+			ph, ok := parallelT.(trie.ParallelHasher)
+			if !ok {
+				t.Fatalf("%s tree does not implement trie.ParallelHasher", kind)
+			}
+			pool := keys.SharedPool()
+			prev := runtime.GOMAXPROCS(runtime.NumCPU())
+			defer runtime.GOMAXPROCS(prev)
+
+			key := func(i int) []byte {
+				var k [8]byte
+				binary.BigEndian.PutUint64(k[:], uint64(i*2654435761))
+				return k[:]
+			}
+			for round := 0; round < 4; round++ {
+				for i := 0; i < 200; i++ {
+					k := key(i)
+					v := []byte(fmt.Sprintf("r%d-v%d", round, i))
+					if err := parallelT.Set(k, v); err != nil {
+						t.Fatal(err)
+					}
+					if err := serialT.Set(k, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := round; i < 200; i += 7 {
+					if err := parallelT.Delete(key(i)); err != nil {
+						t.Fatal(err)
+					}
+					if err := serialT.Delete(key(i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				proot := ph.HashParallel(pool)
+				sroot := serialT.RootHash()
+				if proot != sroot {
+					t.Fatalf("round %d: parallel root %s, serial %s", round, proot, sroot)
+				}
+				if proot != parallelT.RootHash() {
+					t.Fatal("HashParallel must equal the tree's own RootHash")
+				}
+				for i := 1; i < 200; i += 13 {
+					k := key(i)
+					pp, perr := parallelT.Prove(k)
+					sp, serr := serialT.Prove(k)
+					if (perr == nil) != (serr == nil) {
+						t.Fatalf("round %d key %d: proof errors diverge: %v vs %v", round, i, perr, serr)
+					}
+					if !bytes.Equal(pp, sp) {
+						t.Fatalf("round %d key %d: proofs diverge", round, i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -3,10 +3,13 @@ package state
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"scmove/internal/evm"
 	"scmove/internal/hashing"
+	"scmove/internal/keys"
 	"scmove/internal/trees"
 	"scmove/internal/trie"
 	"scmove/internal/u256"
@@ -328,6 +331,11 @@ func (db *DB) DiscardJournal() { db.journal.reset() }
 // Commit flushes dirty accounts into the account tree and returns the state
 // root. The journal is discarded: committed state cannot be reverted.
 func (db *DB) Commit() hashing.Hash {
+	// Hash dirty storage trees on the worker pool first. Each tree is an
+	// independent object and a root hash is a pure function of contents, so
+	// this only warms the per-node hash caches the serial flush below will
+	// read — it cannot change what the flush computes.
+	db.warmStorageRoots()
 	// dirtyOrder is maintained sorted by markDirty, so the deterministic
 	// flush order comes for free (map iteration is randomized).
 	for _, addr := range db.dirtyOrder {
@@ -354,7 +362,46 @@ func (db *DB) Commit() hashing.Hash {
 	clear(db.dirty)
 	db.dirtyOrder = db.dirtyOrder[:0]
 	db.journal.reset()
+	// The account tree itself fans dirty-subtree hashing out when it can;
+	// HashParallel is specified to equal RootHash bit for bit.
+	if ph, ok := db.accountTree.(trie.ParallelHasher); ok {
+		return ph.HashParallel(keys.SharedPool())
+	}
 	return db.accountTree.RootHash()
+}
+
+// warmStorageRoots pre-hashes the storage trees of dirty live accounts on
+// the shared worker pool. Trees of distinct accounts share no nodes, and
+// each worker runs the ordinary serial RootHash, so parallelism here moves
+// work without reordering or changing any result; with one CPU (or fewer
+// than two trees to hash) the serial flush simply does the hashing itself.
+func (db *DB) warmStorageRoots() {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return
+	}
+	var tasks []trie.Tree
+	for _, addr := range db.dirtyOrder {
+		if db.cache[addr] == nil {
+			continue
+		}
+		if t, ok := db.storage[addr]; ok {
+			tasks = append(tasks, t)
+		}
+	}
+	if len(tasks) < 2 {
+		return
+	}
+	pool := keys.SharedPool()
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t := t
+		pool.Go(func() {
+			defer wg.Done()
+			t.RootHash()
+		})
+	}
+	wg.Wait()
 }
 
 // Root returns the last committed state root without flushing.

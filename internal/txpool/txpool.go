@@ -48,12 +48,16 @@ func New(chainID hashing.ChainID, limit int) *Pool {
 // Len returns the number of pending transactions.
 func (p *Pool) Len() int { return len(p.queue) }
 
-// Add validates and enqueues a transaction.
+// Add validates and enqueues a transaction. The signature is recovered
+// exactly once, through the types sender cache: stateless checks and the
+// duplicate check run first (they are cheap and need no crypto), then a
+// single Sender call both authenticates the transaction and yields the
+// sender the pool keys nonce sequencing on.
 func (p *Pool) Add(tx *types.Transaction) error {
 	if len(p.queue) >= p.limit {
 		return ErrPoolFull
 	}
-	if err := tx.Validate(p.chainID); err != nil {
+	if err := tx.ValidateStateless(p.chainID); err != nil {
 		return fmt.Errorf("admit tx: %w", err)
 	}
 	id := tx.ID()
@@ -62,11 +66,25 @@ func (p *Pool) Add(tx *types.Transaction) error {
 	}
 	sender, err := tx.Sender()
 	if err != nil {
-		return err
+		return fmt.Errorf("admit tx: %w", err)
 	}
 	p.pending[id] = struct{}{}
 	p.queue = append(p.queue, &entry{tx: tx, sender: sender, id: id})
 	return nil
+}
+
+// AddBatch admits txs in input order and returns one error slot per
+// transaction. All senders are recovered first via types.RecoverSenders, so
+// the ECDSA work fans out across the crypto worker pool while admission
+// itself — ordering, duplicate, and capacity decisions — stays strictly
+// serial and therefore identical to calling Add in a loop.
+func (p *Pool) AddBatch(txs []*types.Transaction) []error {
+	_, _ = types.RecoverSenders(txs) // warm memo + cache; failures re-surface in Add
+	errs := make([]error, len(txs))
+	for i, tx := range txs {
+		errs[i] = p.Add(tx)
+	}
+	return errs
 }
 
 // Contains reports whether the transaction is pending.

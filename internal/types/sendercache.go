@@ -1,0 +1,239 @@
+package types
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+)
+
+// The sender cache memoizes signature recovery *across transaction copies*.
+// The per-object verifiedID field on Transaction already short-circuits
+// repeat Sender calls on the same pointer, but the system routinely re-owns
+// the same signed bytes as fresh objects: BFT consensus decodes the
+// proposal payload before ApplyBlock, relayers resubmit retained signed
+// transactions, and block-sync replays whole tx lists. Each of those copies
+// would re-run a ~50 µs P-256 verification for content that already checked
+// out. The cache is content-addressed — tx ID plus a digest of the exact
+// signature bytes — so it is hit only by the identical (content, signature)
+// pair that previously verified; replaying a signature on different content
+// changes the ID and misses, and re-signing the same content changes the
+// signature digest and misses.
+
+// senderCacheEntry is one recovered (tx ID, signature) → address mapping,
+// linked into an intrusive LRU list so hits and evictions allocate nothing.
+type senderCacheEntry struct {
+	id         hashing.Hash
+	sigSum     hashing.Hash
+	addr       hashing.Address
+	prev, next *senderCacheEntry
+}
+
+type senderCacheState struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[hashing.Hash]*senderCacheEntry
+	// LRU list: head = most recent. free recycles evicted entries so a
+	// full cache reaches a zero-allocation steady state.
+	head, tail *senderCacheEntry
+	free       *senderCacheEntry
+
+	hits, misses, evictions atomic.Uint64
+}
+
+// DefaultSenderCacheCapacity bounds the process-wide sender cache. The
+// window that matters is admission→apply per in-flight transaction, summed
+// over every chain in the process (parallel bench cells share the cache);
+// 16k entries of ~120 bytes keep that window resident for well under 2 MB.
+const DefaultSenderCacheCapacity = 16384
+
+var senderCache = newSenderCacheState(DefaultSenderCacheCapacity)
+
+func newSenderCacheState(capacity int) *senderCacheState {
+	return &senderCacheState{
+		cap:     capacity,
+		entries: make(map[hashing.Hash]*senderCacheEntry, capacity),
+	}
+}
+
+// SetSenderCacheCapacity clears the sender cache and re-bounds it (tests
+// and memory-constrained deployments). Capacity <= 0 restores the default.
+func SetSenderCacheCapacity(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultSenderCacheCapacity
+	}
+	senderCache.mu.Lock()
+	senderCache.cap = capacity
+	senderCache.entries = make(map[hashing.Hash]*senderCacheEntry, capacity)
+	senderCache.head, senderCache.tail, senderCache.free = nil, nil, nil
+	senderCache.mu.Unlock()
+}
+
+// SenderCacheStats is a monotonic snapshot of sender-cache effectiveness.
+type SenderCacheStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// ReadSenderCacheStats returns the current cumulative counters. Harnesses
+// diff two snapshots and report the delta through metrics.Counters.
+func ReadSenderCacheStats() SenderCacheStats {
+	return SenderCacheStats{
+		Hits:      senderCache.hits.Load(),
+		Misses:    senderCache.misses.Load(),
+		Evictions: senderCache.evictions.Load(),
+	}
+}
+
+// sigDigest hashes the exact signature bytes (public key, R, S) so cache
+// hits require the same signature that originally verified, not merely the
+// same signed content.
+func sigDigest(sig *keys.Signature) hashing.Hash {
+	h := hashing.AcquireHasher()
+	h.LenPrefixed(sig.PubKey)
+	h.LenPrefixed(sig.R)
+	h.LenPrefixed(sig.S)
+	d := h.Sum()
+	hashing.ReleaseHasher(h)
+	return d
+}
+
+// lookup returns the cached signer for (id, sig) if that exact pair
+// verified before.
+func (c *senderCacheState) lookup(id hashing.Hash, sig *keys.Signature) (hashing.Address, bool) {
+	sum := sigDigest(sig)
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if !ok || e.sigSum != sum {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return hashing.Address{}, false
+	}
+	c.moveToFront(e)
+	addr := e.addr
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return addr, true
+}
+
+// store records a successful verification, evicting the least recently used
+// entry at capacity.
+func (c *senderCacheState) store(id hashing.Hash, sig *keys.Signature, addr hashing.Address) {
+	sum := sigDigest(sig)
+	c.mu.Lock()
+	if e, ok := c.entries[id]; ok {
+		// Same content re-signed (or malleated): keep the newest signature.
+		e.sigSum = sum
+		e.addr = addr
+		c.moveToFront(e)
+		c.mu.Unlock()
+		return
+	}
+	var e *senderCacheEntry
+	if len(c.entries) >= c.cap {
+		e = c.evictTail()
+	} else if c.free != nil {
+		e, c.free = c.free, c.free.next
+	} else {
+		e = &senderCacheEntry{}
+	}
+	e.id, e.sigSum, e.addr = id, sum, addr
+	c.entries[id] = e
+	c.pushFront(e)
+	c.mu.Unlock()
+}
+
+// evictTail unlinks and returns the least recently used entry for reuse.
+// Caller holds the lock and guarantees the cache is non-empty.
+func (c *senderCacheState) evictTail() *senderCacheEntry {
+	e := c.tail
+	c.unlink(e)
+	delete(c.entries, e.id)
+	c.evictions.Add(1)
+	return e
+}
+
+func (c *senderCacheState) pushFront(e *senderCacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *senderCacheState) unlink(e *senderCacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *senderCacheState) moveToFront(e *senderCacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// RecoverSenders verifies the signatures of txs on the shared crypto worker
+// pool and returns each recovered sender in input order, with a per-index
+// error for every transaction that failed. It is the batch front door the
+// txpool and ApplyBlock use to pull signature recovery off the serial
+// execution path: all ECDSA work for a block completes (in parallel) before
+// the strictly sequential EVM loop starts, and because results are indexed
+// by input position the outcome is bit-identical at every GOMAXPROCS.
+//
+// Duplicate pointers in txs are recovered once and share the result.
+func RecoverSenders(txs []*Transaction) ([]hashing.Address, []error) {
+	addrs := make([]hashing.Address, len(txs))
+	errs := make([]error, len(txs))
+	if len(txs) == 0 {
+		return addrs, errs
+	}
+	if len(txs) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i, tx := range txs {
+			addrs[i], errs[i] = tx.Sender()
+		}
+		return addrs, errs
+	}
+	// Sender mutates the transaction's verifiedID memo, so the same pointer
+	// must not be recovered by two workers at once.
+	firstIdx := make(map[*Transaction]int, len(txs))
+	dup := make([]int, len(txs)) // dup[i] = index of first occurrence
+	pool := keys.SharedPool()
+	var wg sync.WaitGroup
+	for i, tx := range txs {
+		if j, seen := firstIdx[tx]; seen {
+			dup[i] = j
+			continue
+		}
+		firstIdx[tx] = i
+		dup[i] = i
+		i, tx := i, tx
+		wg.Add(1)
+		pool.Go(func() {
+			defer wg.Done()
+			addrs[i], errs[i] = tx.Sender()
+		})
+	}
+	wg.Wait()
+	for i, j := range dup {
+		if i != j {
+			addrs[i], errs[i] = addrs[j], errs[j]
+		}
+	}
+	return addrs, errs
+}

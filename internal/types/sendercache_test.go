@@ -1,0 +1,251 @@
+package types
+
+import (
+	"runtime"
+	"testing"
+
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/u256"
+)
+
+func signedTx(t testing.TB, kp *keys.KeyPair, nonce uint64) *Transaction {
+	t.Helper()
+	tx := &Transaction{
+		ChainID:  1,
+		Nonce:    nonce,
+		Kind:     TxCall,
+		To:       hashing.AddressFromBytes([]byte{0x07}),
+		Value:    u256.FromUint64(nonce + 1),
+		GasLimit: 21_000,
+		GasPrice: u256.FromUint64(2),
+	}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// resetSenderCache gives each test an empty cache at a known capacity.
+func resetSenderCache(t testing.TB, capacity int) {
+	t.Helper()
+	SetSenderCacheCapacity(capacity)
+	t.Cleanup(func() { SetSenderCacheCapacity(0) })
+}
+
+func TestSenderCacheHitAcrossCopies(t *testing.T) {
+	resetSenderCache(t, 64)
+	kp := keys.Deterministic(1)
+	tx := signedTx(t, kp, 0)
+
+	// A decoded copy has no verifiedID memo; the cache (seeded by Sign)
+	// must recover the sender without a fresh verification.
+	copyTx, err := DecodeTransaction(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ReadSenderCacheStats()
+	addr, err := copyTx.Sender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != kp.Address() {
+		t.Fatalf("sender %s, want %s", addr, kp.Address())
+	}
+	after := ReadSenderCacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("expected one cache hit, stats before %+v after %+v", before, after)
+	}
+}
+
+func TestSenderCacheReplayedSignatureOnDifferentPayload(t *testing.T) {
+	resetSenderCache(t, 64)
+	kp := keys.Deterministic(1)
+	tx := signedTx(t, kp, 0)
+
+	// Graft the genuine signature onto different content. The id changes,
+	// so the cache must miss, and full verification must reject it.
+	forged, err := DecodeTransaction(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged.Value = u256.FromUint64(1 << 40)
+	before := ReadSenderCacheStats()
+	if _, err := forged.Sender(); err == nil {
+		t.Fatal("replayed signature on altered payload must fail verification")
+	}
+	after := ReadSenderCacheStats()
+	if after.Hits != before.Hits {
+		t.Fatalf("forged payload must not hit the cache: before %+v after %+v", before, after)
+	}
+
+	// Same id with different signature bytes must also miss: re-signing by
+	// another key yields sig bytes whose digest cannot match the entry.
+	other := keys.Deterministic(2)
+	mismatch, err := DecodeTransaction(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := other.Sign(mismatch.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch.Sig = sig
+	if _, err := mismatch.Sender(); err == nil {
+		t.Fatal("signature by another key must fail the From check")
+	}
+}
+
+func TestSenderCacheEvictionAtCapacity(t *testing.T) {
+	const capacity = 8
+	resetSenderCache(t, capacity)
+	kp := keys.Deterministic(1)
+	txs := make([]*Transaction, capacity+4)
+	for i := range txs {
+		txs[i] = signedTx(t, kp, uint64(i)) // Sign stores each entry
+	}
+	stats := ReadSenderCacheStats()
+	if stats.Evictions != uint64(len(txs)-capacity) {
+		t.Fatalf("evictions = %d, want %d", stats.Evictions, len(txs)-capacity)
+	}
+	if got := len(senderCache.entries); got != capacity {
+		t.Fatalf("cache holds %d entries, cap is %d", got, capacity)
+	}
+	// The oldest entries are gone: a fresh copy of tx 0 must miss ...
+	old, err := DecodeTransaction(txs[0].Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ReadSenderCacheStats()
+	if _, err := old.Sender(); err != nil {
+		t.Fatal(err) // slow path still verifies fine
+	}
+	mid := ReadSenderCacheStats()
+	if mid.Misses != before.Misses+1 {
+		t.Fatalf("evicted entry must miss: before %+v after %+v", before, mid)
+	}
+	// ... while the newest still hits.
+	fresh, err := DecodeTransaction(txs[len(txs)-1].Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Sender(); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadSenderCacheStats()
+	if after.Hits != mid.Hits+1 {
+		t.Fatalf("recent entry must hit: before %+v after %+v", mid, after)
+	}
+}
+
+func TestSenderCacheHitPathZeroAllocs(t *testing.T) {
+	resetSenderCache(t, 64)
+	kp := keys.Deterministic(1)
+	tx := signedTx(t, kp, 0)
+	copyTx, err := DecodeTransaction(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := copyTx.Sender(); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the memo each round so every iteration takes the shared-cache
+	// path, not the per-object fast path.
+	if avg := testing.AllocsPerRun(200, func() {
+		copyTx.verifiedID = hashing.Hash{}
+		if _, err := copyTx.Sender(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("cache-hit Sender allocates %.1f per call, want 0", avg)
+	}
+}
+
+func TestRecoverSendersMatchesSerialAcrossGOMAXPROCS(t *testing.T) {
+	resetSenderCache(t, 4096)
+	txs := make([]*Transaction, 24)
+	for i := range txs {
+		txs[i] = signedTx(t, keys.Deterministic(uint64(i%5+1)), uint64(i))
+	}
+	// One duplicate pointer and one corrupted signature.
+	txs[7] = txs[3]
+	txs[11].Sig.S = []byte{9}
+
+	want := make([]hashing.Address, len(txs))
+	wantErr := make([]bool, len(txs))
+	for i, tx := range txs {
+		// Fresh copies strip memos so every mode does the same work.
+		c := *tx
+		c.verifiedID = hashing.Hash{}
+		addr, err := c.Sender()
+		want[i], wantErr[i] = addr, err != nil
+	}
+
+	for _, procs := range []int{1, 2, runtime.NumCPU()} {
+		SetSenderCacheCapacity(4096) // clear between rounds
+		stripped := make([]*Transaction, len(txs))
+		fresh := make(map[*Transaction]*Transaction)
+		for i, tx := range txs {
+			c, ok := fresh[tx]
+			if !ok {
+				cc := *tx
+				cc.verifiedID = hashing.Hash{}
+				c = &cc
+				fresh[tx] = c
+			}
+			stripped[i] = c
+		}
+		prev := runtime.GOMAXPROCS(procs)
+		addrs, errs := RecoverSenders(stripped)
+		runtime.GOMAXPROCS(prev)
+		for i := range txs {
+			if addrs[i] != want[i] || (errs[i] != nil) != wantErr[i] {
+				t.Fatalf("GOMAXPROCS=%d index %d: got (%s, %v), want (%s, err=%v)",
+					procs, i, addrs[i], errs[i], want[i], wantErr[i])
+			}
+		}
+	}
+}
+
+func TestSignOnMatchesInlineSign(t *testing.T) {
+	resetSenderCache(t, 64)
+	kp := keys.Deterministic(3)
+	inline := signedTx(t, kp, 5)
+
+	deferred := &Transaction{
+		ChainID:  1,
+		Nonce:    5,
+		Kind:     TxCall,
+		To:       hashing.AddressFromBytes([]byte{0x07}),
+		Value:    u256.FromUint64(6),
+		GasLimit: 21_000,
+		GasPrice: u256.FromUint64(2),
+	}
+	deferred.SignOn(kp, nil)
+	// The id is fixed before the signature lands: everything the simulation
+	// orders on is already determined.
+	if deferred.ID() != inline.ID() {
+		t.Fatal("SignOn must fix the same id as Sign before the signature lands")
+	}
+	if err := deferred.WaitSig(); err != nil {
+		t.Fatal(err)
+	}
+	if err := deferred.WaitSig(); err != nil {
+		t.Fatal("WaitSig must be idempotent")
+	}
+	if addr, err := deferred.Sender(); err != nil || addr != kp.Address() {
+		t.Fatalf("deferred signature invalid: %s %v", addr, err)
+	}
+	// A decoded copy hits the cache exactly like the inline-signed path.
+	c, err := DecodeTransaction(deferred.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ReadSenderCacheStats()
+	if _, err := c.Sender(); err != nil {
+		t.Fatal(err)
+	}
+	if after := ReadSenderCacheStats(); after.Hits != before.Hits+1 {
+		t.Fatal("SignOn must seed the sender cache")
+	}
+}

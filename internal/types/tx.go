@@ -90,6 +90,10 @@ type Transaction struct {
 	// pools and executors do not repeat the ECDSA verification for the same
 	// content (mutating any signed field changes the id and voids the cache).
 	verifiedID hashing.Hash
+
+	// sigDone is non-nil while a SignOn signature is being produced on a
+	// worker; WaitSig receives the result exactly once.
+	sigDone chan error
 }
 
 // Errors returned by transaction validation.
@@ -206,20 +210,72 @@ func (tx *Transaction) hashUnsigned(h *hashing.Hasher) {
 // Sign sets From to the key's address and signs the transaction.
 func (tx *Transaction) Sign(kp *keys.KeyPair) error {
 	tx.From = kp.Address()
-	sig, err := kp.Sign(tx.ID())
+	id := tx.ID()
+	sig, err := kp.Sign(id)
 	if err != nil {
 		return fmt.Errorf("sign tx: %w", err)
 	}
 	tx.Sig = sig
-	tx.verifiedID = tx.ID() // freshly produced by the key for this content
+	tx.verifiedID = id // freshly produced by the key for this content
+	// Seed the process-wide cache too: consensus decodes the proposal
+	// payload into fresh copies, and only the cache survives the copy.
+	senderCache.store(id, &tx.Sig, tx.From)
 	return nil
 }
 
+// SignOn is Sign with the ECDSA work deferred to a worker pool: From and
+// the transaction id are fixed synchronously (so the id, and everything
+// derived from it, is identical to the inline path), while the signature is
+// produced concurrently. Callers must WaitSig before reading or encoding
+// the signature. A nil pool falls back to the shared pool.
+func (tx *Transaction) SignOn(kp *keys.KeyPair, pool *keys.Pool) {
+	tx.From = kp.Address()
+	id := tx.ID()
+	done := make(chan error, 1)
+	tx.sigDone = done
+	if pool == nil {
+		pool = keys.SharedPool()
+	}
+	pool.Go(func() {
+		sig, err := kp.Sign(id)
+		if err != nil {
+			done <- fmt.Errorf("sign tx: %w", err)
+			return
+		}
+		tx.Sig = sig
+		tx.verifiedID = id
+		senderCache.store(id, &tx.Sig, tx.From)
+		done <- nil
+	})
+}
+
+// WaitSig blocks until a pending SignOn signature lands and returns its
+// error. The channel receive orders the worker's writes (Sig, verifiedID)
+// before the caller's reads. It is idempotent: after the first call, or if
+// SignOn was never used, it returns nil immediately.
+func (tx *Transaction) WaitSig() error {
+	if tx.sigDone == nil {
+		return nil
+	}
+	err := <-tx.sigDone
+	tx.sigDone = nil
+	return err
+}
+
 // Sender verifies the signature and returns the signer's address.
+//
+// Three tiers, cheapest first: the per-object verifiedID memo (this pointer
+// already verified), the process-wide sender cache (this exact content and
+// signature verified before, possibly on a different copy), and finally the
+// full ECDSA verification, whose success populates both tiers.
 func (tx *Transaction) Sender() (hashing.Address, error) {
 	id := tx.ID()
 	if !tx.verifiedID.IsZero() && tx.verifiedID == id {
 		return tx.From, nil
+	}
+	if addr, ok := senderCache.lookup(id, &tx.Sig); ok && addr == tx.From {
+		tx.verifiedID = id
+		return addr, nil
 	}
 	addr, err := tx.Sig.Verify(id)
 	if err != nil {
@@ -229,16 +285,28 @@ func (tx *Transaction) Sender() (hashing.Address, error) {
 		return hashing.Address{}, fmt.Errorf("%w: signer %s does not match From %s", ErrBadTxSignature, addr, tx.From)
 	}
 	tx.verifiedID = id
+	senderCache.store(id, &tx.Sig, addr)
 	return addr, nil
 }
 
-// Validate performs stateless checks for a chain with the given id.
-func (tx *Transaction) Validate(chain hashing.ChainID) error {
+// ValidateStateless performs the checks that need no cryptography: chain
+// binding and payload shape. Callers that also need the sender recovered
+// (every admission path) follow up with Sender, which memoizes.
+func (tx *Transaction) ValidateStateless(chain hashing.ChainID) error {
 	if tx.ChainID != chain {
 		return fmt.Errorf("%w: tx for %s, chain is %s", ErrTxChainID, tx.ChainID, chain)
 	}
 	if tx.Kind == TxMove2 && tx.Move2 == nil {
 		return ErrMissingPayload
+	}
+	return nil
+}
+
+// Validate performs all stateless checks for a chain with the given id,
+// including signature verification.
+func (tx *Transaction) Validate(chain hashing.ChainID) error {
+	if err := tx.ValidateStateless(chain); err != nil {
+		return err
 	}
 	if _, err := tx.Sender(); err != nil {
 		return err

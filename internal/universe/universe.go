@@ -8,6 +8,7 @@ package universe
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"scmove/internal/chain"
@@ -189,6 +190,7 @@ type Universe struct {
 	clients []*relay.Client
 
 	counters    *metrics.Counters
+	scBase      types.SenderCacheStats // sender-cache stats at creation
 	moverCfg    relay.MoverConfig
 	submitLinks map[hashing.ChainID]*simnet.Link
 	relayLinks  map[[2]hashing.ChainID]*simnet.Link
@@ -219,6 +221,7 @@ func New(cfg Config) (*Universe, error) {
 		Net:         net,
 		chains:      make(map[hashing.ChainID]*chain.Chain, len(cfg.Specs)),
 		counters:    metrics.NewCounters(),
+		scBase:      types.ReadSenderCacheStats(),
 		moverCfg:    relay.DefaultMoverConfig(),
 		submitLinks: make(map[hashing.ChainID]*simnet.Link, len(cfg.Specs)),
 		relayLinks:  make(map[[2]hashing.ChainID]*simnet.Link),
@@ -241,10 +244,26 @@ func New(cfg Config) (*Universe, error) {
 	}
 
 	// Clients, funded on every chain.
+	// Key derivation is pure (seed → key pair) and lands by index, so the
+	// population comes up in parallel yet identical to a serial loop.
 	clientKeys := make([]*keys.KeyPair, cfg.Clients)
+	var kg sync.WaitGroup
+	kg.Add(len(clientKeys))
 	for i := range clientKeys {
-		clientKeys[i] = ClientKey(i)
+		i := i
+		keys.SharedPool().Go(func() {
+			defer kg.Done()
+			clientKeys[i] = ClientKey(i)
+		})
+	}
+	kg.Wait()
+	for i := range clientKeys {
 		cl := relay.NewClient(clientKeys[i], sched, cfg.SubmitDelay)
+		// All clients sign on the shared crypto pool: the ECDSA overlaps
+		// with the event loop's work during the submission delay instead of
+		// serializing in front of it. Simulated results are unaffected (the
+		// signature is excluded from tx ids and waited on before admission).
+		cl.SetSigner(keys.SharedPool())
 		for id, link := range u.submitLinks {
 			cl.SetSubmitLink(id, link)
 		}
@@ -328,9 +347,18 @@ func New(cfg Config) (*Universe, error) {
 }
 
 // Counters returns the universe's shared fault/retry counter set: simnet
-// drops and duplicates, submission and header-relay link events, and every
-// mover's retry/recovery/timeout counts.
-func (u *Universe) Counters() *metrics.Counters { return u.counters }
+// drops and duplicates, submission and header-relay link events, every
+// mover's retry/recovery/timeout counts, and the sender-cache hit/miss
+// deltas accumulated since the universe was created (folded in on each
+// call — the cache itself is process-wide, the counters per-universe).
+func (u *Universe) Counters() *metrics.Counters {
+	cur := types.ReadSenderCacheStats()
+	u.counters.Add("sendercache.hits", cur.Hits-u.scBase.Hits)
+	u.counters.Add("sendercache.misses", cur.Misses-u.scBase.Misses)
+	u.counters.Add("sendercache.evictions", cur.Evictions-u.scBase.Evictions)
+	u.scBase = cur
+	return u.counters
+}
 
 // SubmitLink returns the client→chain submission link of a chain (cut it to
 // isolate clients from the chain).

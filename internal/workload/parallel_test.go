@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestKittiesReplayCrossGOMAXPROCSDeterminism replays the same seeded trace
+// serially and with the parallel signing/recovery/commit pipeline enabled,
+// and requires identical simulated outcomes: deferred signing fixes tx ids
+// before any event can order on them, sender recovery and subtree hashing
+// land by input position, so parallelism may only change wall clock.
+func TestKittiesReplayCrossGOMAXPROCSDeterminism(t *testing.T) {
+	run := func(procs int) *KittiesResult {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		res, err := RunKitties(KittiesConfig{
+			Shards: 2, Users: 8, PromoCats: 30, Breeds: 60,
+			LocalityBias: 0.9, OutstandingLimit: 100, Seed: 11, MaxDuration: time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	want := run(1)
+	for _, procs := range []int{2, runtime.NumCPU()} {
+		got := run(procs)
+		if got.Throughput != want.Throughput || got.SimDuration != want.SimDuration {
+			t.Fatalf("GOMAXPROCS=%d: throughput %v/%v, duration %v/%v",
+				procs, got.Throughput, want.Throughput, got.SimDuration, want.SimDuration)
+		}
+		if got.TxsCommitted != want.TxsCommitted || got.OpsCompleted != want.OpsCompleted ||
+			got.FailedOps != want.FailedOps || got.CrossRate != want.CrossRate {
+			t.Fatalf("GOMAXPROCS=%d: counts diverge: %+v vs %+v", procs, got, want)
+		}
+		if !reflect.DeepEqual(got.Timeline.Series(), want.Timeline.Series()) {
+			t.Fatalf("GOMAXPROCS=%d: committed-tx timeline diverges", procs)
+		}
+		if !reflect.DeepEqual(got.StarvedAt, want.StarvedAt) {
+			t.Fatalf("GOMAXPROCS=%d: starvation markers diverge", procs)
+		}
+	}
+}
