@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke experiments
+.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke experiments
 
-check: vet race detsmoke benchsmoke benchgate
+check: vet race detsmoke benchsmoke benchgate expsmoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,22 @@ benchgate:
 detsmoke:
 	$(GO) test -run 'TestVerifyBatchMatchesSerial|TestRecoverSendersMatchesSerialAcrossGOMAXPROCS|TestCommitParallelMatchesSerial|TestHashParallelMatchesRootHashAndProofs|TestApplyBlockParallelDeterminism|TestKittiesReplayCrossGOMAXPROCSDeterminism' \
 		./internal/keys/ ./internal/types/ ./internal/state/ ./internal/chain/ ./internal/workload/
+
+# expsmoke is the experiment-output sanity gate: a CI-scale ablations run
+# plus a chaos run with metrics and span tracing on, captured to /tmp and
+# grepped for error / out-of-gas lines. It catches both broken experiments
+# (a stale `granularity n=1000 … out of gas` line once sat in
+# results_full.txt unnoticed) and observability wiring that breaks a run.
+expsmoke:
+	$(GO) run ./cmd/movebench -experiment ablations -scale 0.08 > /tmp/scmove_expsmoke.txt 2>&1 \
+		|| { cat /tmp/scmove_expsmoke.txt; exit 1; }
+	$(GO) run ./cmd/movebench -experiment chaos -moves 2 -metrics -trace /tmp/scmove_expsmoke_trace.jsonl >> /tmp/scmove_expsmoke.txt 2>&1 \
+		|| { cat /tmp/scmove_expsmoke.txt; exit 1; }
+	@if grep -Ein 'error|out of gas' /tmp/scmove_expsmoke.txt; then \
+		echo "expsmoke: error lines in experiment output (/tmp/scmove_expsmoke.txt)"; exit 1; \
+	else \
+		echo "expsmoke: clean ($$(wc -l < /tmp/scmove_expsmoke_trace.jsonl) trace spans)"; \
+	fi
 
 # experiments reruns the paper's figure experiments end to end (the old
 # `make bench` behaviour, before bench came to mean performance snapshots).

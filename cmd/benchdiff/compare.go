@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // result and snapshot mirror the cmd/benchsnap JSON schema. The types are
@@ -15,6 +16,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra carries benchmark-specific scalars — simulated throughput,
+	// stage-latency histogram summaries (move1_p50_s, p_wait_p95_s, …).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type snapshot struct {
@@ -54,7 +58,12 @@ type diff struct {
 // set. A zero old value (e.g. allocs/op on an already zero-alloc path)
 // regresses if the new value is anything above zero plus threshold-free
 // slack of one object, since a ratio against zero is meaningless.
-func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh float64) diff {
+//
+// stageThresh gates the Extra fields (stage-latency summaries and other
+// benchmark-specific scalars): a negative value ignores them entirely — the
+// default, since older baselines don't carry them — and a non-negative one
+// fails any shared Extra key that grew beyond that fraction.
+func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh, stageThresh float64) diff {
 	var d diff
 	oldByName := make(map[string]result, len(oldSnap.Results))
 	for _, r := range oldSnap.Results {
@@ -79,6 +88,12 @@ func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh float64) diff {
 			mark += "  REGRESSION(allocs)"
 			d.regressed = true
 		}
+		for _, key := range sharedExtras(o.Extra, n.Extra) {
+			if stageThresh >= 0 && ratio(o.Extra[key], n.Extra[key]) > stageThresh {
+				mark += fmt.Sprintf("  REGRESSION(%s)", key)
+				d.regressed = true
+			}
+		}
 		d.rows = append(d.rows, fmt.Sprintf("%-24s %12.0f -> %12.0f ns/op (%+6.1f%%)  %10.1f -> %10.1f allocs/op (%+6.1f%%)%s",
 			n.Name, o.NsPerOp, n.NsPerOp, timeDelta*100, o.AllocsPerOp, n.AllocsPerOp, allocDelta*100, mark))
 	}
@@ -88,6 +103,19 @@ func compare(oldSnap, newSnap *snapshot, timeThresh, allocThresh float64) diff {
 		}
 	}
 	return d
+}
+
+// sharedExtras returns the Extra keys present in both results, sorted so
+// regression marks render deterministically.
+func sharedExtras(old, new map[string]float64) []string {
+	var keys []string
+	for k := range old {
+		if _, ok := new[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // ratio returns (new-old)/old, or 0 when old is zero (delta undefined).

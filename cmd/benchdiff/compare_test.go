@@ -15,7 +15,7 @@ func snap(results ...result) *snapshot {
 func TestInjectedTimeRegressionFails(t *testing.T) {
 	oldSnap := snap(result{Name: "kitties_replay", NsPerOp: 100_000_000, AllocsPerOp: 235_000})
 	newSnap := snap(result{Name: "kitties_replay", NsPerOp: 120_000_000, AllocsPerOp: 235_000})
-	d := compare(oldSnap, newSnap, 0.15, 0.05)
+	d := compare(oldSnap, newSnap, 0.15, 0.05, -1)
 	if !d.regressed {
 		t.Fatal("20% time regression not flagged at 15% threshold")
 	}
@@ -27,7 +27,7 @@ func TestInjectedTimeRegressionFails(t *testing.T) {
 func TestWithinThresholdPasses(t *testing.T) {
 	oldSnap := snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0})
 	newSnap := snap(result{Name: "mpt_get", NsPerOp: 220, AllocsPerOp: 0})
-	if d := compare(oldSnap, newSnap, 0.15, 0.05); d.regressed {
+	if d := compare(oldSnap, newSnap, 0.15, 0.05, -1); d.regressed {
 		t.Fatal("10% time delta flagged at 15% threshold")
 	}
 }
@@ -35,7 +35,7 @@ func TestWithinThresholdPasses(t *testing.T) {
 func TestImprovementPasses(t *testing.T) {
 	oldSnap := snap(result{Name: "evm_tight_loop", NsPerOp: 50_000, AllocsPerOp: 10})
 	newSnap := snap(result{Name: "evm_tight_loop", NsPerOp: 30_000, AllocsPerOp: 3})
-	if d := compare(oldSnap, newSnap, 0.15, 0.05); d.regressed {
+	if d := compare(oldSnap, newSnap, 0.15, 0.05, -1); d.regressed {
 		t.Fatal("improvement flagged as regression")
 	}
 }
@@ -43,7 +43,7 @@ func TestImprovementPasses(t *testing.T) {
 func TestAllocRegressionFails(t *testing.T) {
 	oldSnap := snap(result{Name: "kitties_replay", NsPerOp: 100, AllocsPerOp: 100})
 	newSnap := snap(result{Name: "kitties_replay", NsPerOp: 100, AllocsPerOp: 110})
-	d := compare(oldSnap, newSnap, 0.15, 0.05)
+	d := compare(oldSnap, newSnap, 0.15, 0.05, -1)
 	if !d.regressed {
 		t.Fatal("10% alloc regression not flagged at 5% threshold")
 	}
@@ -58,12 +58,40 @@ func TestAllocRegressionFails(t *testing.T) {
 func TestZeroAllocBaselineGuard(t *testing.T) {
 	oldSnap := snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0})
 	if d := compare(oldSnap,
-		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0.5}), 0.15, 0.05); d.regressed {
+		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 0.5}), 0.15, 0.05, -1); d.regressed {
 		t.Fatal("half an object of jitter on a zero baseline flagged")
 	}
 	if d := compare(oldSnap,
-		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 2}), 0.15, 0.05); !d.regressed {
+		snap(result{Name: "mpt_get", NsPerOp: 200, AllocsPerOp: 2}), 0.15, 0.05, -1); !d.regressed {
 		t.Fatal("2 allocs/op on a zero-alloc baseline not flagged")
+	}
+}
+
+// TestStageRegressionGate pins the -stages contract: extra fields (the
+// stage-latency histogram summaries) are ignored at the default negative
+// threshold, and an injected p-wait regression fails once the gate is on.
+func TestStageRegressionGate(t *testing.T) {
+	oldSnap := snap(result{Name: "move_stages", NsPerOp: 1000,
+		Extra: map[string]float64{"p_wait_p95_s": 100, "move1_p50_s": 20}})
+	newSnap := snap(result{Name: "move_stages", NsPerOp: 1000,
+		Extra: map[string]float64{"p_wait_p95_s": 130, "move1_p50_s": 20}})
+	if d := compare(oldSnap, newSnap, 0.15, 0.05, -1); d.regressed {
+		t.Fatal("extras must be ignored without -stages")
+	}
+	d := compare(oldSnap, newSnap, 0.15, 0.05, 0.10)
+	if !d.regressed {
+		t.Fatal("30% p_wait_p95_s regression not flagged at 10% stage threshold")
+	}
+	if !strings.Contains(d.rows[0], "REGRESSION(p_wait_p95_s)") {
+		t.Fatalf("row = %q, want REGRESSION(p_wait_p95_s)", d.rows[0])
+	}
+	if strings.Contains(d.rows[0], "move1_p50_s") {
+		t.Fatalf("row = %q: unchanged stage must not be marked", d.rows[0])
+	}
+	// A baseline without extras never trips the gate (keys must be shared).
+	bare := snap(result{Name: "move_stages", NsPerOp: 1000})
+	if d := compare(bare, newSnap, 0.15, 0.05, 0.10); d.regressed {
+		t.Fatal("extras unique to the new snapshot must not fail the diff")
 	}
 }
 
@@ -81,7 +109,7 @@ func TestAsymmetricSnapshotsCompareSharedOnly(t *testing.T) {
 		result{Name: "kitties_replay", NsPerOp: 90, AllocsPerOp: 10},
 		result{Name: "verify_batch", NsPerOp: 1_000_000, AllocsPerOp: 1e9},
 	)
-	d := compare(oldSnap, newSnap, 0.15, 0.05)
+	d := compare(oldSnap, newSnap, 0.15, 0.05, -1)
 	if d.regressed {
 		t.Fatal("unmatched benchmarks must not fail the diff")
 	}

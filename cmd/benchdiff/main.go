@@ -8,6 +8,13 @@
 // Allocation counts are compared with a tight default threshold (5%)
 // because they are deterministic, unlike wall-clock time.
 //
+// Snapshots may also carry per-benchmark extra scalars (the move_stages
+// stage-latency summaries above all). They are ignored by default — older
+// baselines don't have them — and compared with -stages, which fails any
+// shared extra that grew beyond -stage-threshold (10% default; the values
+// are simulated-time and deterministic, so the slack only absorbs intended
+// tuning changes, not noise).
+//
 // The command deliberately imports nothing outside the standard library so
 // it can be vendored into CI images or run against snapshots from other
 // checkouts without dragging in the simulator.
@@ -23,9 +30,11 @@ import (
 func main() {
 	timeThresh := flag.Float64("threshold", 0.15, "max allowed ns/op regression (fraction, e.g. 0.15 = 15%)")
 	allocThresh := flag.Float64("alloc-threshold", 0.05, "max allowed allocs/op regression (fraction)")
+	stages := flag.Bool("stages", false, "also gate the extra fields (stage-latency summaries)")
+	stageThresh := flag.Float64("stage-threshold", 0.10, "max allowed extra-field regression with -stages (fraction)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold frac] [-alloc-threshold frac] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold frac] [-alloc-threshold frac] [-stages] old.json new.json")
 		os.Exit(2)
 	}
 	oldSnap, err := readSnapshot(flag.Arg(0))
@@ -38,7 +47,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	d := compare(oldSnap, newSnap, *timeThresh, *allocThresh)
+	extraThresh := -1.0 // ignore extras unless -stages
+	if *stages {
+		extraThresh = *stageThresh
+	}
+	d := compare(oldSnap, newSnap, *timeThresh, *allocThresh, extraThresh)
 	for _, r := range d.rows {
 		fmt.Println(r)
 	}

@@ -28,6 +28,7 @@ import (
 	"scmove/internal/evm/asm"
 	"scmove/internal/hashing"
 	"scmove/internal/keys"
+	"scmove/internal/metrics"
 	"scmove/internal/mpt"
 	"scmove/internal/state"
 	"scmove/internal/trie"
@@ -151,7 +152,48 @@ func benchmarks() []benchmark {
 		{name: "sender_cache_hit", iters: 500_000, run: runSenderCacheHit},
 		{name: "kitties_replay", iters: 5, run: runKitties},
 		{name: "fig6_grid_ci", iters: 2, run: runFig6Grid},
+		{name: "move_stages", iters: 2, run: runMoveStages},
 	}
+}
+
+// runMoveStages drives the chaos scenario with the observability registry on
+// and records the per-stage Move latency summaries (simulated time, fully
+// deterministic) as extra fields. benchdiff -stages gates on them, so a
+// change that silently slows Move1 inclusion, the p-block confirmation wait,
+// or Move2 commit fails the diff even when wall-clock stays flat.
+func runMoveStages(iters int) (Result, error) {
+	cfg := bench.DefaultChaosConfig()
+	cfg.Metrics = true
+	var reg *metrics.Registry
+	res, err := measure(iters, func() error {
+		out, err := bench.RunChaos(cfg)
+		if err != nil {
+			return err
+		}
+		reg = out.Registry
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Extra = make(map[string]float64)
+	for name, key := range map[string]string{
+		"move1.commit": "move1",
+		"p.wait":       "p_wait",
+		"move2.commit": "move2",
+		"move.total":   "total",
+	} {
+		h := reg.Histogram(name)
+		if h == nil {
+			continue
+		}
+		s := h.Summarize()
+		res.Extra[key+"_count"] = float64(s.Count)
+		res.Extra[key+"_p50_s"] = s.P50.Seconds()
+		res.Extra[key+"_p95_s"] = s.P95.Seconds()
+		res.Extra[key+"_max_s"] = s.Max.Seconds()
+	}
+	return res, nil
 }
 
 // runVerifyBatch measures batch ECDSA recovery of 64 signatures through the

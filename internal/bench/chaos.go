@@ -24,6 +24,13 @@ type ChaosConfig struct {
 	// Moves is how many back-and-forth moves to drive (alternating
 	// Burrow→Ethereum and back).
 	Moves int
+	// Metrics enables the observability registry: per-stage Move latency
+	// histograms and queue-depth gauges, rendered next to the counters.
+	// Simulated results are identical either way.
+	Metrics bool
+	// Trace additionally retains a structured span per protocol stage for a
+	// JSONL dump (implies Metrics).
+	Trace bool
 }
 
 // DefaultChaosConfig is the headline scenario of the chaos test suite: 20%
@@ -39,6 +46,9 @@ type ChaosResult struct {
 	Latency  []time.Duration
 	Counters map[string]uint64
 	counters *metrics.Counters
+	// Registry holds the stage-latency histograms and gauges (and, with
+	// Trace, the span dump); nil unless Config.Metrics/Trace.
+	Registry *metrics.Registry
 }
 
 // RunChaos drives cfg.Moves sequential moves of a Store contract between
@@ -47,6 +57,8 @@ type ChaosResult struct {
 // complete — the relayer's retry machinery is the system under test.
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	ucfg := universe.DefaultConfig(1)
+	ucfg.Metrics = cfg.Metrics || cfg.Trace
+	ucfg.Trace = cfg.Trace
 	faults := simnet.LinkFaults{DropRate: cfg.DropRate, DupRate: cfg.DupRate, JitterFrac: 0.1}
 	ucfg.Chaos = &universe.ChaosConfig{
 		WAN:          faults,
@@ -68,7 +80,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		return nil, fmt.Errorf("chaos deploy: %w", err)
 	}
 
-	res := &ChaosResult{Config: cfg, counters: u.Counters()}
+	res := &ChaosResult{Config: cfg, counters: u.Counters(), Registry: u.Metrics()}
 	from, to := hashing.ChainID(2), hashing.ChainID(1)
 	for i := 0; i < cfg.Moves; i++ {
 		mv, err := u.MoveAndWait(cl, from, to, store, time.Hour)
@@ -113,5 +125,8 @@ func (r *ChaosResult) String() string {
 	out += lat.String()
 	out += "\nFault and recovery counters\n"
 	out += r.counters.String()
+	if rep := r.Registry.Report(); rep != "" {
+		out += "\n" + rep
+	}
 	return out
 }

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosFingerprint reduces one chaos run to everything simulated: per-move
+// latencies plus the counter table, minus the sendercache.* counters (the
+// cache is process-wide and other parallel tests pollute its hit/miss
+// deltas; every other counter is driven solely by this run's seeded RNGs).
+func chaosFingerprint(t *testing.T, metricsOn, trace bool) string {
+	t.Helper()
+	cfg := ChaosConfig{DropRate: 0.20, DupRate: 0.20, Seed: 12345, Moves: 2,
+		Metrics: metricsOn, Trace: trace}
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for i, d := range res.Latency {
+		fmt.Fprintf(&sb, "move%d=%d\n", i+1, int64(d))
+	}
+	names := make([]string, 0, len(res.Counters))
+	for name := range res.Counters {
+		if !strings.HasPrefix(name, "sendercache.") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s=%d\n", name, res.Counters[name])
+	}
+	return sb.String()
+}
+
+// TestMetricsDoNotPerturbSimulation is the determinism contract of the
+// observability layer: running the chaos scenario with histograms, gauges,
+// and span tracing fully enabled must produce byte-identical simulated
+// results to running with the layer off — at GOMAXPROCS 1, 2, and the
+// host's CPU count alike. Recording only reads state inside callbacks that
+// already run, so any divergence means an instrumentation point scheduled
+// an event, drew randomness, or mutated simulation state.
+func TestMetricsDoNotPerturbSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-GOMAXPROCS chaos runs are slow in -short mode")
+	}
+	procs := []int{1, 2, runtime.NumCPU()}
+	baseline := ""
+	for _, p := range procs {
+		prev := runtime.GOMAXPROCS(p)
+		off := chaosFingerprint(t, false, false)
+		on := chaosFingerprint(t, true, true)
+		runtime.GOMAXPROCS(prev)
+		if off != on {
+			t.Fatalf("GOMAXPROCS=%d: enabling metrics+trace changed simulated results\noff:\n%son:\n%s",
+				p, off, on)
+		}
+		if baseline == "" {
+			baseline = off
+		} else if off != baseline {
+			t.Fatalf("GOMAXPROCS=%d: simulated results diverged from GOMAXPROCS=%d run\nbase:\n%sgot:\n%s",
+				p, procs[0], baseline, off)
+		}
+	}
+}
+
+// TestChaosStageHistogramsPopulated pins the end-to-end wiring: a chaos run
+// with metrics on reports every Move-protocol stage in its histograms with
+// one sample per completed move, and the rendered result carries the
+// stage-latency table next to the counters.
+func TestChaosStageHistogramsPopulated(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Moves = 2
+	cfg.Metrics = true
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.Registry
+	if reg == nil {
+		t.Fatal("metrics run must carry a registry")
+	}
+	for _, stage := range []string{"move1.commit", "p.wait", "move2.commit", "move.total"} {
+		h := reg.Histogram(stage)
+		if h == nil {
+			t.Fatalf("stage %q has no histogram", stage)
+		}
+		if h.Count() != uint64(cfg.Moves) {
+			t.Fatalf("stage %q: %d samples, want %d", stage, h.Count(), cfg.Moves)
+		}
+		if h.Max() <= 0 || h.Max() > 2*time.Hour {
+			t.Fatalf("stage %q: implausible max %s", stage, h.Max())
+		}
+	}
+	// move.total must be the sum of its parts per move; with 2 moves the
+	// aggregate check is max(total) >= max(move1)+max(p.wait) is too strong
+	// across different moves, so check the weaker sum-of-sums identity.
+	total := reg.Histogram("move.total").Sum()
+	parts := reg.Histogram("move1.commit").Sum() +
+		reg.Histogram("p.wait").Sum() + reg.Histogram("move2.commit").Sum()
+	if total != parts {
+		t.Fatalf("stage sums don't add up: move.total=%s, move1+p.wait+move2=%s", total, parts)
+	}
+	out := res.String()
+	for _, want := range []string{"Stage latency (simulated time)", "p.wait", "move1.commit", "Gauges"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered chaos result missing %q:\n%s", want, out)
+		}
+	}
+	// No tracing requested: spans must not accumulate.
+	if len(reg.Spans()) != 0 {
+		t.Fatalf("metrics-only run retained %d spans", len(reg.Spans()))
+	}
+}

@@ -8,12 +8,14 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"scmove/internal/codec"
 	"scmove/internal/core"
 	"scmove/internal/evm"
 	"scmove/internal/hashing"
+	"scmove/internal/metrics"
 	"scmove/internal/state"
 	"scmove/internal/trie"
 	"scmove/internal/txpool"
@@ -70,6 +72,16 @@ type Chain struct {
 	pool      *txpool.Pool
 	listeners []BlockListener
 	txWaiters map[hashing.Hash][]TxListener
+
+	// Optional observability (SetObserver): block-interval histogram, block
+	// commit trace events, and pool-depth gauges. The chain cannot see the
+	// scheduler, so the harness supplies the simulated-clock reading.
+	reg         *metrics.Registry
+	nowFn       func() time.Duration
+	lastBlockAt time.Duration
+	gDepth      string // "txpool.depth.<chain>"
+	gPeak       string // "txpool.peak.<chain>"
+	hInterval   string // "block.interval.<chain>"
 }
 
 // TxListener observes one transaction's execution.
@@ -178,16 +190,50 @@ func (c *Chain) StaticCall(from, to hashing.Address, input []byte) ([]byte, erro
 	return ret, err
 }
 
+// SetObserver attaches an observability registry and a simulated-clock
+// reading function (the chain never sees the scheduler directly). The chain
+// then feeds a per-chain block-interval histogram, a block.commit trace
+// event per committed block, and txpool depth/peak gauges. Recording only
+// reads state the chain already computed, so enabling it cannot change
+// simulated results. A nil registry detaches.
+func (c *Chain) SetObserver(reg *metrics.Registry, now func() time.Duration) {
+	c.reg = reg
+	c.nowFn = now
+	if reg == nil || now == nil {
+		c.reg, c.nowFn = nil, nil
+		return
+	}
+	id := c.cfg.ChainID.String()
+	c.gDepth = "txpool.depth." + id
+	c.gPeak = "txpool.peak." + id
+	c.hInterval = "block.interval." + id
+	c.lastBlockAt = now()
+}
+
+// observePoolDepth refreshes the pool-depth gauge and its high-water mark.
+func (c *Chain) observePoolDepth() {
+	if c.reg == nil {
+		return
+	}
+	depth := float64(c.pool.Len())
+	c.reg.SetGauge(c.gDepth, depth)
+	c.reg.MaxGauge(c.gPeak, depth)
+}
+
 // SubmitTx admits a transaction to the pending pool.
 func (c *Chain) SubmitTx(tx *types.Transaction) error {
-	return c.pool.Add(tx)
+	err := c.pool.Add(tx)
+	c.observePoolDepth()
+	return err
 }
 
 // SubmitTxs admits a batch of transactions, recovering all senders on the
 // crypto worker pool first; admission decisions and order are identical to
 // calling SubmitTx in a loop. One error slot is returned per transaction.
 func (c *Chain) SubmitTxs(txs []*types.Transaction) []error {
-	return c.pool.AddBatch(txs)
+	errs := c.pool.AddBatch(txs)
+	c.observePoolDepth()
+	return errs
 }
 
 // PendingTxs returns the pool size.
@@ -282,7 +328,28 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 			}
 		}
 	}
+	c.observeBlock(block)
 	return block, receipts
+}
+
+// observeBlock records the block-level observability signals: the interval
+// since the previous commit, a block.commit trace event, and the post-
+// eviction pool depth.
+func (c *Chain) observeBlock(block *types.Block) {
+	if c.reg == nil || c.nowFn == nil {
+		return
+	}
+	at := c.nowFn()
+	c.reg.Span(c.hInterval, c.lastBlockAt, at)
+	c.lastBlockAt = at
+	if c.reg.TraceEnabled() {
+		c.reg.Event("block.commit", at,
+			metrics.A("chain", c.cfg.ChainID.String()),
+			metrics.A("height", strconv.FormatUint(block.Header.Height, 10)),
+			metrics.A("txs", strconv.Itoa(len(block.Txs))),
+			metrics.A("gas", strconv.FormatUint(block.Header.GasUsed, 10)))
+	}
+	c.observePoolDepth()
 }
 
 func (c *Chain) blockHashFn() func(uint64) hashing.Hash {

@@ -3,6 +3,7 @@ package relay
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -108,7 +109,7 @@ type Entry struct {
 	Move2       *types.Transaction
 	Payload     *types.Move2Payload
 	// Attempts counts resubmissions within the current stage.
-	Attempts int
+	Attempts  int
 	Result    *MoveResult
 	done      func(*MoveResult)
 	confirmAt time.Duration // when the confirmation wait started
@@ -173,6 +174,7 @@ type Mover struct {
 	cfg      MoverConfig
 	journal  *Journal
 	counters *metrics.Counters
+	reg      *metrics.Registry // optional; nil records nothing
 	alive    bool
 }
 
@@ -209,6 +211,32 @@ func (m *Mover) Journal() *Journal { return m.journal }
 
 // Counters returns the mover's fault/retry counters.
 func (m *Mover) Counters() *metrics.Counters { return m.counters }
+
+// SetRegistry attaches an observability registry: the mover then emits one
+// span per protocol stage (move1.commit, p.wait, move2.commit, move.total)
+// into its histograms, plus point events for submissions, retries,
+// recoveries, and failures when tracing is enabled. A nil registry (the
+// default) records nothing.
+func (m *Mover) SetRegistry(reg *metrics.Registry) { m.reg = reg }
+
+// event traces a point event for a move, tagging it with the contract.
+// The attr formatting is skipped entirely unless tracing is on.
+func (m *Mover) event(name string, e *Entry, attrs ...metrics.Attr) {
+	if !m.reg.TraceEnabled() {
+		return
+	}
+	attrs = append(attrs, metrics.A("contract", e.Contract.String()))
+	m.reg.Event(name, m.sched.Now(), attrs...)
+}
+
+// stageAttrs tags a stage span with its move's contract (only when the
+// span will actually be retained).
+func (m *Mover) stageAttrs(e *Entry) []metrics.Attr {
+	if !m.reg.TraceEnabled() {
+		return nil
+	}
+	return []metrics.Attr{metrics.A("contract", e.Contract.String())}
+}
 
 // Crash simulates a relayer crash: the Mover stops reacting to every
 // pending timer and receipt notification. The journal survives; a new
@@ -256,6 +284,7 @@ func (m *Mover) Complete(cl *Client, contract hashing.Address, done func(*MoveRe
 func (m *Mover) Recover(cl *Client) {
 	for _, e := range m.journal.InFlight() {
 		m.counters.Inc("relay.recoveries")
+		m.event("relay.recover", e, metrics.A("stage", e.Stage.String()))
 		switch e.Stage {
 		case StagePending:
 			if e.MoveToInput == nil {
@@ -284,6 +313,7 @@ func (m *Mover) fail(e *Entry, stage string, err error) {
 	e.Stage = StageFailed
 	e.Result.Err = fmt.Errorf("%s: %w", stage, err)
 	m.counters.Inc("relay.moves_failed")
+	m.event("move.failed", e, metrics.A("stage", stage))
 	if e.done != nil {
 		e.done(e.Result)
 	}
@@ -322,6 +352,7 @@ func (m *Mover) submitMove1(cl *Client, e *Entry) {
 	}
 	e.Stage = StageMove1Submitted
 	cl.SubmitSigned(m.src, e.Move1)
+	m.event("move1.submit", e, metrics.A("attempt", strconv.Itoa(e.Attempts+1)))
 	m.watchMove1(cl, e)
 }
 
@@ -345,6 +376,7 @@ func (m *Mover) watchMove1(cl *Client, e *Entry) {
 			// moveTo guard above all — is terminal.
 			if strings.Contains(rec.Err, "bad nonce") && m.budget(e) {
 				m.counters.Inc("relay.move1_retries")
+				m.event("move1.retry", e, metrics.A("reason", "bad nonce"))
 				cl.NoteBadNonce(m.src.ChainID())
 				e.Move1 = nil
 				m.sched.After(m.backoff(e.Attempts), func() {
@@ -357,6 +389,7 @@ func (m *Mover) watchMove1(cl *Client, e *Entry) {
 			m.fail(e, "move1", errors.New(rec.Err))
 			return
 		}
+		m.reg.Span("move1.commit", e.Result.StartedAt, e.Result.Move1At, m.stageAttrs(e)...)
 		m.startConfirm(cl, e)
 	})
 	if m.cfg.StageDeadline <= 0 {
@@ -374,10 +407,12 @@ func (m *Mover) watchMove1(cl *Client, e *Entry) {
 			return
 		}
 		m.counters.Inc("relay.move1_retries")
+		m.event("move1.retry", e, metrics.A("reason", "stage deadline"))
 		e.seq++
 		m.sched.After(m.backoff(e.Attempts), func() {
 			if m.alive && e.Stage == StageMove1Submitted {
 				cl.SubmitSigned(m.src, e.Move1)
+				m.event("move1.submit", e, metrics.A("attempt", strconv.Itoa(e.Attempts+1)))
 				m.watchMove1(cl, e)
 			}
 		})
@@ -440,6 +475,9 @@ func (m *Mover) pollConfirm(cl *Client, e *Entry) {
 func (m *Mover) submitMove2(cl *Client, e *Entry) {
 	if e.Result.ProofReadyAt == 0 {
 		e.Result.ProofReadyAt = m.sched.Now()
+		// The p-block confirmation wait: Move1 inclusion (or move
+		// acceptance, for Complete-style moves) to proof-confirmed depth.
+		m.reg.Span("p.wait", e.Result.Move1At, e.Result.ProofReadyAt, m.stageAttrs(e)...)
 	}
 	if e.Move2 == nil {
 		tx, err := cl.SignedMove2(m.dst, e.Payload)
@@ -452,6 +490,7 @@ func (m *Mover) submitMove2(cl *Client, e *Entry) {
 	}
 	e.Stage = StageMove2Submitted
 	cl.SubmitSigned(m.dst, e.Move2)
+	m.event("move2.submit", e, metrics.A("attempt", strconv.Itoa(e.Attempts+1)))
 	m.watchMove2(cl, e)
 }
 
@@ -481,6 +520,7 @@ func (m *Mover) watchMove2(cl *Client, e *Entry) {
 		if !rec.Succeeded() {
 			if transientMove2(rec.Err) && m.budget(e) {
 				m.counters.Inc("relay.move2_retries")
+				m.event("move2.retry", e, metrics.A("reason", rec.Err))
 				if strings.Contains(rec.Err, "bad nonce") {
 					cl.NoteBadNonce(m.dst.ChainID())
 				}
@@ -502,6 +542,8 @@ func (m *Mover) watchMove2(cl *Client, e *Entry) {
 		e.seq++
 		e.Stage = StageDone
 		m.counters.Inc("relay.moves_completed")
+		m.reg.Span("move2.commit", e.Result.ProofReadyAt, e.Result.Move2At, m.stageAttrs(e)...)
+		m.reg.Span("move.total", e.Result.StartedAt, e.Result.Move2At, m.stageAttrs(e)...)
 		if e.done != nil {
 			e.done(e.Result)
 		}
@@ -518,10 +560,12 @@ func (m *Mover) watchMove2(cl *Client, e *Entry) {
 			return
 		}
 		m.counters.Inc("relay.move2_retries")
+		m.event("move2.retry", e, metrics.A("reason", "stage deadline"))
 		e.seq++
 		m.sched.After(m.backoff(e.Attempts), func() {
 			if m.alive && e.Stage == StageMove2Submitted {
 				cl.SubmitSigned(m.dst, e.Move2)
+				m.event("move2.submit", e, metrics.A("attempt", strconv.Itoa(e.Attempts+1)))
 				m.watchMove2(cl, e)
 			}
 		})

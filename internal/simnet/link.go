@@ -54,6 +54,10 @@ type Link struct {
 	stats    LinkStats
 	counters *metrics.Counters
 	prefix   string
+
+	reg       *metrics.Registry // optional; feeds in-flight gauges
+	gInflight string
+	gPeak     string
 }
 
 // NewLink returns a link with the given base one-way delay and fault
@@ -72,6 +76,20 @@ func NewLink(sched *simclock.Scheduler, base time.Duration, faults LinkFaults, s
 func (l *Link) Observe(c *metrics.Counters, prefix string) {
 	l.counters = c
 	l.prefix = prefix
+}
+
+// SetRegistry attaches an observability registry: the link then tracks its
+// in-flight message count ("<prefix>.inflight") and high-water mark
+// ("<prefix>.inflight.peak"). Call after Observe so the gauge names pick up
+// the link's counter prefix.
+func (l *Link) SetRegistry(reg *metrics.Registry) {
+	l.reg = reg
+	prefix := l.prefix
+	if prefix == "" {
+		prefix = "link"
+	}
+	l.gInflight = prefix + ".inflight"
+	l.gPeak = prefix + ".inflight.peak"
 }
 
 // SetCut severs (true) or heals (false) the link. A cut link drops every
@@ -133,6 +151,15 @@ func (l *Link) Deliver(fn func()) {
 	}
 	for i := 0; i < copies; i++ {
 		l.count("delivered", &l.stats.Delivered)
+		if l.reg.Enabled() {
+			l.reg.AddGauge(l.gInflight, 1)
+			l.reg.MaxGauge(l.gPeak, l.reg.Gauge(l.gInflight))
+			l.sched.After(l.delay(), func() {
+				l.reg.AddGauge(l.gInflight, -1)
+				fn()
+			})
+			continue
+		}
 		l.sched.After(l.delay(), fn)
 	}
 }

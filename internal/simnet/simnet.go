@@ -116,6 +116,7 @@ type Network struct {
 	reordered  uint64
 
 	counters *metrics.Counters
+	reg      *metrics.Registry // optional; feeds in-flight gauges
 }
 
 type nodeInfo struct {
@@ -139,6 +140,12 @@ func New(sched *simclock.Scheduler, cfg Config) *Network {
 // Observe mirrors the network's fault events into the shared counter set
 // under the "wan." prefix.
 func (n *Network) Observe(c *metrics.Counters) { n.counters = c }
+
+// SetRegistry attaches an observability registry: the network then tracks
+// the number of WAN messages in flight ("wan.inflight") and its high-water
+// mark ("wan.inflight.peak"). Updates happen inside send/delivery paths that
+// already run, so enabling them cannot perturb simulated results.
+func (n *Network) SetRegistry(reg *metrics.Registry) { n.reg = reg }
 
 func (n *Network) count(event string, field *uint64) {
 	*field++
@@ -214,7 +221,12 @@ func (n *Network) Send(from, to NodeID, payload any) {
 			}
 			n.count("reordered", &n.reordered)
 		}
+		if n.reg.Enabled() {
+			n.reg.AddGauge("wan.inflight", 1)
+			n.reg.MaxGauge("wan.inflight.peak", n.reg.Gauge("wan.inflight"))
+		}
 		n.sched.After(delay, func() {
+			n.reg.AddGauge("wan.inflight", -1)
 			// Down-state and handler are re-checked at delivery time so crashes
 			// that happen while the message is in flight take effect.
 			info, ok := n.nodes[to]

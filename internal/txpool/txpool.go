@@ -53,16 +53,21 @@ func (p *Pool) Len() int { return len(p.queue) }
 // duplicate check run first (they are cheap and need no crypto), then a
 // single Sender call both authenticates the transaction and yields the
 // sender the pool keys nonce sequencing on.
+//
+// The duplicate check runs before the capacity check: an idempotent
+// resubmission of an already-pending transaction must report ErrDuplicate
+// even when the pool is full — it consumes no slot, and callers treat
+// ErrPoolFull as capacity pressure worth backing off for.
 func (p *Pool) Add(tx *types.Transaction) error {
-	if len(p.queue) >= p.limit {
-		return ErrPoolFull
-	}
 	if err := tx.ValidateStateless(p.chainID); err != nil {
 		return fmt.Errorf("admit tx: %w", err)
 	}
 	id := tx.ID()
 	if _, dup := p.pending[id]; dup {
 		return ErrDuplicate
+	}
+	if len(p.queue) >= p.limit {
+		return ErrPoolFull
 	}
 	sender, err := tx.Sender()
 	if err != nil {
@@ -102,26 +107,36 @@ func (p *Pool) Contains(id hashing.Hash) bool {
 // by the chain when a block commits). A consensus round that fails after
 // proposing must not destroy its transactions — under message loss that
 // would silently drop client traffic every failed round. Stale entries
-// (nonce below the account's committed nonce) are evicted here: typically
+// (nonce below the account's *committed* nonce) are evicted here: typically
 // idempotent resubmissions of a transaction that already landed, which must
 // never re-execute and overwrite a success receipt with a nonce failure.
+// Eviction deliberately ignores the speculative next-nonce advanced for
+// batch-mates selected in this same pass: those selections are not
+// committed yet, and evicting against them would destroy a competing
+// same-nonce transaction that must survive if the proposed block fails.
 func (p *Pool) NextBatch(max int, nonceOf func(hashing.Address) uint64) []*types.Transaction {
 	if max <= 0 {
 		return nil
 	}
 	batch := make([]*types.Transaction, 0, max)
-	next := make(map[hashing.Address]uint64)
+	committed := make(map[hashing.Address]uint64) // account nonce in committed state
+	next := make(map[hashing.Address]uint64)      // speculative next nonce for selection
 	keep := p.queue[:0]
 	for _, e := range p.queue {
-		want, seen := next[e.sender]
+		base, seen := committed[e.sender]
 		if !seen {
-			want = nonceOf(e.sender)
+			base = nonceOf(e.sender)
+			committed[e.sender] = base
 		}
-		if e.tx.Nonce < want {
+		if e.tx.Nonce < base {
 			delete(p.pending, e.id)
 			continue
 		}
 		keep = append(keep, e)
+		want, selecting := next[e.sender]
+		if !selecting {
+			want = base
+		}
 		if len(batch) >= max || e.tx.Nonce != want {
 			continue
 		}

@@ -24,6 +24,23 @@ func signedTx(t *testing.T, kp *keys.KeyPair, nonce uint64) *types.Transaction {
 	return tx
 }
 
+// signedTxTo is signedTx with a distinct destination, for building two
+// different transactions that share a sender and nonce.
+func signedTxTo(t *testing.T, kp *keys.KeyPair, nonce uint64, to byte) *types.Transaction {
+	t.Helper()
+	tx := &types.Transaction{
+		ChainID:  1,
+		Nonce:    nonce,
+		Kind:     types.TxCall,
+		To:       hashing.AddressFromBytes([]byte{to}),
+		GasLimit: 21000,
+	}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
 func zeroNonce(hashing.Address) uint64 { return 0 }
 
 func TestAddAndBatchFIFO(t *testing.T) {
@@ -152,6 +169,78 @@ func TestRemove(t *testing.T) {
 		t.Fatal("remove must drop the tx")
 	}
 	p.Remove(tx.ID()) // idempotent
+}
+
+// TestSameNonceCompetitorSurvivesFailedRound pins the select-don't-consume
+// promise for competing same-nonce transactions: selecting one of them for a
+// proposal must not evict the other as "stale" against the *speculative*
+// nonce advanced during that same pass. If the proposed block then fails
+// (message loss), the competitor must still be in the pool and proposable.
+func TestSameNonceCompetitorSurvivesFailedRound(t *testing.T) {
+	p := New(1, 100)
+	kp := keys.Deterministic(1)
+	a := signedTxTo(t, kp, 0, 0x01)
+	b := signedTxTo(t, kp, 0, 0x02) // same sender, same nonce, different tx
+	for _, tx := range []*types.Transaction{a, b} {
+		if err := p.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := p.NextBatch(10, zeroNonce)
+	if len(batch) != 1 || batch[0].ID() != a.ID() {
+		t.Fatalf("first proposal must select exactly the FIFO-first competitor, got %d", len(batch))
+	}
+	// The consensus round fails: no block commits, nothing is removed. The
+	// losing competitor must not have been destroyed.
+	if !p.Contains(b.ID()) || p.Len() != 2 {
+		t.Fatalf("competing same-nonce tx was evicted on a failed round (len=%d, contains=%v)",
+			p.Len(), p.Contains(b.ID()))
+	}
+	// The next round can still propose either: drop a (say, a peer saw it
+	// fail admission elsewhere) and b must be selectable at the same nonce.
+	p.Remove(a.ID())
+	batch = p.NextBatch(10, zeroNonce)
+	if len(batch) != 1 || batch[0].ID() != b.ID() {
+		t.Fatal("surviving competitor must be proposable after the failed round")
+	}
+	// Once the account's committed nonce really advances, both are stale and
+	// eviction (against committed state) kicks in.
+	p.Remove(b.ID())
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NextBatch(10, func(hashing.Address) uint64 { return 1 }); len(got) != 0 {
+		t.Fatalf("stale tx below committed nonce must not be proposed, got %d", len(got))
+	}
+	if p.Len() != 0 {
+		t.Fatalf("stale tx below committed nonce must be evicted, len = %d", p.Len())
+	}
+}
+
+// TestDuplicateBeatsPoolFull pins Add's check order: an idempotent
+// resubmission of an already-pending transaction reports ErrDuplicate even
+// when the pool is at capacity (it consumes no slot), while a genuinely new
+// transaction at capacity reports ErrPoolFull.
+func TestDuplicateBeatsPoolFull(t *testing.T) {
+	p := New(1, 1)
+	pending := signedTx(t, keys.Deterministic(1), 0)
+	if err := p.Add(pending); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(pending); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("resubmission at full pool: want ErrDuplicate, got %v", err)
+	}
+	if err := p.Add(signedTx(t, keys.Deterministic(2), 0)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("new tx at full pool: want ErrPoolFull, got %v", err)
+	}
+	// And with free capacity the duplicate is still a duplicate.
+	p2 := New(1, 2)
+	if err := p2.Add(pending); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Add(pending); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("resubmission below capacity: want ErrDuplicate, got %v", err)
+	}
 }
 
 func TestSequentialNoncesInOneBatch(t *testing.T) {

@@ -1,0 +1,9 @@
+//go:build race
+
+package types
+
+// raceEnabled reports whether the race detector is active. AllocsPerRun
+// assertions are skipped under -race: sync.Pool randomly drops Puts there
+// (to widen the interleavings it can observe), so pooled-object reuse — and
+// with it the zero-allocation guarantee — is nondeterministic by design.
+const raceEnabled = true

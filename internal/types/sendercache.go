@@ -35,8 +35,10 @@ type senderCacheState struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[hashing.Hash]*senderCacheEntry
-	// LRU list: head = most recent. free recycles evicted entries so a
-	// full cache reaches a zero-allocation steady state.
+	// LRU list: head = most recent. At capacity, store reuses the evicted
+	// tail entry directly; free holds entries recycled by a cache reset
+	// (SetSenderCacheCapacity), so both a full cache and a refilling one
+	// run at a zero-allocation steady state.
 	head, tail *senderCacheEntry
 	free       *senderCacheEntry
 
@@ -60,15 +62,26 @@ func newSenderCacheState(capacity int) *senderCacheState {
 
 // SetSenderCacheCapacity clears the sender cache and re-bounds it (tests
 // and memory-constrained deployments). Capacity <= 0 restores the default.
+// The discarded entries are chained onto the free list (up to the new
+// capacity; any surplus is left to the GC), so refilling the resized cache
+// recycles them instead of allocating.
 func SetSenderCacheCapacity(capacity int) {
 	if capacity <= 0 {
 		capacity = DefaultSenderCacheCapacity
 	}
-	senderCache.mu.Lock()
-	senderCache.cap = capacity
-	senderCache.entries = make(map[hashing.Hash]*senderCacheEntry, capacity)
-	senderCache.head, senderCache.tail, senderCache.free = nil, nil, nil
-	senderCache.mu.Unlock()
+	c := senderCache
+	c.mu.Lock()
+	e := c.head
+	for n := 0; e != nil && n < capacity; n++ {
+		next := e.next
+		e.prev, e.next = nil, c.free
+		c.free = e
+		e = next
+	}
+	c.cap = capacity
+	c.entries = make(map[hashing.Hash]*senderCacheEntry, capacity)
+	c.head, c.tail = nil, nil
+	c.mu.Unlock()
 }
 
 // SenderCacheStats is a monotonic snapshot of sender-cache effectiveness.

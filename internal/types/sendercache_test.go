@@ -139,6 +139,9 @@ func TestSenderCacheEvictionAtCapacity(t *testing.T) {
 }
 
 func TestSenderCacheHitPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("hasher pool reuse is nondeterministic under -race (sync.Pool drops Puts)")
+	}
 	resetSenderCache(t, 64)
 	kp := keys.Deterministic(1)
 	tx := signedTx(t, kp, 0)
@@ -158,6 +161,53 @@ func TestSenderCacheHitPathZeroAllocs(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Fatalf("cache-hit Sender allocates %.1f per call, want 0", avg)
+	}
+}
+
+// TestSenderCacheStoreSteadyStateZeroAllocs pins the intrusive-LRU recycling
+// paths: storing new entries into a cache at capacity reuses the evicted
+// tail, and refilling after a reset reuses the entries the reset chained
+// onto the free list. Neither path may allocate.
+func TestSenderCacheStoreSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("hasher pool reuse is nondeterministic under -race (sync.Pool drops Puts)")
+	}
+	const capacity = 32
+	resetSenderCache(t, capacity)
+	kp := keys.Deterministic(1)
+	addr := kp.Address()
+	tx := signedTx(t, kp, 0)
+	sig := &tx.Sig
+	// Fill to capacity; these stores allocate the entry structs once.
+	var id hashing.Hash
+	for i := 1; i <= capacity; i++ {
+		id[0], id[1] = byte(i), byte(i>>8)
+		senderCache.store(id, sig, addr)
+	}
+	if got := len(senderCache.entries); got != capacity {
+		t.Fatalf("cache holds %d entries, want %d", got, capacity)
+	}
+	// At capacity every store evicts the tail and must reuse its entry.
+	n := capacity
+	if avg := testing.AllocsPerRun(200, func() {
+		n++
+		id[0], id[1] = byte(n), byte(n>>8)
+		senderCache.store(id, sig, addr)
+	}); avg != 0 {
+		t.Fatalf("store at capacity allocates %.2f per op, want 0", avg)
+	}
+	// A reset recycles the discarded entries onto the free list; refilling
+	// must consume them instead of allocating.
+	SetSenderCacheCapacity(capacity)
+	if senderCache.free == nil {
+		t.Fatal("reset must chain discarded entries onto the free list")
+	}
+	if avg := testing.AllocsPerRun(capacity-1, func() {
+		n++
+		id[0], id[1] = byte(n), byte(n>>8)
+		senderCache.store(id, sig, addr)
+	}); avg != 0 {
+		t.Fatalf("refill after reset allocates %.2f per op, want 0", avg)
 	}
 }
 

@@ -132,6 +132,15 @@ type Config struct {
 	// Chaos, if set, injects faults into every message path and tunes the
 	// relayer for recovery (nil runs a fault-free network).
 	Chaos *ChaosConfig
+	// Metrics switches on the observability registry: per-stage Move latency
+	// histograms, block-interval histograms, and queue-depth gauges, all over
+	// simulated time. Off by default; recording never schedules events or
+	// draws randomness, so simulated results are identical either way.
+	Metrics bool
+	// Trace additionally retains one structured span per protocol stage and
+	// point events (submissions, retries, recoveries) for a JSONL dump.
+	// Implies Metrics.
+	Trace bool
 	// ExtraGenesis, if set, runs per chain after client funding — used to
 	// pre-deploy shared contracts (token factories, game registries) at the
 	// same address on every shard.
@@ -190,6 +199,7 @@ type Universe struct {
 	clients []*relay.Client
 
 	counters    *metrics.Counters
+	reg         *metrics.Registry      // nil unless Config.Metrics/Trace
 	scBase      types.SenderCacheStats // sender-cache stats at creation
 	moverCfg    relay.MoverConfig
 	submitLinks map[hashing.ChainID]*simnet.Link
@@ -227,6 +237,11 @@ func New(cfg Config) (*Universe, error) {
 		relayLinks:  make(map[[2]hashing.ChainID]*simnet.Link),
 	}
 	net.Observe(u.counters)
+	if cfg.Metrics || cfg.Trace {
+		u.reg = metrics.NewRegistryWith(u.counters)
+		u.reg.EnableTrace(cfg.Trace)
+		net.SetRegistry(u.reg)
+	}
 	if cfg.Chaos != nil && cfg.Chaos.Mover != nil {
 		u.moverCfg = *cfg.Chaos.Mover
 	}
@@ -240,6 +255,9 @@ func New(cfg Config) (*Universe, error) {
 	for i, spec := range cfg.Specs {
 		link := simnet.NewLink(sched, cfg.SubmitDelay, submitFaults, chaosSeed+int64(i)*7919+1)
 		link.Observe(u.counters, "submit")
+		if u.reg != nil {
+			link.SetRegistry(u.reg)
+		}
 		u.submitLinks[spec.Config.ChainID] = link
 	}
 
@@ -294,6 +312,9 @@ func New(cfg Config) (*Universe, error) {
 		}
 		u.chains[spec.Config.ChainID] = c
 		u.order = append(u.order, spec.Config.ChainID)
+		if u.reg != nil {
+			c.SetObserver(u.reg, sched.Now)
+		}
 
 		switch spec.Consensus {
 		case ConsensusBFT:
@@ -337,6 +358,9 @@ func New(cfg Config) (*Universe, error) {
 			if a != b {
 				link := simnet.NewLink(sched, cfg.RelayDelay, relayFaults, chaosSeed+int64(pair)*104729+2)
 				link.Observe(u.counters, "headers")
+				if u.reg != nil {
+					link.SetRegistry(u.reg)
+				}
 				u.relayLinks[[2]hashing.ChainID{a, b}] = link
 				chain.ConnectHeaderRelayVia(u.chains[a], u.chains[b], link, window)
 				pair++
@@ -359,6 +383,11 @@ func (u *Universe) Counters() *metrics.Counters {
 	u.scBase = cur
 	return u.counters
 }
+
+// Metrics returns the universe's observability registry, or nil when the
+// layer is off (Config.Metrics/Trace unset). The nil registry is safe to
+// record into and renders nothing.
+func (u *Universe) Metrics() *metrics.Registry { return u.reg }
 
 // SubmitLink returns the client→chain submission link of a chain (cut it to
 // isolate clients from the chain).
@@ -409,8 +438,10 @@ func (u *Universe) Client(i int) *relay.Client { return u.clients[i] }
 // fresh mover with its own journal; hold on to one to exercise
 // crash-recovery via Crash/Recover.
 func (u *Universe) Mover(src, dst hashing.ChainID) *relay.Mover {
-	return relay.NewMoverWith(u.Sched, u.chains[src], u.chains[dst],
+	m := relay.NewMoverWith(u.Sched, u.chains[src], u.chains[dst],
 		u.moverCfg, relay.NewJournal(), u.counters)
+	m.SetRegistry(u.reg)
+	return m
 }
 
 // Run advances the simulation by d.
