@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"scmove/internal/bench"
+	"scmove/internal/chain"
 	"scmove/internal/evm"
 	"scmove/internal/evm/asm"
 	"scmove/internal/hashing"
@@ -153,6 +154,75 @@ func benchmarks() []benchmark {
 		{name: "kitties_replay", iters: 5, run: runKitties},
 		{name: "fig6_grid_ci", iters: 2, run: runFig6Grid},
 		{name: "move_stages", iters: 2, run: runMoveStages},
+		{name: "apply_block_parallel_disjoint", iters: 20, run: runApplyBlockParallel(false)},
+		{name: "apply_block_parallel_conflicting", iters: 20, run: runApplyBlockParallel(true)},
+	}
+}
+
+// runApplyBlockParallel measures one 128-transaction block executed by the
+// optimistic parallel scheduler (the headline ns/op) against the serial loop
+// on identical traffic (extra field serial_ns_per_op, plus the speedup
+// ratio). The parallel leg runs at min(4, max(2, NumCPU)) GOMAXPROCS; on a
+// single-core host that still exercises the full lanes-plus-commit machinery
+// and the ratio reports its overhead rather than a speedup (see DESIGN.md).
+// Both legs must commit the same state root — the benchmark doubles as a
+// cross-engine check on real-size blocks.
+func runApplyBlockParallel(conflicting bool) func(iters int) (Result, error) {
+	return func(iters int) (Result, error) {
+		// One transaction per sender: same-sender nonce chains are inherently
+		// serial for this engine (every later tx reads the nonce the earlier
+		// one wrote), so the disjoint cell uses independent senders and the
+		// conflicting cell differs only in the contract's storage pattern.
+		cfg := bench.ApplyBlockConfig{Senders: 128, Txs: 128, Conflicting: conflicting}
+		txs, err := bench.BuildApplyBlockTxs(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		var roots [2]hashing.Hash
+		leg := func(iters, threshold, slot int) (Result, error) {
+			cfg.ParallelThreshold = threshold
+			return measure(iters, func() error {
+				c, err := bench.BuildApplyBlockChain(cfg)
+				if err != nil {
+					return err
+				}
+				block, receipts := c.ApplyBlock(txs, 100, chain.ProposerAddress(1, 0))
+				for _, rec := range receipts {
+					if !rec.Succeeded() {
+						return fmt.Errorf("apply_block: tx failed: %s", rec.Err)
+					}
+				}
+				roots[slot], _ = c.RootAt(block.Header.Height)
+				return nil
+			})
+		}
+		serial, err := leg(iters, -1, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		procs := runtime.NumCPU()
+		if procs > 4 {
+			procs = 4
+		}
+		if procs < 2 {
+			procs = 2
+		}
+		prev := runtime.GOMAXPROCS(procs)
+		res, err := leg(iters, 1, 1)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return Result{}, err
+		}
+		if roots[0] != roots[1] {
+			return Result{}, fmt.Errorf("apply_block: parallel root %s != serial %s", roots[1], roots[0])
+		}
+		res.Extra = map[string]float64{
+			"serial_ns_per_op": serial.NsPerOp,
+			"speedup":          serial.NsPerOp / res.NsPerOp,
+			"gomaxprocs":       float64(procs),
+			"numcpu":           float64(runtime.NumCPU()),
+		}
+		return res, nil
 	}
 }
 

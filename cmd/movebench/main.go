@@ -19,12 +19,18 @@
 // -trace <file> additionally dumps one JSON Lines span per protocol stage
 // and event of the chaos run. Both observe simulated time only: the
 // simulated results are bit-identical with the layer on or off.
+//
+// -cpuprofile <file> and -memprofile <file> write pprof profiles of the
+// selected experiment (the CPU profile covers the whole run; the heap
+// profile is taken after a final GC), for go tool pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"scmove/internal/bench"
@@ -40,12 +46,40 @@ func main() {
 	flag.IntVar(&chaosCfg.Moves, "moves", chaosCfg.Moves, "chaos: number of back-and-forth moves to drive")
 	flag.BoolVar(&metricsOn, "metrics", false, "chaos/chaossweep: render stage-latency histograms and gauges")
 	flag.StringVar(&traceFile, "trace", "", "chaos: dump a JSONL span trace to this file (implies -metrics)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
 	flag.Parse()
 	chaosCfg.Metrics = metricsOn || traceFile != ""
 	chaosCfg.Trace = traceFile != ""
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "movebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "movebench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(*experiment, bench.Scale(*scale)); err != nil {
 		fmt.Fprintln(os.Stderr, "movebench:", err)
 		os.Exit(1)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "movebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "movebench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

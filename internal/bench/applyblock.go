@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+
+	"scmove/internal/chain"
+	"scmove/internal/core"
+	"scmove/internal/evm"
+	"scmove/internal/evm/asm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/state"
+	"scmove/internal/trie"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+)
+
+// ApplyBlockConfig describes one block-execution workload for the parallel
+// scheduler benchmarks: Senders independent funded accounts each submit
+// Txs/Senders contract calls into a single block.
+type ApplyBlockConfig struct {
+	// Senders is the number of distinct funded accounts (one lane of
+	// inherently serial nonce progression each).
+	Senders int
+	// Txs is the total block size.
+	Txs int
+	// Conflicting selects the contract: true makes every call read-modify-
+	// write one shared storage slot (worst case: every speculation aborts),
+	// false makes each call write a caller-keyed slot (best case: no
+	// conflicts beyond the commutative coinbase credit).
+	Conflicting bool
+	// ParallelThreshold is passed through to chain.Config: negative forces
+	// the serial loop, 1 parallelizes every block.
+	ParallelThreshold int
+}
+
+// ApplyBlockResult carries the committed outcome so callers can cross-check
+// engines against each other.
+type ApplyBlockResult struct {
+	Root     hashing.Hash
+	Receipts []*types.Receipt
+}
+
+const applyBlockFund = 1_000_000_000_000
+
+// applyBlockContract is the fixed address of the workload contract.
+var applyBlockContract = hashing.AddressFromBytes([]byte{0xB0})
+
+// conflictingCode bumps shared slot 0 on every call; disjointCode writes the
+// calldata word to a caller-keyed slot.
+var (
+	conflictingCode = asm.MustAssemble("PUSH1 0 SLOAD PUSH1 1 ADD PUSH1 0 SSTORE STOP")
+	disjointCode    = asm.MustAssemble("PUSH1 0 CALLDATALOAD CALLER SSTORE STOP")
+)
+
+// BuildApplyBlockChain constructs a fresh single chain with the workload
+// contract deployed and every sender funded in genesis.
+func BuildApplyBlockChain(cfg ApplyBlockConfig) (*chain.Chain, error) {
+	ccfg := chain.Config{
+		ChainID:           1,
+		TreeKind:          trie.KindMPT,
+		Schedule:          evm.EthereumSchedule(),
+		BlockGasLimit:     1_000_000_000,
+		MaxBlockTxs:       cfg.Txs + 1,
+		ConfirmationDepth: 6,
+		PoolLimit:         cfg.Txs + 1,
+		ParallelThreshold: cfg.ParallelThreshold,
+	}
+	code := disjointCode
+	if cfg.Conflicting {
+		code = conflictingCode
+	}
+	return chain.New(ccfg, core.NewHeaderStore(), func(db *state.DB) {
+		for s := 0; s < cfg.Senders; s++ {
+			db.AddBalance(keys.Deterministic(uint64(s+1)).Address(), u256.FromUint64(applyBlockFund))
+		}
+		db.CreateContract(applyBlockContract, code)
+	})
+}
+
+// BuildApplyBlockTxs generates the block: senders round-robin over the
+// workload contract, nonces per sender in order. Transactions are decoded
+// from wire form so every run re-recovers senders like a consensus-delivered
+// block.
+func BuildApplyBlockTxs(cfg ApplyBlockConfig) ([]*types.Transaction, error) {
+	kps := make([]*keys.KeyPair, cfg.Senders)
+	for s := range kps {
+		kps[s] = keys.Deterministic(uint64(s + 1))
+	}
+	nonces := make([]uint64, cfg.Senders)
+	txs := make([]*types.Transaction, 0, cfg.Txs)
+	for i := 0; i < cfg.Txs; i++ {
+		s := i % cfg.Senders
+		var data [32]byte
+		data[31] = byte(i%250 + 1)
+		tx := &types.Transaction{
+			ChainID:  1,
+			Nonce:    nonces[s],
+			Kind:     types.TxCall,
+			To:       applyBlockContract,
+			GasLimit: 1_000_000,
+			GasPrice: u256.FromUint64(2),
+			Data:     data[:],
+		}
+		nonces[s]++
+		if err := tx.Sign(kps[s]); err != nil {
+			return nil, err
+		}
+		dec, err := types.DecodeTransaction(tx.Encode())
+		if err != nil {
+			return nil, err
+		}
+		txs = append(txs, dec)
+	}
+	return txs, nil
+}
+
+// RunApplyBlock executes one freshly built block on one freshly built chain
+// and returns the committed root and receipts.
+func RunApplyBlock(cfg ApplyBlockConfig) (*ApplyBlockResult, error) {
+	c, err := BuildApplyBlockChain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	txs, err := BuildApplyBlockTxs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	block, receipts := c.ApplyBlock(txs, 100, chain.ProposerAddress(1, 0))
+	for _, rec := range receipts {
+		if !rec.Succeeded() {
+			return nil, fmt.Errorf("bench: apply block: tx failed: %s", rec.Err)
+		}
+	}
+	root, _ := c.RootAt(block.Header.Height)
+	return &ApplyBlockResult{Root: root, Receipts: receipts}, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestApplyBlockParallelMatchesSerial cross-checks the block-execution
+// benchmark workloads themselves: the parallel scheduler must commit the
+// same root and receipts as the serial loop for both the embarrassingly
+// parallel and the fully conflicting block, at every GOMAXPROCS.
+func TestApplyBlockParallelMatchesSerial(t *testing.T) {
+	for _, conflicting := range []bool{false, true} {
+		name := "disjoint"
+		if conflicting {
+			name = "conflicting"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := ApplyBlockConfig{Senders: 16, Txs: 64, Conflicting: conflicting}
+
+			cfg.ParallelThreshold = -1
+			want, err := RunApplyBlock(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.ParallelThreshold = 1
+			for _, procs := range []int{2, 4, runtime.NumCPU()} {
+				prev := runtime.GOMAXPROCS(procs)
+				got, err := RunApplyBlock(cfg)
+				runtime.GOMAXPROCS(prev)
+				if err != nil {
+					t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+				}
+				if got.Root != want.Root {
+					t.Fatalf("GOMAXPROCS=%d: root %s != serial %s", procs, got.Root, want.Root)
+				}
+				if !reflect.DeepEqual(got.Receipts, want.Receipts) {
+					t.Fatalf("GOMAXPROCS=%d: receipts diverge from serial", procs)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosCellCrossGOMAXPROCS is the conflict-heavy chaos cell of the
+// determinism suite: the full fault-injected Move scenario (20% drops, 20%
+// duplicates on every path) must produce identical simulated results whether
+// chain blocks execute serially (GOMAXPROCS=1) or through the optimistic
+// scheduler (GOMAXPROCS>1) — parallel ≡ serial under faults.
+func TestChaosCellCrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-GOMAXPROCS chaos runs are slow in -short mode")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := chaosFingerprint(t, true, false)
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	parallel := chaosFingerprint(t, true, false)
+	runtime.GOMAXPROCS(prev)
+	if serial != parallel {
+		t.Fatalf("parallel execution changed simulated chaos results\nserial:\n%sparallel:\n%s",
+			serial, parallel)
+	}
+}

@@ -12,7 +12,10 @@ import (
 // chaosFingerprint reduces one chaos run to everything simulated: per-move
 // latencies plus the counter table, minus the sendercache.* counters (the
 // cache is process-wide and other parallel tests pollute its hit/miss
-// deltas; every other counter is driven solely by this run's seeded RNGs).
+// deltas) and the parallel.* counters (they describe the host's execution
+// strategy — how many lanes speculated or aborted — not simulated events,
+// and legitimately differ between GOMAXPROCS settings and metrics on/off;
+// every other counter is driven solely by this run's seeded RNGs).
 func chaosFingerprint(t *testing.T, metricsOn, trace bool) string {
 	t.Helper()
 	cfg := ChaosConfig{DropRate: 0.20, DupRate: 0.20, Seed: 12345, Moves: 2,
@@ -27,7 +30,7 @@ func chaosFingerprint(t *testing.T, metricsOn, trace bool) string {
 	}
 	names := make([]string, 0, len(res.Counters))
 	for name := range res.Counters {
-		if !strings.HasPrefix(name, "sendercache.") {
+		if !strings.HasPrefix(name, "sendercache.") && !strings.HasPrefix(name, "parallel.") {
 			names = append(names, name)
 		}
 	}

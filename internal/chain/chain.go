@@ -43,6 +43,12 @@ type Config struct {
 	Natives *evm.Registry
 	// PoolLimit bounds the pending transaction pool.
 	PoolLimit int
+	// ParallelThreshold is the minimum block size ApplyBlock executes with
+	// the optimistic parallel scheduler (spawning lanes for a couple of
+	// transactions costs more than it saves). 0 means
+	// DefaultParallelThreshold; negative disables parallel execution
+	// entirely. Results are bit-identical either way.
+	ParallelThreshold int
 }
 
 // Params returns the interoperability parameters peers configure (§IV-A).
@@ -273,20 +279,35 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 		GasLimit:  c.cfg.BlockGasLimit,
 		BlockHash: c.blockHashFn(),
 	}
-	// Pre-recover every sender on the crypto worker pool before the serial
-	// execution loop. Recovery is pure per transaction and results land in
-	// input order, so execution below observes exactly what it would have
-	// computed inline — this only moves the ECDSA work off the critical
-	// path (and, for consensus-decoded copies, usually finds it already in
-	// the sender cache). Failures are re-surfaced by applyTx's own Sender
-	// call, which by then is a memoized lookup.
-	types.RecoverSenders(txs)
 	receipts := make([]*types.Receipt, 0, len(txs))
+	var pstats parallelStats
+	switch {
+	case len(txs) == 0:
+		// Empty block: nothing to recover, execute, or evict.
+	case c.parallelEligible(len(txs)):
+		// Pre-recover every sender on the crypto worker pool (see the
+		// serial branch), then run the optimistic scheduler: speculative
+		// lanes plus in-order validation/commit, bit-identical to the loop
+		// below by construction.
+		types.RecoverSenders(txs)
+		receipts, pstats = c.applyBlockParallel(txs, blockCtx)
+	default:
+		// Pre-recover every sender on the crypto worker pool before the
+		// serial execution loop. Recovery is pure per transaction and
+		// results land in input order, so execution below observes exactly
+		// what it would have computed inline — this only moves the ECDSA
+		// work off the critical path (and, for consensus-decoded copies,
+		// usually finds it already in the sender cache). Failures are
+		// re-surfaced by applyTx's own Sender call, which by then is a
+		// memoized lookup.
+		types.RecoverSenders(txs)
+		for _, tx := range txs {
+			receipts = append(receipts, c.applyTx(c.db, tx, blockCtx))
+		}
+	}
 	var gasUsed uint64
-	for _, tx := range txs {
-		rec := c.applyTx(tx, blockCtx)
+	for _, rec := range receipts {
 		gasUsed += rec.GasUsed
-		receipts = append(receipts, rec)
 	}
 	root := c.db.Commit()
 	c.rootsAt = append(c.rootsAt, root)
@@ -310,6 +331,7 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 	c.blocks = append(c.blocks, block)
 	// Evict included transactions from the pool only now: proposals select
 	// without consuming, so a failed consensus round cannot lose traffic.
+	// Empty blocks have nothing to evict.
 	for _, tx := range txs {
 		c.pool.Remove(tx.ID())
 	}
@@ -328,6 +350,7 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 			}
 		}
 	}
+	c.observeParallel(pstats)
 	c.observeBlock(block)
 	return block, receipts
 }
@@ -362,9 +385,20 @@ func (c *Chain) blockHashFn() func(uint64) hashing.Hash {
 	}
 }
 
-// applyTx executes one transaction, charging fees and producing a receipt.
-// Failed transactions still pay for the gas they consumed.
-func (c *Chain) applyTx(tx *types.Transaction, blockCtx evm.BlockContext) *types.Receipt {
+// execState is the state surface transaction application drives: the
+// interpreter's view plus Move2 recreation. Both the chain's canonical DB
+// and the speculative views of the parallel executor implement it.
+type execState interface {
+	evm.ExecState
+	core.MoveState
+}
+
+// applyTx executes one transaction against st, charging fees and producing
+// a receipt. Failed transactions still pay for the gas they consumed. With
+// st == c.db this is exactly the serial execution path; the parallel
+// scheduler passes speculative views and commit overlays instead, and the
+// receipt it keeps is byte-identical by construction.
+func (c *Chain) applyTx(st execState, tx *types.Transaction, blockCtx evm.BlockContext) *types.Receipt {
 	rec := &types.Receipt{TxID: tx.ID(), Status: types.ReceiptFailed}
 	// Authenticate before touching state: executing on a trusted tx.From
 	// would let a forged From spend any account's balance. Sender memoizes
@@ -378,7 +412,7 @@ func (c *Chain) applyTx(tx *types.Transaction, blockCtx evm.BlockContext) *types
 	}
 	sched := &c.cfg.Schedule
 
-	if got := c.db.GetNonce(sender); tx.Nonce != got {
+	if got := st.GetNonce(sender); tx.Nonce != got {
 		rec.Err = fmt.Sprintf("bad nonce %d, account at %d", tx.Nonce, got)
 		return rec
 	}
@@ -388,18 +422,18 @@ func (c *Chain) applyTx(tx *types.Transaction, blockCtx evm.BlockContext) *types
 		return rec
 	}
 	fee := u256.FromUint64(tx.GasLimit).Mul(tx.GasPrice)
-	if c.db.GetBalance(sender).Lt(fee.Add(tx.Value)) {
+	if st.GetBalance(sender).Lt(fee.Add(tx.Value)) {
 		rec.Err = "insufficient funds for gas * price + value"
 		return rec
 	}
-	c.db.SubBalance(sender, fee)
+	st.SubBalance(sender, fee)
 	if tx.Kind != types.TxCreate {
 		// For creates, vm.Create consumes the nonce itself (the deployed
 		// address is derived from it); bumping here would double-count.
-		c.db.SetNonce(sender, tx.Nonce+1)
+		st.SetNonce(sender, tx.Nonce+1)
 	}
 
-	vm := evm.New(c.cfg.Schedule, c.db, blockCtx,
+	vm := evm.New(c.cfg.Schedule, st, blockCtx,
 		evm.TxContext{Origin: sender, GasPrice: tx.GasPrice}, c.cfg.Natives)
 	gas := tx.GasLimit - intrinsic
 
@@ -413,16 +447,16 @@ func (c *Chain) applyTx(tx *types.Transaction, blockCtx evm.BlockContext) *types
 	case types.TxCreate:
 		rec.Created, gasLeft, execErr = vm.Create(sender, tx.Data, tx.Value, gas)
 	case types.TxMove2:
-		gasLeft, execErr = c.applyMove2(vm, tx, gas)
+		gasLeft, execErr = c.applyMove2(vm, st, tx, gas)
 	default:
 		execErr = fmt.Errorf("unknown tx kind %d", tx.Kind)
 	}
 
 	rec.GasUsed = tx.GasLimit - gasLeft
 	refund := u256.FromUint64(gasLeft).Mul(tx.GasPrice)
-	c.db.AddBalance(sender, refund)
-	c.db.AddBalance(blockCtx.Coinbase, u256.FromUint64(rec.GasUsed).Mul(tx.GasPrice))
-	rec.Logs = c.db.TakeLogs()
+	st.AddBalance(sender, refund)
+	st.AddBalance(blockCtx.Coinbase, u256.FromUint64(rec.GasUsed).Mul(tx.GasPrice))
+	rec.Logs = st.TakeLogs()
 	if execErr != nil {
 		rec.Err = execErr.Error()
 		rec.Status = types.ReceiptFailed
@@ -436,7 +470,7 @@ func (c *Chain) applyTx(tx *types.Transaction, blockCtx evm.BlockContext) *types
 // applyMove2 charges the recreation gas of Alg. 1 (contract creation plus
 // one SSTORE per storage entry plus proof verification), verifies the
 // payload, imports the contract, and runs moveFinish(·).
-func (c *Chain) applyMove2(vm *evm.EVM, tx *types.Transaction, gas uint64) (uint64, error) {
+func (c *Chain) applyMove2(vm *evm.EVM, st execState, tx *types.Transaction, gas uint64) (uint64, error) {
 	if !tx.Value.IsZero() {
 		return gas, errors.New("move2 transaction must not carry value")
 	}
@@ -446,17 +480,17 @@ func (c *Chain) applyMove2(vm *evm.EVM, tx *types.Transaction, gas uint64) (uint
 		return 0, fmt.Errorf("%w: move2 needs %d", evm.ErrOutOfGas, cost)
 	}
 	gas -= cost
-	snap := c.db.Snapshot()
-	acct, err := core.VerifyMove2(c.cfg.ChainID, c.db, c.headers, p)
+	snap := st.Snapshot()
+	acct, err := core.VerifyMove2(c.cfg.ChainID, st, c.headers, p)
 	if err != nil {
 		return gas, err
 	}
-	core.ApplyMove2(c.db, p, acct)
+	core.ApplyMove2(st, p, acct)
 	// moveFinish(·): the custom completion routine (Alg. 1 line 13). Its
 	// failure aborts the whole Move2.
 	_, left, err := vm.Call(tx.From, p.Contract, core.MoveFinishInput, u256.Zero(), gas)
 	if err != nil {
-		c.db.RevertToSnapshot(snap)
+		st.RevertToSnapshot(snap)
 		return left, fmt.Errorf("moveFinish: %w", err)
 	}
 	return left, nil

@@ -1,0 +1,188 @@
+package chain
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"scmove/internal/evm"
+	"scmove/internal/state"
+	"scmove/internal/types"
+)
+
+// DefaultParallelThreshold is the block size below which ApplyBlock stays
+// serial when Config.ParallelThreshold is zero: spawning lanes for a couple
+// of transactions costs more than the lanes can save.
+const DefaultParallelThreshold = 4
+
+// abortFallback is the bounded-abort cutoff: after this many consecutive
+// failed validations the commit thread stops consuming speculative results
+// for the rest of the block and runs exactly the serial loop (on the commit
+// overlay), so a fully-conflicting block degrades to today's behaviour
+// instead of validating every doomed lane. The bound is counted by the
+// in-order commit thread, so it is deterministic for a given block and
+// state, independent of lane timing.
+const abortFallback = 8
+
+// parallelStats summarizes one parallel ApplyBlock for the observability
+// registry. All counts are taken by the in-order commit thread and are a
+// pure function of (state, block, GOMAXPROCS) — never of thread timing.
+type parallelStats struct {
+	lanes      int           // speculation goroutines spawned (0: serial block)
+	speculated int           // speculative views the commit thread validated
+	committed  int           // views that validated clean and were applied
+	aborted    int           // views rejected by read-set validation
+	reexecuted int           // transactions re-run serially in block order
+	skipped    int           // never speculated (Move2, duplicate pointers)
+	cutoffs    int           // times the bounded-abort fallback engaged
+	validation time.Duration // wall-clock spent in read-set validation
+}
+
+// parallelEligible reports whether ApplyBlock should use the optimistic
+// scheduler for a block of n transactions.
+func (c *Chain) parallelEligible(n int) bool {
+	if runtime.GOMAXPROCS(0) < 2 {
+		return false
+	}
+	th := c.cfg.ParallelThreshold
+	if th == 0 {
+		th = DefaultParallelThreshold
+	}
+	return th > 0 && n >= th
+}
+
+// applyBlockParallel executes a block with optimistic concurrency control,
+// Block-STM style, producing receipts and state bit-identical to the serial
+// loop in ApplyBlock:
+//
+//   - Speculation: lanes (GOMAXPROCS-1 goroutines, work-stealing off an
+//     atomic cursor) execute each transaction on its own state.View over
+//     the frozen c.db, recording per-field read sets and buffering writes.
+//     c.db is never mutated while lanes run — views read it through the
+//     DB's shared non-caching read path.
+//   - Ordered commit: this goroutine consumes results in block order. Each
+//     view is validated against the commit view cv (a View over c.db that
+//     accumulates all writes committed so far, i.e. exactly the state a
+//     serial loop would present to this transaction). A clean validation
+//     proves the speculative execution read precisely what serial
+//     execution would have read, so its buffered writes and receipt are
+//     adopted as-is; otherwise the transaction is re-executed serially on
+//     cv, which *is* the serial semantics at that position.
+//   - Fallback: after abortFallback consecutive aborts the commit thread
+//     ignores speculation for the rest of the block (the lanes drain
+//     without executing), degrading to the plain serial loop.
+//
+// Move2 transactions are never speculated (they read the shared header
+// store and import accounts); duplicated transaction pointers within one
+// block are speculated only once (Sender/ID memoization is per-object and
+// unsynchronized). Both re-execute serially on cv like any aborted lane.
+//
+// Only after every lane has finished does the accumulated commit view flush
+// into c.db, so the parent stays frozen for the whole speculation phase.
+func (c *Chain) applyBlockParallel(txs []*types.Transaction, blockCtx evm.BlockContext) ([]*types.Receipt, parallelStats) {
+	n := len(txs)
+	lanes := runtime.GOMAXPROCS(0) - 1
+	if lanes > n {
+		lanes = n
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+
+	skip := make([]bool, n)
+	seen := make(map[*types.Transaction]struct{}, n)
+	for i, tx := range txs {
+		if _, dup := seen[tx]; dup || tx.Kind == types.TxMove2 {
+			skip[i] = true
+			continue
+		}
+		seen[tx] = struct{}{}
+	}
+
+	views := make([]*state.View, n)
+	recs := make([]*types.Receipt, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	var cursor atomic.Int64
+	var stopSpec atomic.Bool
+	for l := 0; l < lanes; l++ {
+		go func() {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !skip[i] && !stopSpec.Load() {
+					v := state.NewView(c.db)
+					recs[i] = c.applyTx(v, txs[i], blockCtx)
+					views[i] = v
+				}
+				close(done[i])
+			}
+		}()
+	}
+
+	// cv accumulates committed writes over the frozen c.db; it is what the
+	// serial loop's c.db would look like before each transaction.
+	cv := state.NewView(c.db)
+	receipts := make([]*types.Receipt, 0, n)
+	st := parallelStats{lanes: lanes}
+	streak := 0
+	fallback := false
+	for i := range txs {
+		// Wait even when the result will be ignored: the commit thread may
+		// not touch a transaction object while a lane still owns it.
+		<-done[i]
+		if v := views[i]; v != nil && !fallback {
+			st.speculated++
+			t0 := time.Now()
+			ok := v.Validate(cv)
+			st.validation += time.Since(t0)
+			if ok {
+				v.ApplyTo(cv)
+				receipts = append(receipts, recs[i])
+				st.committed++
+				streak = 0
+				continue
+			}
+			st.aborted++
+			if streak++; streak >= abortFallback {
+				st.cutoffs++
+				fallback = true
+				stopSpec.Store(true)
+			}
+		} else if skip[i] {
+			st.skipped++
+		}
+		receipts = append(receipts, c.applyTx(cv, txs[i], blockCtx))
+		st.reexecuted++
+	}
+	// Every done channel has been consumed, so no lane is still executing;
+	// the parent is safe to mutate again.
+	cv.ApplyTo(c.db)
+	return receipts, st
+}
+
+// observeParallel records one parallel block's scheduler statistics. The
+// stats are computed whether or not a registry is attached, and recording
+// only copies them, so observability cannot perturb execution. Counter
+// values are deterministic for a given simulation at fixed GOMAXPROCS; the
+// validation histogram observes wall-clock time and is diagnostic only.
+func (c *Chain) observeParallel(st parallelStats) {
+	if c.reg == nil || st.lanes == 0 {
+		return
+	}
+	c.reg.Count("parallel.blocks", 1)
+	c.reg.Count("parallel.speculated", uint64(st.speculated))
+	c.reg.Count("parallel.committed", uint64(st.committed))
+	c.reg.Count("parallel.aborted", uint64(st.aborted))
+	c.reg.Count("parallel.reexecuted", uint64(st.reexecuted))
+	c.reg.Count("parallel.skipped", uint64(st.skipped))
+	c.reg.Count("parallel.cutoffs", uint64(st.cutoffs))
+	id := c.cfg.ChainID.String()
+	c.reg.SetGauge("parallel.lanes."+id, float64(st.lanes))
+	c.reg.Observe("parallel.validate."+id, st.validation)
+}

@@ -1,0 +1,310 @@
+package chain
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"scmove/internal/evm/asm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/metrics"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+)
+
+// Pre-deployed fuzz contracts. rmw is maximally conflicting: every call
+// read-modify-writes slot 0. disjoint writes a caller-keyed slot, so calls
+// from different senders never conflict. boom self-destructs on first call
+// (later calls hit a code-less account and degrade to transfers).
+var (
+	fuzzRMWAddr      = hashing.AddressFromBytes([]byte{0xC1})
+	fuzzDisjointAddr = hashing.AddressFromBytes([]byte{0xC2})
+	fuzzBoomAddr     = hashing.AddressFromBytes([]byte{0xC3})
+
+	fuzzRMWCode      = asm.MustAssemble("PUSH1 0 SLOAD PUSH1 1 ADD PUSH1 0 SSTORE STOP")
+	fuzzDisjointCode = asm.MustAssemble("PUSH1 0 CALLDATALOAD CALLER SSTORE STOP")
+	fuzzBoomCode     = asm.MustAssemble("CALLER SELFDESTRUCT")
+)
+
+func fuzzSenders() []*keys.KeyPair {
+	kps := make([]*keys.KeyPair, 8)
+	for i := range kps {
+		kps[i] = keys.Deterministic(uint64(i + 1))
+	}
+	return kps
+}
+
+// buildFuzzTraffic deterministically generates ~120 transactions — valid
+// transfers (some to the coinbase), conflicting and disjoint contract calls,
+// creates, self-destruct calls, bad nonces, underfunded value sends, forged
+// senders, and duplicated pointers — then chunks them into random block
+// batches including empty and sub-threshold ones. Every transaction is
+// decoded from its wire form so no run inherits memoized senders, and
+// duplicate pointers stay duplicates.
+func buildFuzzTraffic(t *testing.T, seed int64, chainID hashing.ChainID) [][]*types.Transaction {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	kps := fuzzSenders()
+	nonces := make([]uint64, len(kps))
+
+	var txs []*types.Transaction
+	push := func(tx *types.Transaction) {
+		dec, err := types.DecodeTransaction(tx.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, dec)
+	}
+
+	for len(txs) < 120 {
+		s := rng.Intn(len(kps))
+		kp := kps[s]
+		switch rng.Intn(12) {
+		case 0, 1: // plain transfer
+			to := hashing.AddressFromBytes([]byte{byte(rng.Intn(20) + 1)})
+			push(signedCall(t, kp, chainID, nonces[s], to, nil, uint64(rng.Intn(500)+1)))
+			nonces[s]++
+		case 2: // transfer straight to the coinbase (conflicts with every fee credit base)
+			push(signedCall(t, kp, chainID, nonces[s], ProposerAddress(chainID, 0), nil, uint64(rng.Intn(100)+1)))
+			nonces[s]++
+		case 3, 4: // read-modify-write on the shared slot
+			push(signedCall(t, kp, chainID, nonces[s], fuzzRMWAddr, nil, 0))
+			nonces[s]++
+		case 5, 6: // caller-keyed disjoint write
+			var data [32]byte
+			data[31] = byte(rng.Intn(200) + 1)
+			push(signedCall(t, kp, chainID, nonces[s], fuzzDisjointAddr, data[:], 0))
+			nonces[s]++
+		case 7: // bad nonce: fails before charging
+			push(signedCall(t, kp, chainID, nonces[s]+7, hashing.AddressFromBytes([]byte{9}), nil, 1))
+		case 8: // insufficient funds for value
+			push(signedCall(t, kp, chainID, nonces[s], hashing.AddressFromBytes([]byte{9}), nil, 10*fund))
+		case 9: // forged sender: authentication failure path
+			push(forgedFromTx(t, kp, chainID))
+		case 10: // contract creation
+			tx := &types.Transaction{
+				ChainID:  chainID,
+				Nonce:    nonces[s],
+				Kind:     types.TxCreate,
+				GasLimit: 1_000_000,
+				GasPrice: u256.FromUint64(2),
+				Data:     asm.MustAssemble("PUSH1 7 PUSH1 3 SSTORE STOP"),
+			}
+			if err := tx.Sign(kp); err != nil {
+				t.Fatal(err)
+			}
+			push(tx)
+			nonces[s]++
+		case 11: // SELFDESTRUCT target
+			push(signedCall(t, kp, chainID, nonces[s], fuzzBoomAddr, nil, uint64(rng.Intn(10))))
+			nonces[s]++
+		}
+		if len(txs) > 0 && rng.Intn(10) == 0 {
+			// Duplicate pointer: same *Transaction twice in the stream. The
+			// second execution sees a consumed nonce and fails identically on
+			// both engines; in one block it also exercises the skip list.
+			txs = append(txs, txs[len(txs)-1])
+		}
+	}
+
+	var blocks [][]*types.Transaction
+	for i := 0; i < len(txs); {
+		n := rng.Intn(13) // 0..12: empty, sub-threshold, and full batches
+		if i+n > len(txs) {
+			n = len(txs) - i
+		}
+		blocks = append(blocks, txs[i:i+n])
+		i += n
+	}
+	return blocks
+}
+
+// runFuzzChain replays the block stream on a fresh chain and returns every
+// commit root, header hash, and receipt, plus the observability registry.
+func runFuzzChain(t *testing.T, cfg Config, blocks [][]*types.Transaction) ([]hashing.Hash, []hashing.Hash, []*types.Receipt, *metrics.Registry) {
+	t.Helper()
+	kps := fuzzSenders()
+	c := newChain(t, cfg, nil, kps[0])
+	db := c.StateDB()
+	for _, kp := range kps[1:] {
+		db.AddBalance(kp.Address(), u256.FromUint64(fund))
+	}
+	db.CreateContract(fuzzRMWAddr, fuzzRMWCode)
+	db.CreateContract(fuzzDisjointAddr, fuzzDisjointCode)
+	db.CreateContract(fuzzBoomAddr, fuzzBoomCode)
+	db.Commit()
+	reg := metrics.NewRegistry()
+	c.SetObserver(reg, func() time.Duration { return 0 })
+
+	var roots, headers []hashing.Hash
+	var receipts []*types.Receipt
+	for i, blk := range blocks {
+		b, recs := c.ApplyBlock(blk, uint64(1000+i), ProposerAddress(cfg.ChainID, 0))
+		root, _ := c.RootAt(b.Header.Height)
+		roots = append(roots, root)
+		headers = append(headers, b.Header.Hash())
+		receipts = append(receipts, recs...)
+	}
+	return roots, headers, receipts, reg
+}
+
+// TestApplyBlockParallelDifferential is the serial-identity gate of the
+// optimistic executor: the same randomized traffic — conflicts, failures,
+// forgeries, duplicates, self-destructs, chaotic block sizes — must produce
+// bit-identical roots, header hashes, and receipts whether executed by the
+// serial loop or by the parallel scheduler at any GOMAXPROCS.
+func TestApplyBlockParallelDifferential(t *testing.T) {
+	for _, cfgOf := range []func(hashing.ChainID) Config{ethConfig, burrowConfig} {
+		cfg := cfgOf(1)
+		name := cfg.TreeKind.String()
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				serialCfg := cfg
+				serialCfg.ParallelThreshold = -1 // force the serial loop
+				wantRoots, wantHeaders, wantRecs, _ := runFuzzChain(t, serialCfg, buildFuzzTraffic(t, seed, cfg.ChainID))
+
+				parCfg := cfg
+				parCfg.ParallelThreshold = 1 // parallelize every non-empty block
+				for _, procs := range []int{1, 2, 4, runtime.NumCPU()} {
+					prev := runtime.GOMAXPROCS(procs)
+					roots, headers, recs, reg := runFuzzChain(t, parCfg, buildFuzzTraffic(t, seed, cfg.ChainID))
+					runtime.GOMAXPROCS(prev)
+					if !reflect.DeepEqual(roots, wantRoots) {
+						t.Fatalf("seed %d GOMAXPROCS=%d: state roots diverge", seed, procs)
+					}
+					if !reflect.DeepEqual(headers, wantHeaders) {
+						t.Fatalf("seed %d GOMAXPROCS=%d: header hashes diverge", seed, procs)
+					}
+					if !reflect.DeepEqual(recs, wantRecs) {
+						t.Fatalf("seed %d GOMAXPROCS=%d: receipts diverge", seed, procs)
+					}
+					counters := reg.Counters()
+					if procs >= 2 && counters.Get("parallel.blocks") == 0 {
+						t.Fatalf("seed %d GOMAXPROCS=%d: scheduler never engaged", seed, procs)
+					}
+					if procs == 1 && counters.Get("parallel.blocks") != 0 {
+						t.Fatalf("seed %d: scheduler must stay off at GOMAXPROCS=1", seed)
+					}
+					if got, want := counters.Get("parallel.committed")+counters.Get("parallel.reexecuted"),
+						counters.Get("parallel.blocks"); want > 0 && got == 0 {
+						t.Fatalf("seed %d GOMAXPROCS=%d: no commits recorded", seed, procs)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestApplyBlockEmptyFastPath: an empty batch must not enter recovery or the
+// scheduler, and must still commit a block (possibly with an unchanged root).
+func TestApplyBlockEmptyFastPath(t *testing.T) {
+	kp := keys.Deterministic(1)
+	cfg := ethConfig(1)
+	cfg.ParallelThreshold = 1
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	c := newChain(t, cfg, nil, kp)
+	reg := metrics.NewRegistry()
+	c.SetObserver(reg, func() time.Duration { return 0 })
+	root0, _ := c.RootAt(0)
+
+	block, receipts := c.ApplyBlock(nil, 100, ProposerAddress(1, 0))
+	if len(receipts) != 0 {
+		t.Fatalf("empty block produced receipts: %+v", receipts)
+	}
+	if block.Header.Height != 1 || block.Header.GasUsed != 0 {
+		t.Fatalf("header %+v", block.Header)
+	}
+	if root, _ := c.RootAt(1); root != root0 {
+		t.Fatal("empty block must not change state")
+	}
+	if reg.Counters().Get("parallel.blocks") != 0 {
+		t.Fatal("empty block must skip the scheduler")
+	}
+}
+
+// TestParallelThresholdGating: sub-threshold blocks run serially, at- or
+// above-threshold ones engage the scheduler; a negative threshold disables
+// it outright.
+func TestParallelThresholdGating(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(threshold, txCount int) uint64 {
+		kp := keys.Deterministic(1)
+		cfg := ethConfig(1)
+		cfg.ParallelThreshold = threshold
+		c := newChain(t, cfg, nil, kp)
+		reg := metrics.NewRegistry()
+		c.SetObserver(reg, func() time.Duration { return 0 })
+		var txs []*types.Transaction
+		for i := 0; i < txCount; i++ {
+			txs = append(txs, signedCall(t, kp, 1, uint64(i), hashing.AddressFromBytes([]byte{7}), nil, 1))
+		}
+		c.ApplyBlock(txs, 100, ProposerAddress(1, 0))
+		return reg.Counters().Get("parallel.blocks")
+	}
+
+	if got := run(0, DefaultParallelThreshold-1); got != 0 {
+		t.Fatalf("sub-threshold block engaged the scheduler (%d)", got)
+	}
+	if got := run(0, DefaultParallelThreshold); got != 1 {
+		t.Fatalf("at-threshold block must engage the scheduler (%d)", got)
+	}
+	if got := run(-1, 20); got != 0 {
+		t.Fatalf("negative threshold must disable the scheduler (%d)", got)
+	}
+}
+
+// TestParallelAbortFallback drives a fully-conflicting block large enough to
+// trip the bounded-abort cutoff and checks both the counters and the result:
+// the block must still match serial execution exactly.
+func TestParallelAbortFallback(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	mkTxs := func() []*types.Transaction {
+		kp := keys.Deterministic(1)
+		var txs []*types.Transaction
+		for i := 0; i < 3*abortFallback; i++ {
+			tx := signedCall(t, kp, 1, uint64(i), fuzzRMWAddr, nil, 0)
+			dec, err := types.DecodeTransaction(tx.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs = append(txs, dec)
+		}
+		return txs
+	}
+	run := func(threshold int) (hashing.Hash, *metrics.Registry) {
+		kp := keys.Deterministic(1)
+		cfg := ethConfig(1)
+		cfg.ParallelThreshold = threshold
+		c := newChain(t, cfg, nil, kp)
+		c.StateDB().CreateContract(fuzzRMWAddr, fuzzRMWCode)
+		c.StateDB().Commit()
+		reg := metrics.NewRegistry()
+		c.SetObserver(reg, func() time.Duration { return 0 })
+		b, _ := c.ApplyBlock(mkTxs(), 100, ProposerAddress(1, 0))
+		root, _ := c.RootAt(b.Header.Height)
+		return root, reg
+	}
+
+	wantRoot, _ := run(-1)
+	root, reg := run(1)
+	if root != wantRoot {
+		t.Fatal("conflicting block diverges from serial execution")
+	}
+	c := reg.Counters()
+	if c.Get("parallel.cutoffs") == 0 {
+		t.Fatalf("RMW chain must trip the abort cutoff: aborted=%d reexecuted=%d",
+			c.Get("parallel.aborted"), c.Get("parallel.reexecuted"))
+	}
+	if c.Get("parallel.aborted") < abortFallback {
+		t.Fatalf("aborted = %d, want >= %d", c.Get("parallel.aborted"), abortFallback)
+	}
+}

@@ -58,6 +58,16 @@ func (r *Registry) Counters() *Counters {
 	return r.counters
 }
 
+// Count adds n to the named event counter. Unlike Counters().Add it is
+// nil-safe, so call sites instrumented with an optional registry need no
+// guard of their own.
+func (r *Registry) Count(name string, n uint64) {
+	if r == nil {
+		return
+	}
+	r.counters.Add(name, n)
+}
+
 // EnableTrace switches span retention on or off. Histograms observe spans
 // either way; the trace additionally keeps every span for the JSONL dump.
 func (r *Registry) EnableTrace(on bool) {

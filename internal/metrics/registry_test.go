@@ -63,9 +63,19 @@ func TestHistogramDeterministicAcrossOrder(t *testing.T) {
 	}
 }
 
+func TestRegistryCount(t *testing.T) {
+	r := NewRegistry()
+	r.Count("parallel.committed", 3)
+	r.Count("parallel.committed", 2)
+	if got := r.Counters().Get("parallel.committed"); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+}
+
 func TestNilRegistryIsSafe(t *testing.T) {
 	var r *Registry
 	r.Observe("x", time.Second)
+	r.Count("c", 1)
 	r.Span("y", 0, time.Second)
 	r.Event("z", time.Second)
 	r.SetGauge("g", 1)

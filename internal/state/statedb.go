@@ -82,6 +82,59 @@ func (db *DB) account(addr hashing.Address) *Account {
 	return &acct
 }
 
+// sharedGet reads a tree without mutating it, so concurrent readers are
+// safe while the tree is frozen. Both shipped tree kinds implement
+// trie.SharedReader; the plain-Get fallback keeps hypothetical third kinds
+// working in single-reader contexts.
+func sharedGet(t trie.Tree, key []byte) ([]byte, bool) {
+	if sr, ok := t.(trie.SharedReader); ok {
+		return sr.GetShared(key)
+	}
+	return t.Get(key)
+}
+
+// sharedAccount returns a copy of addr's record without installing cache
+// entries (account() negative-caches misses, which would race). Safe for
+// concurrent readers while the DB itself is quiescent — the contract the
+// parallel executor upholds during its speculation phase.
+func (db *DB) sharedAccount(addr hashing.Address) (Account, bool) {
+	if acct, ok := db.cache[addr]; ok {
+		if acct == nil {
+			return Account{}, false
+		}
+		return *acct, true
+	}
+	enc, ok := sharedGet(db.accountTree, addr[:])
+	if !ok {
+		return Account{}, false
+	}
+	acct, err := DecodeAccount(enc)
+	if err != nil {
+		panic(fmt.Sprintf("state: corrupt account record for %s: %v", addr, err))
+	}
+	return acct, true
+}
+
+// sharedStorage reads one storage slot under the same frozen-DB contract as
+// sharedAccount.
+func (db *DB) sharedStorage(addr hashing.Address, key evm.Word) (evm.Word, bool) {
+	t, ok := db.storage[addr]
+	if !ok {
+		return evm.Word{}, false
+	}
+	v, ok := sharedGet(t, key[:])
+	if !ok {
+		return evm.Word{}, false
+	}
+	var w evm.Word
+	copy(w[:], v)
+	return w, true
+}
+
+// sharedCode reads the content-addressed code store (append-only between
+// commits, so concurrent reads are safe while the DB is quiescent).
+func (db *DB) sharedCode(h hashing.Hash) []byte { return db.codes[h] }
+
 // mutable returns the working copy of addr, creating the account if absent,
 // and journals the previous version for revert.
 func (db *DB) mutable(addr hashing.Address) *Account {
