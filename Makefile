@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke experiments
+.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke fuzzsmoke experiments
 
-check: vet race detsmoke benchsmoke benchgate expsmoke
+check: vet race detsmoke benchsmoke benchgate expsmoke fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,27 @@ expsmoke:
 	else \
 		echo "expsmoke: clean ($$(wc -l < /tmp/scmove_expsmoke_trace.jsonl) trace spans)"; \
 	fi
+
+# fuzzsmoke runs every native fuzz target for ~5s against the committed
+# seed corpora under testdata/fuzz/ (go test allows one -fuzz pattern per
+# invocation, hence the loop). Any crasher fails the target and leaves the
+# reproducer in the package's testdata/fuzz/ directory.
+FUZZTIME ?= 5s
+fuzzsmoke:
+	@set -e; \
+	for spec in \
+		'./internal/codec FuzzReaderRoundTrip' \
+		'./internal/codec FuzzReaderHostile' \
+		'./internal/types FuzzDecodeTransaction' \
+		'./internal/types FuzzDecodeHeader' \
+		'./internal/types FuzzDecodeMove2Payload' \
+		'./internal/core FuzzVerifyMove2AccountProof' \
+		'./internal/core FuzzVerifyMove2Storage' \
+	; do \
+		set -- $$spec; \
+		echo "fuzzsmoke: $$2 ($$1, $(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$2$$" -fuzztime $(FUZZTIME) $$1 || exit 1; \
+	done
 
 # experiments reruns the paper's figure experiments end to end (the old
 # `make bench` behaviour, before bench came to mean performance snapshots).

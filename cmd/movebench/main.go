@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations|chaos|chaossweep] [-scale 1.0]
+//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations|chaos|chaossweep|byzantine] [-scale 1.0]
 //
 // Scale shrinks population sizes and measurement windows uniformly (0.08 is
 // the CI scale; 1.0 approximates the paper's populations). Results print as
@@ -13,6 +13,13 @@
 // -moves), printing per-move latency and the fault/recovery counters.
 // chaossweep runs the default fault-rate grid with each configuration on
 // its own goroutine.
+//
+// The byzantine experiment adds active adversaries to the chaos run:
+// in-flight byte corruption on every path (-corrupt), an equivocating
+// validator (-equivocators), and a client that replays and forges Move2
+// proofs after every move. The run fails loudly if any attack is accepted
+// or consensus stalls; its counters and final state roots are
+// byte-identical for the same -chaos-seed.
 //
 // -metrics adds per-stage Move latency histograms (Move1 commit, p-wait,
 // Move2 commit) and queue-depth gauges to the chaos and chaossweep output;
@@ -38,19 +45,36 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance, chaos, chaossweep")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance, chaos, chaossweep, byzantine")
 	scale := flag.Float64("scale", 1.0, "population/duration scale (0.08 = CI, 1.0 = paper-like)")
 	flag.Float64Var(&chaosCfg.DropRate, "drop", chaosCfg.DropRate, "chaos: per-message drop probability on every link")
 	flag.Float64Var(&chaosCfg.DupRate, "dup", chaosCfg.DupRate, "chaos: per-message duplication probability on every link")
 	flag.Int64Var(&chaosCfg.Seed, "chaos-seed", chaosCfg.Seed, "chaos: fault RNG seed (same seed reproduces the run)")
 	flag.IntVar(&chaosCfg.Moves, "moves", chaosCfg.Moves, "chaos: number of back-and-forth moves to drive")
-	flag.BoolVar(&metricsOn, "metrics", false, "chaos/chaossweep: render stage-latency histograms and gauges")
+	flag.Float64Var(&byzCfg.CorruptRate, "corrupt", byzCfg.CorruptRate, "byzantine: per-message in-flight corruption probability on every link")
+	flag.IntVar(&byzCfg.Equivocators, "equivocators", byzCfg.Equivocators, "byzantine: equivocating validators per BFT cluster")
+	flag.BoolVar(&metricsOn, "metrics", false, "chaos/chaossweep/byzantine: render stage-latency histograms and gauges")
 	flag.StringVar(&traceFile, "trace", "", "chaos: dump a JSONL span trace to this file (implies -metrics)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
 	flag.Parse()
 	chaosCfg.Metrics = metricsOn || traceFile != ""
 	chaosCfg.Trace = traceFile != ""
+	// The byzantine cell shares the chaos flags but keeps its own defaults
+	// (5% faults, not 20%), so only explicitly set flags carry over.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "drop":
+			byzCfg.DropRate = chaosCfg.DropRate
+		case "dup":
+			byzCfg.DupRate = chaosCfg.DupRate
+		case "chaos-seed":
+			byzCfg.Seed = chaosCfg.Seed
+		case "moves":
+			byzCfg.Moves = chaosCfg.Moves
+		}
+	})
+	byzCfg.Metrics = metricsOn
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -85,6 +109,7 @@ func main() {
 
 var (
 	chaosCfg  = bench.DefaultChaosConfig()
+	byzCfg    = bench.DefaultByzantineConfig()
 	metricsOn bool
 	traceFile string
 )
@@ -100,6 +125,7 @@ func run(experiment string, scale bench.Scale) error {
 		"rebalance":  runRebalance,
 		"chaos":      runChaos,
 		"chaossweep": runChaosSweep,
+		"byzantine":  runByzantine,
 	}
 	if experiment == "all" {
 		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "ablations", "rebalance"} {
@@ -208,6 +234,17 @@ func runChaos(bench.Scale) error {
 			}
 			fmt.Printf("[trace: %d spans -> %s]\n\n", len(res.Registry.Spans()), traceFile)
 		}
+		return nil
+	})
+}
+
+func runByzantine(bench.Scale) error {
+	return timed("byzantine", func() error {
+		res, err := bench.RunByzantine(byzCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
 		return nil
 	})
 }

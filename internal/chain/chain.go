@@ -526,7 +526,10 @@ func DecodeTxList(b []byte) ([]*types.Transaction, error) {
 	if n > 1<<20 {
 		return nil, errors.New("chain: oversized tx list")
 	}
-	txs := make([]*types.Transaction, 0, n)
+	// Bound preallocation by the remaining input (a tx encoding is at least
+	// ~100 bytes; 8 is a safe floor), so a corrupted count prefix costs
+	// O(remaining) memory rather than O(claimed).
+	txs := make([]*types.Transaction, 0, r.CapCount(n, 8))
 	for i := uint64(0); i < n; i++ {
 		enc := r.ReadBytes()
 		if r.Err() != nil {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"time"
 
+	"scmove/internal/codec"
 	"scmove/internal/hashing"
+	"scmove/internal/metrics"
 	"scmove/internal/pow"
 	"scmove/internal/simclock"
 	"scmove/internal/simnet"
@@ -29,12 +31,14 @@ type BFTNode struct {
 	Chain   *Chain
 	Cluster *tendermint.Cluster
 	sched   *simclock.Scheduler
+	app     *bftApp
 }
 
 // bftApp adapts Chain to the tendermint.App interface.
 type bftApp struct {
-	chain *Chain
-	sched *simclock.Scheduler
+	chain    *Chain
+	sched    *simclock.Scheduler
+	counters *metrics.Counters
 }
 
 func (a *bftApp) Propose(height uint64) []byte {
@@ -42,13 +46,21 @@ func (a *bftApp) Propose(height uint64) []byte {
 }
 
 func (a *bftApp) Commit(height uint64, payload []byte) {
+	proposer := ProposerAddress(a.chain.ChainID(), int(height)%10)
 	txs, err := DecodeTxList(payload)
 	if err != nil {
-		// Payloads are produced by Propose; a decode failure is a protocol
-		// invariant violation, not a runtime condition.
-		panic(fmt.Sprintf("chain: undecodable consensus payload at height %d: %v", height, err))
+		// An undecodable payload reached quorum: a Byzantine proposer (or a
+		// coordinated corruption) got junk decided. Safety holds — every
+		// validator decided the same bytes, and every replica's DecodeTxList
+		// fails identically — so commit an empty block, record the event,
+		// and keep producing blocks rather than stalling or panicking. The
+		// selected-but-uncommitted transactions stay in the pool for the
+		// next height.
+		if a.counters != nil {
+			a.counters.Inc("byzantine.badpayload.committed")
+		}
+		txs = nil
 	}
-	proposer := ProposerAddress(a.chain.ChainID(), int(height)%10)
 	a.chain.ApplyBlock(txs, a.sched.NowUnix(), proposer)
 }
 
@@ -61,11 +73,19 @@ func NewBFTNode(sched *simclock.Scheduler, net *simnet.Network, c *Chain,
 	if err != nil {
 		return nil, fmt.Errorf("bft node: %w", err)
 	}
-	return &BFTNode{Chain: c, Cluster: cluster, sched: sched}, nil
+	return &BFTNode{Chain: c, Cluster: cluster, sched: sched, app: app}, nil
 }
 
 // Start launches consensus.
 func (n *BFTNode) Start() { n.Cluster.Start() }
+
+// Observe mirrors the node's Byzantine-resilience events (equivocation
+// evidence from the cluster, bad committed payloads from the app) into the
+// shared counter set.
+func (n *BFTNode) Observe(c *metrics.Counters) {
+	n.Cluster.Observe(c)
+	n.app.counters = c
+}
 
 // PoWNode runs a chain under simulated proof-of-work: blocks are produced
 // at exponentially distributed intervals (15 s mean in the paper's
@@ -142,6 +162,31 @@ func ConnectHeaderRelayVia(src, dst *Chain, link *simnet.Link, window int) {
 				headers = append(headers, hdr)
 			}
 		}
+		if link.Corrupts() {
+			// Corrupting links carry the wire encoding: clean copies still
+			// skip serialization (encode runs lazily, only for tampered
+			// copies), while corrupted copies go through the full untrusted
+			// decode + ingest path and are counted and dropped on rejection.
+			link.DeliverBytes(
+				func() []byte { return encodeHeaderRelay(src.ChainID(), head, headers) },
+				func(raw []byte, corrupted bool) {
+					if !corrupted {
+						if err := dst.Headers().Update(src.ChainID(), headers, head); err != nil {
+							panic(fmt.Sprintf("chain: header relay %s->%s: %v", src.ChainID(), dst.ChainID(), err))
+						}
+						return
+					}
+					cid, rHead, rHeaders, err := decodeHeaderRelay(raw)
+					if err != nil {
+						link.NoteRejected()
+						return
+					}
+					if err := dst.Headers().Update(cid, rHeaders, rHead); err != nil {
+						link.NoteRejected()
+					}
+				})
+			return
+		}
 		link.Deliver(func() {
 			// Errors indicate a misconfigured relay (unknown chain); the
 			// universe wiring registers params up front, so drop silently
@@ -151,4 +196,41 @@ func ConnectHeaderRelayVia(src, dst *Chain, link *simnet.Link, window int) {
 			}
 		})
 	})
+}
+
+// encodeHeaderRelay serializes one relay message: source chain id, head
+// height, and the relayed header window.
+func encodeHeaderRelay(chain hashing.ChainID, head uint64, headers []*types.Header) []byte {
+	w := codec.NewWriter(32 + 192*len(headers))
+	w.WriteUvarint(uint64(chain))
+	w.WriteUvarint(head)
+	w.WriteUvarint(uint64(len(headers)))
+	for _, h := range headers {
+		w.WriteBytes(h.Encode())
+	}
+	return w.Bytes()
+}
+
+// decodeHeaderRelay parses an untrusted relay message.
+func decodeHeaderRelay(b []byte) (hashing.ChainID, uint64, []*types.Header, error) {
+	r := codec.NewReader(b)
+	chain := hashing.ChainID(r.ReadUvarint())
+	head := r.ReadUvarint()
+	n := r.ReadUvarint()
+	headers := make([]*types.Header, 0, r.CapCount(n, 16))
+	for i := uint64(0); i < n; i++ {
+		enc := r.ReadBytes()
+		if r.Err() != nil {
+			return 0, 0, nil, r.Err()
+		}
+		h, err := types.DecodeHeader(enc)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		headers = append(headers, h)
+	}
+	if err := r.Finish(); err != nil {
+		return 0, 0, nil, err
+	}
+	return chain, head, headers, nil
 }

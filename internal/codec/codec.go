@@ -138,6 +138,11 @@ func (r *Reader) ReadBool() bool {
 }
 
 // ReadBytes reads a length-prefixed byte string, returning a copy.
+//
+// Allocation is bounded by the remaining input, never by the claimed
+// length: a hostile 2^60 prefix fails with ErrOverflow before any memory
+// proportional to the claim is touched. This invariant is what lets every
+// decoder built on Reader face adversarial bytes safely.
 func (r *Reader) ReadBytes() []byte {
 	n := r.ReadUvarint()
 	if r.err != nil {
@@ -151,6 +156,43 @@ func (r *Reader) ReadBytes() []byte {
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out
+}
+
+// ReadBytesMax reads a length-prefixed byte string whose length must not
+// exceed max; longer claims fail with ErrOverflow before allocating.
+// Decoders use it to enforce semantic field bounds (a signature, a code
+// blob) on top of Reader's structural remaining-input bound.
+func (r *Reader) ReadBytesMax(max int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	// Peek the prefix without committing so the overflow error wins over a
+	// misleading ErrTruncated from a partial read.
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	if max >= 0 && v > uint64(max) {
+		r.fail(ErrOverflow)
+		return nil
+	}
+	return r.ReadBytes()
+}
+
+// CapCount bounds a claimed element count by what the remaining input could
+// possibly hold, given a minimum encoded size per element. Decoders use it
+// to size slice preallocations so a corrupted count prefix costs
+// O(remaining), never O(claimed).
+func (r *Reader) CapCount(claimed uint64, minEntrySize int) int {
+	if minEntrySize < 1 {
+		minEntrySize = 1
+	}
+	max := uint64(r.Remaining() / minEntrySize)
+	if claimed > max {
+		return int(max)
+	}
+	return int(claimed)
 }
 
 // ReadString reads a length-prefixed string.

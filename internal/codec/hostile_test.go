@@ -1,0 +1,84 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// TestReadBytesHostileLengthPrefix is the allocation-bound regression test:
+// a length prefix claiming 2^60 bytes over a tiny input must fail with
+// ErrOverflow without allocating anything proportional to the claim —
+// allocation is O(remaining input), never O(claimed).
+func TestReadBytesHostileLengthPrefix(t *testing.T) {
+	hostile := binary.AppendUvarint(nil, 1<<60)
+	hostile = append(hostile, "tiny"...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 1000; i++ {
+		r := NewReader(hostile)
+		if b := r.ReadBytes(); b != nil {
+			t.Fatalf("hostile prefix yielded %d bytes", len(b))
+		}
+		if !errors.Is(r.Err(), ErrOverflow) {
+			t.Fatalf("err = %v, want ErrOverflow", r.Err())
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// 1000 iterations of a claimed 2^60-byte read: if allocation scaled
+	// with the claim this would be ~2^70 bytes. Allow generous slack for
+	// the reader structs themselves.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("hostile reads allocated %d bytes — allocation must be bounded by remaining input", grew)
+	}
+}
+
+// TestReadBytesMaxHostilePrefix pins the same bound for the semantic-cap
+// variant, in both failure orders: a claim above max fails with ErrOverflow
+// even when the input could hold it, and a truncated prefix stays
+// ErrTruncated.
+func TestReadBytesMaxHostilePrefix(t *testing.T) {
+	w := NewWriter(64)
+	w.WriteBytes(make([]byte, 48))
+	r := NewReader(w.Bytes())
+	if b := r.ReadBytesMax(16); b != nil {
+		t.Fatalf("over-max claim yielded %d bytes", len(b))
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", r.Err())
+	}
+
+	r = NewReader(binary.AppendUvarint(nil, 1<<60))
+	if b := r.ReadBytesMax(1 << 30); b != nil {
+		t.Fatal("hostile claim above max yielded bytes")
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", r.Err())
+	}
+
+	r = NewReader(nil)
+	if b := r.ReadBytesMax(16); b != nil {
+		t.Fatal("empty input yielded bytes")
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", r.Err())
+	}
+}
+
+// TestCapCountBoundsPreallocation pins CapCount: claims are clamped to what
+// the remaining input could possibly hold.
+func TestCapCountBoundsPreallocation(t *testing.T) {
+	r := NewReader(make([]byte, 64))
+	if got := r.CapCount(1<<60, 16); got != 4 {
+		t.Fatalf("CapCount(2^60, 16) over 64 bytes = %d, want 4", got)
+	}
+	if got := r.CapCount(2, 16); got != 2 {
+		t.Fatalf("honest claim clamped: got %d, want 2", got)
+	}
+	if got := r.CapCount(1<<60, 0); got != 64 {
+		t.Fatalf("CapCount with minEntrySize 0 = %d, want 64 (treated as 1)", got)
+	}
+}

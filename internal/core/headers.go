@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"scmove/internal/hashing"
+	"scmove/internal/metrics"
 	"scmove/internal/trie"
 	"scmove/internal/types"
 )
@@ -51,6 +52,18 @@ type HeaderStore struct {
 	params  map[hashing.ChainID]ChainParams
 	headers map[hashing.ChainID]map[uint64]*types.Header
 	heads   map[hashing.ChainID]uint64
+
+	counters *metrics.Counters
+}
+
+// Observe mirrors rejected-header events ("byzantine.header.conflict") into
+// the shared counter set.
+func (s *HeaderStore) Observe(c *metrics.Counters) { s.counters = c }
+
+func (s *HeaderStore) inc(name string) {
+	if s.counters != nil {
+		s.counters.Inc(name)
+	}
 }
 
 // NewHeaderStore returns a store configured with the given peer parameters.
@@ -80,14 +93,27 @@ func (s *HeaderStore) Params(chain hashing.ChainID) (ChainParams, error) {
 // the peer's current head height. Re-relayed heights overwrite previous
 // entries, which is how shallow PoW reorgs are absorbed — depth checks at
 // query time make only ≥p-deep headers trustworthy.
+//
+// Confirmed heights are immutable: once a height is ≥p deep (the depth at
+// which TrustedStateRoot starts vouching for it), a conflicting header for
+// it — a forged root from a Byzantine relayer, since honest reorgs never
+// reach that deep — is recorded and ignored rather than overwriting the
+// root peers may already have verified proofs against.
 func (s *HeaderStore) Update(chain hashing.ChainID, headers []*types.Header, head uint64) error {
-	if _, ok := s.params[chain]; !ok {
+	p, ok := s.params[chain]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownChain, chain)
 	}
 	byHeight := s.headers[chain]
 	for _, h := range headers {
 		if h.ChainID != chain {
 			return fmt.Errorf("%w: header from %s relayed as %s", ErrUnknownChain, h.ChainID, chain)
+		}
+		if prev, seen := byHeight[h.Height]; seen && *prev != *h {
+			if confirmed := s.heads[chain] >= h.Height+p.ConfirmationDepth; confirmed {
+				s.inc("byzantine.header.conflict")
+				continue
+			}
 		}
 		byHeight[h.Height] = h
 	}

@@ -23,9 +23,12 @@ import (
 
 // Errors returned by the header chain.
 var (
-	ErrUnknownParent = errors.New("pow: unknown parent header")
-	ErrDuplicate     = errors.New("pow: duplicate header")
-	ErrBadHeight     = errors.New("pow: height does not extend parent")
+	ErrUnknownParent  = errors.New("pow: unknown parent header")
+	ErrDuplicate      = errors.New("pow: duplicate header")
+	ErrBadHeight      = errors.New("pow: height does not extend parent")
+	ErrBadDifficulty = errors.New("pow: invalid difficulty")
+	ErrWrongChain    = errors.New("pow: header belongs to another chain")
+	ErrBadTime       = errors.New("pow: header time before parent")
 )
 
 // HeaderChain is a block-header tree with heaviest-chain (total difficulty)
@@ -54,6 +57,11 @@ func NewHeaderChain(genesis *types.Header) *HeaderChain {
 
 // Add inserts a header. It returns whether the canonical head changed to a
 // different branch (a reorg; simply extending the head is not a reorg).
+//
+// Headers are untrusted input (a relayer or peer controls them): besides
+// the structural parent/height checks, Add rejects wrong-chain headers,
+// zero difficulty (a corrupted difficulty word would otherwise poison the
+// total-difficulty fork choice), and time regressions against the parent.
 func (c *HeaderChain) Add(h *types.Header) (reorg bool, err error) {
 	hh := h.Hash()
 	if _, dup := c.headers[hh]; dup {
@@ -63,8 +71,17 @@ func (c *HeaderChain) Add(h *types.Header) (reorg bool, err error) {
 	if !ok {
 		return false, fmt.Errorf("%w: %s", ErrUnknownParent, h.ParentHash)
 	}
+	if h.ChainID != parent.ChainID {
+		return false, fmt.Errorf("%w: %s extends %s", ErrWrongChain, h.ChainID, parent.ChainID)
+	}
 	if h.Height != parent.Height+1 {
 		return false, fmt.Errorf("%w: %d after %d", ErrBadHeight, h.Height, parent.Height)
+	}
+	if h.Difficulty.IsZero() {
+		return false, fmt.Errorf("%w: zero difficulty at height %d", ErrBadDifficulty, h.Height)
+	}
+	if h.Time < parent.Time {
+		return false, fmt.Errorf("%w: %d before parent %d", ErrBadTime, h.Time, parent.Time)
 	}
 	oldHead := c.head
 	c.headers[hh] = h

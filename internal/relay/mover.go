@@ -281,8 +281,22 @@ func (m *Mover) Complete(cl *Client, contract hashing.Address, done func(*MoveRe
 // Mover, re-entering the state machine at each entry's last durable stage.
 // Submitted transactions are resubmitted (idempotently) in case they were
 // lost while the previous Mover was down.
-func (m *Mover) Recover(cl *Client) {
-	for _, e := range m.journal.InFlight() {
+//
+// The journal may have been deserialized from untrusted bytes, so every
+// in-flight entry is validated against its recorded stage before anything
+// resumes: a truncated or malformed entry returns a wrapped error naming
+// the entry index and contract instead of panicking mid-replay, and no
+// entry is resumed (recovery is all-or-nothing so a retry after repairing
+// the journal cannot double-submit the entries that were valid).
+func (m *Mover) Recover(cl *Client) error {
+	inflight := m.journal.InFlight()
+	for i, e := range inflight {
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("%w: recover entry %d (contract %s): %w",
+				ErrCorruptJournal, i, e.Contract, err)
+		}
+	}
+	for _, e := range inflight {
 		m.counters.Inc("relay.recoveries")
 		m.event("relay.recover", e, metrics.A("stage", e.Stage.String()))
 		switch e.Stage {
@@ -305,6 +319,7 @@ func (m *Mover) Recover(cl *Client) {
 			m.watchMove2(cl, e)
 		}
 	}
+	return nil
 }
 
 // fail terminates a move with an error.

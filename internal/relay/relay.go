@@ -131,11 +131,41 @@ func (cl *Client) deliver(c *chain.Chain, tx *types.Transaction) {
 			cl.rollbackNonce(c.ChainID(), tx.Nonce)
 		}
 	}
-	if link := cl.links[c.ChainID()]; link != nil {
+	link := cl.links[c.ChainID()]
+	if link == nil {
+		cl.sched.After(cl.submitDelay, apply)
+		return
+	}
+	if !link.Corrupts() {
 		link.Deliver(apply)
 		return
 	}
-	cl.sched.After(cl.submitDelay, apply)
+	// Corrupting link: clean copies take the fast path above (no
+	// serialization); corrupted copies are re-encoded, tampered, and pushed
+	// through the chain's full untrusted ingest. Their rejection is silent
+	// by design — whether a given tamper breaks the *framing* (decode error)
+	// or only the *signature* (pool rejection) depends on the encoded
+	// signature lengths, which crypto/rand varies run to run, so any
+	// rejection-reason counter here would break same-seed determinism. The
+	// link's own corrupted counter records the event deterministically, and
+	// the nonce is never rolled back: a corrupted copy is a separate forged
+	// transaction, not this client's traffic failing.
+	link.DeliverBytes(
+		func() []byte {
+			_ = tx.WaitSig()
+			return tx.Encode()
+		},
+		func(raw []byte, corrupted bool) {
+			if !corrupted {
+				apply()
+				return
+			}
+			forged, err := types.DecodeTransaction(raw)
+			if err != nil {
+				return
+			}
+			_ = c.SubmitTx(forged) // signature admission rejects it
+		})
 }
 
 // sign signs tx, rolling the consumed nonce back on failure. With a signer

@@ -25,11 +25,17 @@ type LinkFaults struct {
 	// MaxReorderDelay bounds the reordering hold-back (defaults to the base
 	// delay when zero).
 	MaxReorderDelay time.Duration
+	// CorruptRate is the probability a delivered copy has its bytes tampered
+	// in flight (bit flips, truncation, or junk extension). Corruption only
+	// applies to byte-level deliveries (DeliverBytes); closure deliveries
+	// have no wire representation to corrupt.
+	CorruptRate float64
 }
 
 // active reports whether any fault is configured.
 func (f LinkFaults) active() bool {
-	return f.DropRate > 0 || f.DupRate > 0 || f.JitterFrac > 0 || f.ReorderFrac > 0
+	return f.DropRate > 0 || f.DupRate > 0 || f.JitterFrac > 0 || f.ReorderFrac > 0 ||
+		f.CorruptRate > 0
 }
 
 // LinkStats counts one link's delivery events.
@@ -38,6 +44,41 @@ type LinkStats struct {
 	Dropped    uint64
 	Duplicated uint64
 	Reordered  uint64
+	// Corrupted counts delivered copies whose bytes were tampered in flight.
+	Corrupted uint64
+	// Rejected counts corrupted copies the receiver refused at ingest
+	// (decode failure or validation error reported via NoteRejected).
+	Rejected uint64
+}
+
+// TamperFunc corrupts a message's bytes. It must treat msg as read-only and
+// return a fresh slice; rng is a per-corruption derived RNG, so the number
+// of draws a tamper makes cannot desynchronize the link's fault stream.
+type TamperFunc func(rng *rand.Rand, msg []byte) []byte
+
+// DefaultTamper flips bytes, truncates, or extends the message with junk,
+// choosing uniformly between the three. It models the full range of wire
+// corruption an adversarial relayer can apply without forging signatures.
+func DefaultTamper(rng *rand.Rand, msg []byte) []byte {
+	out := append([]byte(nil), msg...)
+	if len(out) == 0 {
+		return []byte{byte(rng.Intn(256))}
+	}
+	switch rng.Intn(3) {
+	case 0: // flip 1-4 bytes (each XORed with a non-zero mask)
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			out[rng.Intn(len(out))] ^= byte(1 + rng.Intn(255))
+		}
+	case 1: // truncate to a strict prefix
+		out = out[:rng.Intn(len(out))]
+	default: // extend with 1-16 junk bytes
+		n := 1 + rng.Intn(16)
+		for i := 0; i < n; i++ {
+			out = append(out, byte(rng.Intn(256)))
+		}
+	}
+	return out
 }
 
 // Link is a lossy unidirectional message path outside the validator WAN:
@@ -47,8 +88,10 @@ type LinkStats struct {
 type Link struct {
 	sched  *simclock.Scheduler
 	rng    *rand.Rand
+	seed   int64
 	base   time.Duration
 	faults LinkFaults
+	tamper TamperFunc
 	cut    bool
 
 	stats    LinkStats
@@ -66,6 +109,7 @@ func NewLink(sched *simclock.Scheduler, base time.Duration, faults LinkFaults, s
 	return &Link{
 		sched:  sched,
 		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
 		base:   base,
 		faults: faults,
 	}
@@ -102,14 +146,40 @@ func (l *Link) Cut() bool { return l.cut }
 // SetFaults replaces the fault configuration.
 func (l *Link) SetFaults(f LinkFaults) { l.faults = f }
 
+// SetTamper replaces the corruption function used when CorruptRate fires.
+// A nil tamper falls back to DefaultTamper.
+func (l *Link) SetTamper(t TamperFunc) { l.tamper = t }
+
+// Corrupts reports whether the link can tamper message bytes; senders use
+// it to decide whether a byte-level delivery path is needed at all.
+func (l *Link) Corrupts() bool { return l.faults.CorruptRate > 0 }
+
 // Stats returns the link's delivery counters.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+// NoteRejected records that the receiver refused a corrupted copy at ingest.
+// Callers must only invoke it for deterministic rejections (content derived
+// from seeded state); see the byzantine design note in DESIGN.md §12.
+func (l *Link) NoteRejected() {
+	l.count("rejected", &l.stats.Rejected)
+	if l.counters != nil {
+		l.counters.Inc("byzantine.rejected")
+	}
+}
 
 func (l *Link) count(event string, field *uint64) {
 	*field++
 	if l.counters != nil {
 		l.counters.Inc(l.prefix + "." + event)
 	}
+}
+
+// tamperRNG returns a fresh RNG for the idx-th corruption event on this
+// link. Deriving a per-event RNG (instead of sharing l.rng) keeps the
+// link's fault stream independent of how many draws a tamper makes, which
+// may depend on non-deterministic content such as ECDSA signature lengths.
+func (l *Link) tamperRNG(idx uint64) *rand.Rand {
+	return rand.New(rand.NewSource(l.seed ^ int64(idx)*0x6A09E667F3BCC909 ^ 0x5DEECE66D))
 }
 
 // delay draws one delivery delay: base latency, ±jitter, plus an optional
@@ -134,6 +204,53 @@ func (l *Link) delay() time.Duration {
 		d = 0
 	}
 	return d
+}
+
+// DeliverBytes schedules delivery of an encoded message across the link,
+// applying the same drop/dup/delay faults as Deliver plus byte corruption.
+// encode is invoked lazily — only for copies the link actually corrupts —
+// so clean deliveries cost no serialization. For clean copies fn receives
+// (nil, false) and the receiver should use its captured original message;
+// for corrupted copies it receives the tampered bytes and must treat them
+// as fully untrusted input.
+func (l *Link) DeliverBytes(encode func() []byte, fn func(b []byte, corrupted bool)) {
+	if l.cut || (l.faults.DropRate > 0 && l.rng.Float64() < l.faults.DropRate) {
+		l.count("dropped", &l.stats.Dropped)
+		return
+	}
+	copies := 1
+	if l.faults.DupRate > 0 && l.rng.Float64() < l.faults.DupRate {
+		copies = 2
+		l.count("duplicated", &l.stats.Duplicated)
+	}
+	for i := 0; i < copies; i++ {
+		var b []byte
+		corrupted := false
+		if l.faults.CorruptRate > 0 && l.rng.Float64() < l.faults.CorruptRate {
+			corrupted = true
+			tamper := l.tamper
+			if tamper == nil {
+				tamper = DefaultTamper
+			}
+			b = tamper(l.tamperRNG(l.stats.Corrupted), encode())
+			l.count("corrupted", &l.stats.Corrupted)
+			if l.counters != nil {
+				l.counters.Inc("byzantine.corrupted")
+			}
+		}
+		l.count("delivered", &l.stats.Delivered)
+		deliver := func() { fn(b, corrupted) }
+		if l.reg.Enabled() {
+			l.reg.AddGauge(l.gInflight, 1)
+			l.reg.MaxGauge(l.gPeak, l.reg.Gauge(l.gInflight))
+			l.sched.After(l.delay(), func() {
+				l.reg.AddGauge(l.gInflight, -1)
+				deliver()
+			})
+			continue
+		}
+		l.sched.After(l.delay(), deliver)
+	}
 }
 
 // Deliver schedules fn across the link: it may run never (drop or cut),

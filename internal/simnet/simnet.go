@@ -83,9 +83,22 @@ type Config struct {
 	// MaxReorderDelay bounds the reordering hold-back (defaults to the base
 	// latency when zero).
 	MaxReorderDelay time.Duration
+	// CorruptRate is the probability a delivered copy is tampered via the
+	// network's Tamper hook. Copies with no Tamper installed, or that the
+	// hook declines, are delivered intact.
+	CorruptRate float64
+	// Tamper corrupts an in-memory WAN payload (WAN messages are typed
+	// values, not bytes, so corruption is protocol-aware). It receives a
+	// per-corruption derived RNG and must not mutate the original payload.
+	// It returns the corrupted payload and true, or (payload, false) for
+	// message kinds it does not corrupt.
+	Tamper PayloadTamper
 	// Seed makes delivery timing reproducible.
 	Seed int64
 }
+
+// PayloadTamper corrupts an in-memory WAN message. See Config.Tamper.
+type PayloadTamper func(rng *rand.Rand, payload any) (any, bool)
 
 // faults extracts the global per-message fault configuration.
 func (c Config) faults() LinkFaults {
@@ -95,6 +108,7 @@ func (c Config) faults() LinkFaults {
 		JitterFrac:      c.JitterFrac,
 		ReorderFrac:     c.ReorderFrac,
 		MaxReorderDelay: c.MaxReorderDelay,
+		CorruptRate:     c.CorruptRate,
 	}
 }
 
@@ -114,6 +128,7 @@ type Network struct {
 	dropped    uint64
 	duplicated uint64
 	reordered  uint64
+	corrupted  uint64
 
 	counters *metrics.Counters
 	reg      *metrics.Registry // optional; feeds in-flight gauges
@@ -206,6 +221,22 @@ func (n *Network) Send(from, to NodeID, payload any) {
 	}
 	base := Latency(src.region, dst.region)
 	for i := 0; i < copies; i++ {
+		msg := payload
+		if faults.CorruptRate > 0 && n.rng.Float64() < faults.CorruptRate {
+			if n.cfg.Tamper != nil {
+				// A derived per-corruption RNG keeps the network's fault
+				// stream independent of how many draws the tamper makes
+				// (which may depend on non-deterministic payload content).
+				trng := rand.New(rand.NewSource(n.cfg.Seed ^ int64(n.corrupted)*0x6A09E667F3BCC909 ^ 0x2545F4914F6CDD1D))
+				if tampered, ok := n.cfg.Tamper(trng, payload); ok {
+					msg = tampered
+					n.count("corrupted", &n.corrupted)
+					if n.counters != nil {
+						n.counters.Inc("byzantine.corrupted")
+					}
+				}
+			}
+		}
 		delay := base
 		if faults.JitterFrac > 0 {
 			jitter := (n.rng.Float64()*2 - 1) * faults.JitterFrac
@@ -235,7 +266,7 @@ func (n *Network) Send(from, to NodeID, payload any) {
 				return
 			}
 			n.count("delivered", &n.delivered)
-			info.handler(from, payload)
+			info.handler(from, msg)
 		})
 	}
 }
@@ -320,6 +351,7 @@ func (n *Network) FaultStats() LinkStats {
 		Dropped:    n.dropped,
 		Duplicated: n.duplicated,
 		Reordered:  n.reordered,
+		Corrupted:  n.corrupted,
 	}
 }
 

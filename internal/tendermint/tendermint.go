@@ -14,9 +14,11 @@ package tendermint
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"scmove/internal/hashing"
+	"scmove/internal/metrics"
 	"scmove/internal/simclock"
 	"scmove/internal/simnet"
 )
@@ -68,6 +70,66 @@ type Cluster struct {
 	committed  map[uint64]bool
 
 	commitTimes map[uint64]time.Duration
+
+	counters *metrics.Counters
+	evidence []Evidence
+}
+
+// Evidence records one detected equivocation: a validator observed two
+// conflicting messages from the same sender for the same (height, round).
+// Detection is ignore-and-record — the conflicting message is discarded and
+// consensus continues; it never stalls on a misbehaving peer.
+type Evidence struct {
+	// Proposal distinguishes proposal equivocation from vote equivocation.
+	Proposal bool
+	// Kind is the vote kind for vote equivocation (zero for proposals).
+	Kind     voteKind
+	Height   uint64
+	Round    int
+	From     int // equivocating validator index
+	Detector int // validator that observed the conflict
+}
+
+// ByzantineBehavior switches on adversarial actions for one validator. The
+// zero value is honest. Byzantine validators stay within the f < n/3 bound
+// the protocol tolerates: they equivocate but cannot forge other
+// validators' messages.
+type ByzantineBehavior struct {
+	// EquivocateProposals makes the validator, when it is the proposer,
+	// send the honest payload to half its peers and a conflicting
+	// (junk-extended, hence undecodable) twin to the other half.
+	EquivocateProposals bool
+	// EquivocateVotes makes the validator send conflicting prevotes and
+	// precommits (genuine hash to half its peers, a flipped hash to the
+	// rest).
+	EquivocateVotes bool
+}
+
+// SetByzantine configures validator i's adversarial behavior.
+func (c *Cluster) SetByzantine(i int, b ByzantineBehavior) {
+	c.validators[i].byz = b
+}
+
+// Observe mirrors Byzantine-detection events ("byzantine.equivocation.*",
+// "byzantine.badproposer") into the shared counter set.
+func (c *Cluster) Observe(m *metrics.Counters) { c.counters = m }
+
+// Evidence returns all recorded equivocation evidence, in detection order.
+func (c *Cluster) Evidence() []Evidence { return c.evidence }
+
+func (c *Cluster) inc(name string) {
+	if c.counters != nil {
+		c.counters.Inc(name)
+	}
+}
+
+func (c *Cluster) noteEquivocation(ev Evidence) {
+	if ev.Proposal {
+		c.inc("byzantine.equivocation.proposal")
+	} else {
+		c.inc("byzantine.equivocation.vote")
+	}
+	c.evidence = append(c.evidence, ev)
 }
 
 // NewCluster creates n validators on the given network nodes and regions.
@@ -89,11 +151,12 @@ func NewCluster(sched *simclock.Scheduler, net *simnet.Network, app App,
 	c.validators = make([]*Validator, len(ids))
 	for i, id := range ids {
 		v := &Validator{
-			cluster: c,
-			id:      id,
-			index:   i,
-			n:       len(ids),
-			votes:   make(map[voteKey]map[int]bool),
+			cluster:   c,
+			id:        id,
+			index:     i,
+			n:         len(ids),
+			votes:     make(map[voteKey]map[int]bool),
+			firstSeen: make(map[evKey]*seenRec),
 		}
 		c.validators[i] = v
 		if err := net.Register(id, regions[i], func(from simnet.NodeID, payload any) {
@@ -134,6 +197,7 @@ func (c *Cluster) RestartValidator(i int) {
 	c.net.SetNodeDown(v.id, false)
 	v.crashed = false
 	v.votes = make(map[voteKey]map[int]bool)
+	v.firstSeen = make(map[evKey]*seenRec)
 	v.pending = nil
 	v.startHeight(c.CommittedHeight() + 1)
 }
@@ -189,6 +253,9 @@ type msgProposal struct {
 	Height  uint64
 	Round   int
 	Payload []byte
+	// From is the claimed sender index; receivers check it against the
+	// round's legitimate proposer and use it to key equivocation evidence.
+	From int
 }
 
 type voteKind uint8
@@ -213,6 +280,25 @@ type voteKey struct {
 	hash   hashing.Hash
 }
 
+// evKey identifies the slot a sender may speak in exactly once: one
+// proposal (or one vote of each kind) per (height, round, sender).
+type evKey struct {
+	proposal bool
+	kind     voteKind
+	height   uint64
+	round    int
+	from     int
+}
+
+// seenRec remembers the first message hash seen in a slot; reported
+// ensures each conflicting slot is converted to evidence at most once per
+// detector, so a flood of conflicting copies cannot grow evidence
+// unboundedly.
+type seenRec struct {
+	hash     hashing.Hash
+	reported bool
+}
+
 // Validator is one consensus participant.
 type Validator struct {
 	cluster *Cluster
@@ -230,8 +316,33 @@ type Validator struct {
 	precommitted bool
 	decided      bool
 
-	votes   map[voteKey]map[int]bool
-	pending []any // messages for heights/rounds not yet started
+	votes     map[voteKey]map[int]bool
+	firstSeen map[evKey]*seenRec
+	pending   []any // messages for heights/rounds not yet started
+	byz       ByzantineBehavior
+}
+
+// noteFirstSeen enforces one-message-per-slot: the first hash in a slot is
+// remembered, identical re-deliveries (network duplicates) pass, and a
+// conflicting hash records equivocation evidence and is rejected.
+func (v *Validator) noteFirstSeen(key evKey, h hashing.Hash) bool {
+	rec, ok := v.firstSeen[key]
+	if !ok {
+		v.firstSeen[key] = &seenRec{hash: h}
+		return true
+	}
+	if rec.hash == h {
+		return true
+	}
+	if !rec.reported {
+		rec.reported = true
+		v.cluster.noteEquivocation(Evidence{
+			Proposal: key.proposal, Kind: key.kind,
+			Height: key.height, Round: key.round,
+			From: key.from, Detector: v.index,
+		})
+	}
+	return false
 }
 
 // proposerIndex implements round-robin proposer rotation.
@@ -266,9 +377,22 @@ func (v *Validator) startRound() {
 
 	if proposerIndex(v.height, v.round, v.n) == v.index {
 		payload := v.cluster.app.Propose(v.height)
-		msg := msgProposal{Height: v.height, Round: v.round, Payload: payload}
-		v.broadcast(msg)
-		v.handle(msg) // deliver to self
+		msg := msgProposal{Height: v.height, Round: v.round, Payload: payload, From: v.index}
+		if v.byz.EquivocateProposals {
+			// Conflicting twin: the honest payload extended with junk, sent
+			// alongside the genuine proposal to half the peers. Whichever
+			// copy arrives first wins that peer's prevote, the second is
+			// recorded as equivocation evidence; at worst the split vote
+			// costs this round and the timeout rotates to an honest
+			// proposer — safety is never at risk, only latency.
+			twin := msg
+			twin.Payload = append(append([]byte(nil), payload...), 0xDE, 0xAD, byte(v.height))
+			v.broadcastEquivocating(msg, twin)
+			v.handle(msg)
+		} else {
+			v.broadcast(msg)
+			v.handle(msg) // deliver to self
+		}
 	}
 	// Round timeout: if this round does not decide in time, try the next
 	// proposer. Grows linearly with the round to eventually outwait WAN
@@ -295,6 +419,36 @@ func (v *Validator) broadcast(msg any) {
 			v.cluster.net.Send(v.id, other.id, msg)
 		}
 	}
+}
+
+// broadcastEquivocating sends the genuine message to every peer and the
+// conflicting twin as an extra message to odd-indexed peers. Sending both
+// to the same receivers is what makes the conflict observable — and
+// convertible to evidence — rather than a silent split vote.
+func (v *Validator) broadcastEquivocating(genuine, twin any) {
+	for _, other := range v.cluster.validators {
+		if other.index == v.index {
+			continue
+		}
+		v.cluster.net.Send(v.id, other.id, genuine)
+		if other.index%2 == 1 {
+			v.cluster.net.Send(v.id, other.id, twin)
+		}
+	}
+}
+
+// castVote broadcasts a vote and delivers it to self; a vote-equivocating
+// validator also sends a conflicting hash to half its peers.
+func (v *Validator) castVote(vote msgVote) {
+	if v.byz.EquivocateVotes {
+		twin := vote
+		twin.PayloadHash[0] ^= 0xFF
+		v.broadcastEquivocating(vote, twin)
+		v.onVote(vote)
+		return
+	}
+	v.broadcast(vote)
+	v.onVote(vote)
 }
 
 // catchUp simulates block sync: a validator that sees traffic for a future
@@ -333,25 +487,47 @@ func (v *Validator) handle(payload any) {
 }
 
 func (v *Validator) onProposal(msg msgProposal) {
-	if msg.Height != v.height || msg.Round != v.round || v.hasProposal {
+	if msg.Height != v.height || msg.Round != v.round {
+		return
+	}
+	// Only the round's legitimate proposer may propose; anything else is a
+	// forged injection (record and ignore, never stall).
+	if msg.From < 0 || msg.From >= v.n || proposerIndex(msg.Height, msg.Round, v.n) != msg.From {
+		v.cluster.inc("byzantine.badproposer")
+		return
+	}
+	h := hashing.Sum(msg.Payload)
+	if !v.noteFirstSeen(evKey{proposal: true, height: msg.Height, round: msg.Round, from: msg.From}, h) {
+		return
+	}
+	if v.hasProposal {
 		return
 	}
 	v.proposal = msg.Payload
-	v.proposalHash = hashing.Sum(msg.Payload)
+	v.proposalHash = h
 	v.hasProposal = true
 	if !v.prevoted {
 		v.prevoted = true
-		vote := msgVote{
+		v.castVote(msgVote{
 			Kind: votePrevote, Height: v.height, Round: v.round,
 			PayloadHash: v.proposalHash, From: v.index,
-		}
-		v.broadcast(vote)
-		v.onVote(vote)
+		})
 	}
 }
 
 func (v *Validator) onVote(msg msgVote) {
 	if msg.Height != v.height {
+		return
+	}
+	if msg.From < 0 || msg.From >= v.n {
+		v.cluster.inc("byzantine.badvoter")
+		return
+	}
+	// One vote of each kind per (height, round, sender): a conflicting
+	// double-vote is recorded as equivocation evidence and excluded from
+	// quorum counting, so a Byzantine voter cannot help two different
+	// payloads toward quorum in the same round.
+	if !v.noteFirstSeen(evKey{kind: msg.Kind, height: msg.Height, round: msg.Round, from: msg.From}, msg.PayloadHash) {
 		return
 	}
 	key := voteKey{kind: msg.Kind, height: msg.Height, round: msg.Round, hash: msg.PayloadHash}
@@ -367,12 +543,10 @@ func (v *Validator) onVote(msg msgVote) {
 	case votePrevote:
 		if len(set) >= quorum && v.hasProposal && msg.PayloadHash == v.proposalHash && !v.precommitted {
 			v.precommitted = true
-			vote := msgVote{
+			v.castVote(msgVote{
 				Kind: votePrecommit, Height: v.height, Round: msg.Round,
 				PayloadHash: v.proposalHash, From: v.index,
-			}
-			v.broadcast(vote)
-			v.onVote(vote)
+			})
 		}
 	case votePrecommit:
 		if len(set) >= quorum && v.hasProposal && msg.PayloadHash == v.proposalHash && !v.decided {
@@ -385,5 +559,25 @@ func (v *Validator) onVote(msg msgVote) {
 				}
 			})
 		}
+	}
+}
+
+// WireTamper returns a simnet payload tamper for consensus traffic:
+// proposals get their payload bytes corrupted with simnet.DefaultTamper and
+// votes get a flipped payload-hash byte; other message kinds pass through
+// untouched. Hardened validators must survive both — corrupted proposals
+// split the prevote (healed by the round timeout) and corrupted votes look
+// like equivocation by the claimed sender (recorded, ignored).
+func WireTamper() simnet.PayloadTamper {
+	return func(rng *rand.Rand, payload any) (any, bool) {
+		switch msg := payload.(type) {
+		case msgProposal:
+			msg.Payload = simnet.DefaultTamper(rng, msg.Payload)
+			return msg, true
+		case msgVote:
+			msg.PayloadHash[rng.Intn(len(msg.PayloadHash))] ^= byte(1 + rng.Intn(255))
+			return msg, true
+		}
+		return payload, false
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"scmove/internal/keys"
 	"scmove/internal/mpt"
 	"scmove/internal/state"
+	"scmove/internal/u256"
 )
 
 // TestDecodersSurviveRandomBytes feeds random byte strings to every decoder
@@ -73,6 +74,102 @@ func TestDecodersSurviveTruncation(t *testing.T) {
 func mustKey(t *testing.T) *keys.KeyPair {
 	t.Helper()
 	return keys.Deterministic(77)
+}
+
+// fuzzSeedTx returns a signed transaction used to seed the decode fuzzers
+// with a structurally valid encoding.
+func fuzzSeedTx(tb testing.TB, kind TxKind) *Transaction {
+	tb.Helper()
+	tx := &Transaction{
+		ChainID: 1, Nonce: 3, Kind: kind, GasLimit: 50_000, GasPrice: u256.One(),
+		To:   hashing.AddressFromBytes([]byte{0x11}),
+		Data: []byte("calldata"),
+	}
+	if kind == TxMove2 {
+		tx.To = hashing.Address{}
+		tx.Data = nil
+		tx.Move2 = &Move2Payload{
+			Contract:     hashing.AddressFromBytes([]byte{0x22}),
+			SourceChain:  2,
+			SourceHeight: 9,
+			AccountProof: []byte{9, 8, 7},
+			Code:         []byte("code"),
+			Storage:      []StorageEntry{{Key: [32]byte{1}, Value: [32]byte{2}}},
+		}
+	}
+	if err := tx.Sign(keys.Deterministic(77)); err != nil {
+		tb.Fatal(err)
+	}
+	return tx
+}
+
+// FuzzDecodeTransaction feeds arbitrary bytes to the transaction decoder:
+// it must never panic, and anything it accepts must survive a re-encode /
+// re-decode round trip with identical identity.
+func FuzzDecodeTransaction(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(fuzzSeedTx(f, TxCall).Encode())
+	f.Add(fuzzSeedTx(f, TxMove2).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := DecodeTransaction(data)
+		if err != nil {
+			return
+		}
+		// Sender recovery must also tolerate whatever decoded (it parses the
+		// embedded public key and signature scalars).
+		_, _ = tx.Sender()
+		enc := tx.Encode()
+		tx2, err := DecodeTransaction(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted transaction failed: %v", err)
+		}
+		if tx2.ID() != tx.ID() {
+			t.Fatalf("round trip changed identity: %s != %s", tx2.ID(), tx.ID())
+		}
+	})
+}
+
+// FuzzDecodeHeader feeds arbitrary bytes to the block-header decoder: no
+// panic, and accepted headers round-trip to an identical struct.
+func FuzzDecodeHeader(f *testing.F) {
+	f.Add([]byte(nil))
+	h := &Header{ChainID: 1, Height: 7, Time: 99,
+		ParentHash: hashing.Sum([]byte("parent")), StateRoot: hashing.Sum([]byte("root"))}
+	f.Add(h.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		_ = h.Hash()
+		h2, err := DecodeHeader(h.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted header failed: %v", err)
+		}
+		if *h2 != *h {
+			t.Fatalf("round trip changed header: %+v != %+v", h2, h)
+		}
+	})
+}
+
+// FuzzDecodeMove2Payload feeds arbitrary bytes to the standalone Move2
+// payload decoder (the journal and hostile-ingest paths use it directly).
+func FuzzDecodeMove2Payload(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeMove2Payload(fuzzSeedTx(f, TxMove2).Move2))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMove2Payload(data)
+		if err != nil {
+			return
+		}
+		m2, err := DecodeMove2Payload(EncodeMove2Payload(m))
+		if err != nil {
+			t.Fatalf("re-decode of accepted payload failed: %v", err)
+		}
+		if len(m2.Storage) != len(m.Storage) || m2.Contract != m.Contract {
+			t.Fatal("round trip changed payload")
+		}
+	})
 }
 
 // TestTransactionBitFlipsNeverForgeSignatures flips every bit of an encoded

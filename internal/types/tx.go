@@ -137,6 +137,10 @@ func encodeMove2(w *codec.Writer, m *Move2Payload) {
 	}
 }
 
+// storageEntrySize is the encoded size of one StorageEntry (two 32-byte
+// words); decoders use it to bound preallocation from a hostile count.
+const storageEntrySize = 64
+
 func decodeMove2(r *codec.Reader) *Move2Payload {
 	var m Move2Payload
 	m.Contract = r.ReadAddress()
@@ -148,14 +152,44 @@ func decodeMove2(r *codec.Reader) *Move2Payload {
 	if n > 1<<20 {
 		return nil
 	}
-	m.Storage = make([]StorageEntry, 0, n)
+	// Preallocate at most what the remaining input could actually hold: a
+	// corrupted count costs O(remaining) memory, never O(claimed) — the
+	// loop below then fails with ErrTruncated as soon as the input runs dry.
+	m.Storage = make([]StorageEntry, 0, r.CapCount(n, storageEntrySize))
 	for i := uint64(0); i < n; i++ {
 		var e StorageEntry
 		e.Key = r.ReadWord()
 		e.Value = r.ReadWord()
+		if r.Err() != nil {
+			return nil
+		}
 		m.Storage = append(m.Storage, e)
 	}
 	return &m
+}
+
+// EncodeMove2Payload serializes a standalone Move2 payload (the relay
+// journal persists in-flight payloads between crash and recovery).
+func EncodeMove2Payload(m *Move2Payload) []byte {
+	w := codec.NewWriter(256 + storageEntrySize*len(m.Storage))
+	encodeMove2(w, m)
+	return w.Bytes()
+}
+
+// DecodeMove2Payload parses a standalone Move2 payload encoding.
+func DecodeMove2Payload(b []byte) (*Move2Payload, error) {
+	r := codec.NewReader(b)
+	m := decodeMove2(r)
+	if m == nil {
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("decode move2 payload: %w", err)
+		}
+		return nil, errors.New("decode move2 payload: oversized storage set")
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("decode move2 payload: %w", err)
+	}
+	return m, nil
 }
 
 // ID returns the transaction identifier: the hash of the unsigned encoding.
@@ -324,14 +358,21 @@ func (tx *Transaction) Encode() []byte {
 	return w.Bytes()
 }
 
+// Maximum encoded sizes of the ECDSA P-256 signature fields (generous over
+// the real 65/32/32 bytes); longer claims are rejected before allocating.
+const (
+	maxPubKeyLen   = 96
+	maxSigScalarLn = 48
+)
+
 // DecodeTransaction parses an encoded signed transaction.
 func DecodeTransaction(b []byte) (*Transaction, error) {
 	r := codec.NewReader(b)
 	unsigned := r.ReadBytes()
 	var tx Transaction
-	tx.Sig.PubKey = r.ReadBytes()
-	tx.Sig.R = r.ReadBytes()
-	tx.Sig.S = r.ReadBytes()
+	tx.Sig.PubKey = r.ReadBytesMax(maxPubKeyLen)
+	tx.Sig.R = r.ReadBytesMax(maxSigScalarLn)
+	tx.Sig.S = r.ReadBytesMax(maxSigScalarLn)
 	if err := r.Finish(); err != nil {
 		return nil, fmt.Errorf("decode tx: %w", err)
 	}
@@ -350,6 +391,9 @@ func DecodeTransaction(b []byte) (*Transaction, error) {
 	if ur.ReadBool() {
 		tx.Move2 = decodeMove2(ur)
 		if tx.Move2 == nil {
+			if err := ur.Err(); err != nil {
+				return nil, fmt.Errorf("decode tx: %w", err)
+			}
 			return nil, errors.New("decode tx: oversized move2 payload")
 		}
 	}

@@ -152,7 +152,9 @@ func TestMoverCrashRecoveryMidMove(t *testing.T) {
 	// Restart: a fresh Mover over the same journal resumes the move.
 	m2 := relay.NewMoverWith(u.Sched, u.Chain(2), u.Chain(1),
 		relay.DefaultMoverConfig(), m1.Journal(), u.Counters())
-	m2.Recover(cl)
+	if err := m2.Recover(cl); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
 	if !u.RunUntil(func() bool { return result != nil }, 30*time.Minute) {
 		t.Fatalf("recovered mover must finish the move (crashed at stage %v)", crashStage.Stage)
 	}

@@ -110,6 +110,11 @@ type ChaosConfig struct {
 	// (dropped relay messages heal once any later one arrives). Defaults
 	// to 8; raise it to ride out longer partitions.
 	HeaderWindow int
+	// Equivocators makes the first N non-zero validator indices of every
+	// BFT cluster Byzantine: they send conflicting proposals and votes for
+	// the same height/round to different peers. Keep N ≤ f (the cluster
+	// fault budget) or consensus legitimately stalls.
+	Equivocators int
 	// Seed decorrelates the chaos RNGs from the base NetSeed.
 	Seed int64
 	// Mover overrides the relayer's deadline/retry tuning.
@@ -224,6 +229,13 @@ func New(cfg Config) (*Universe, error) {
 		if wan.JitterFrac > 0 {
 			netCfg.JitterFrac = wan.JitterFrac
 		}
+		if wan.CorruptRate > 0 {
+			// Consensus messages cross the WAN as typed values, not bytes, so
+			// corruption tampers with the fields an attacker on the wire could
+			// reach: proposal payload bytes and vote hashes.
+			netCfg.CorruptRate = wan.CorruptRate
+			netCfg.Tamper = tendermint.WireTamper()
+		}
 	}
 	net := simnet.New(sched, netCfg)
 	u := &Universe{
@@ -312,6 +324,7 @@ func New(cfg Config) (*Universe, error) {
 		}
 		u.chains[spec.Config.ChainID] = c
 		u.order = append(u.order, spec.Config.ChainID)
+		c.Headers().Observe(u.counters)
 		if u.reg != nil {
 			c.SetObserver(u.reg, sched.Now)
 		}
@@ -331,6 +344,15 @@ func New(cfg Config) (*Universe, error) {
 			node, err := chain.NewBFTNode(sched, net, c, tmCfg, ids, regions)
 			if err != nil {
 				return nil, fmt.Errorf("universe: %w", err)
+			}
+			node.Observe(u.counters)
+			if cfg.Chaos != nil {
+				for v := 1; v <= cfg.Chaos.Equivocators && v < n; v++ {
+					node.Cluster.SetByzantine(v, tendermint.ByzantineBehavior{
+						EquivocateProposals: true,
+						EquivocateVotes:     true,
+					})
+				}
 			}
 			u.bft = append(u.bft, node)
 		case ConsensusPoW:
@@ -422,6 +444,10 @@ func (u *Universe) Start() {
 
 // Chain returns a chain by id.
 func (u *Universe) Chain(id hashing.ChainID) *chain.Chain { return u.chains[id] }
+
+// BFTNodes returns every BFT consensus node, in chain configuration order —
+// chaos harnesses inspect their clusters for equivocation evidence.
+func (u *Universe) BFTNodes() []*chain.BFTNode { return u.bft }
 
 // ChainIDs returns the chain ids in configuration order.
 func (u *Universe) ChainIDs() []hashing.ChainID {
