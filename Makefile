@@ -28,8 +28,8 @@ benchsmoke:
 	$(GO) run ./cmd/benchsnap -quick -out /tmp/scmove_bench_smoke.json
 	$(GO) run ./cmd/benchdiff /tmp/scmove_bench_smoke.json /tmp/scmove_bench_smoke.json
 
-OLD ?= BENCH_1.json
-NEW ?= BENCH_2.json
+OLD ?= BENCH_2.json
+NEW ?= BENCH_3.json
 benchdiff:
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
@@ -45,12 +45,15 @@ benchgate:
 
 # detsmoke runs the seeded cross-GOMAXPROCS (1, 2, NumCPU) determinism
 # checks for the parallel crypto pool, the parallel state commit, the
-# workload signing pipeline, and the optimistic block executor (randomized
-# differential traffic plus the conflict-heavy chaos cell): bit-identical
-# results at every worker count.
+# workload signing pipeline, and both parallel block executors — the
+# optimistic engine (randomized differential traffic, per-target cutoff,
+# conflict-heavy chaos cell) and the conflict-aware scheduler (three-way
+# scheduled/optimistic/serial differential, no-storm counter pin, Kitties
+# breeding DAG, grouped batch selection): bit-identical results at every
+# worker count.
 detsmoke:
-	$(GO) test -run 'TestVerifyBatchMatchesSerial|TestRecoverSendersMatchesSerialAcrossGOMAXPROCS|TestCommitParallelMatchesSerial|TestHashParallelMatchesRootHashAndProofs|TestApplyBlockParallelDeterminism|TestApplyBlockParallelDifferential|TestParallelAbortFallback|TestViewPropertyDifferentialRandomOps|TestKittiesReplayCrossGOMAXPROCSDeterminism|TestApplyBlockParallelMatchesSerial|TestChaosCellCrossGOMAXPROCS' \
-		./internal/keys/ ./internal/types/ ./internal/state/ ./internal/chain/ ./internal/workload/ ./internal/bench/
+	$(GO) test -run 'TestVerifyBatchMatchesSerial|TestRecoverSendersMatchesSerialAcrossGOMAXPROCS|TestCommitParallelMatchesSerial|TestHashParallelMatchesRootHashAndProofs|TestApplyBlockParallelDeterminism|TestApplyBlockParallelDifferential|TestParallelAbortFallback|TestParallelPerTargetCutoff|TestApplyBlockScheduledDifferential|TestScheduledConflictingNoStorm|TestScheduledKittiesDAG|TestNextBatchGroupedPreservesFIFO|TestViewPropertyDifferentialRandomOps|TestKittiesReplayCrossGOMAXPROCSDeterminism|TestApplyBlockParallelMatchesSerial|TestChaosCellCrossGOMAXPROCS' \
+		./internal/keys/ ./internal/types/ ./internal/state/ ./internal/chain/ ./internal/txpool/ ./internal/workload/ ./internal/bench/
 
 # expsmoke is the experiment-output sanity gate: a CI-scale ablations run
 # plus a chaos run with metrics and span tracing on, captured to /tmp and

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"scmove/internal/chain"
@@ -32,6 +33,9 @@ type ApplyBlockConfig struct {
 	// ParallelThreshold is passed through to chain.Config: negative forces
 	// the serial loop, 1 parallelizes every block.
 	ParallelThreshold int
+	// Strategy selects the parallel engine once the threshold gate opens;
+	// the zero value is chain.StrategyScheduled.
+	Strategy chain.ParallelStrategy
 }
 
 // ApplyBlockResult carries the committed outcome so callers can cross-check
@@ -65,17 +69,48 @@ func BuildApplyBlockChain(cfg ApplyBlockConfig) (*chain.Chain, error) {
 		ConfirmationDepth: 6,
 		PoolLimit:         cfg.Txs + 1,
 		ParallelThreshold: cfg.ParallelThreshold,
+		Strategy:          cfg.Strategy,
 	}
 	code := disjointCode
 	if cfg.Conflicting {
 		code = conflictingCode
 	}
 	return chain.New(ccfg, core.NewHeaderStore(), func(db *state.DB) {
-		for s := 0; s < cfg.Senders; s++ {
+		// One extra funded account beyond the senders: the warmup
+		// transaction (BuildApplyBlockWarmupTx) teaching the scheduler's
+		// pattern cache comes from it, so warmup never perturbs a
+		// measured sender's nonce chain.
+		for s := 0; s < cfg.Senders+1; s++ {
 			db.AddBalance(keys.Deterministic(uint64(s+1)).Address(), u256.FromUint64(applyBlockFund))
 		}
 		db.CreateContract(applyBlockContract, code)
 	})
+}
+
+// BuildApplyBlockWarmupTx returns a single-transaction warmup block for the
+// scheduled engine: one call to the workload contract from the extra funded
+// account, so the first measured block plans against a warm pattern cache
+// instead of degenerating into learn-singleton waves.
+func BuildApplyBlockWarmupTx(cfg ApplyBlockConfig) ([]*types.Transaction, error) {
+	var data [32]byte
+	data[31] = 0xFF
+	tx := &types.Transaction{
+		ChainID:  1,
+		Nonce:    0,
+		Kind:     types.TxCall,
+		To:       applyBlockContract,
+		GasLimit: 1_000_000,
+		GasPrice: u256.FromUint64(2),
+		Data:     data[:],
+	}
+	if err := tx.Sign(keys.Deterministic(uint64(cfg.Senders + 1))); err != nil {
+		return nil, err
+	}
+	dec, err := types.DecodeTransaction(tx.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return []*types.Transaction{dec}, nil
 }
 
 // BuildApplyBlockTxs generates the block: senders round-robin over the
@@ -134,4 +169,101 @@ func RunApplyBlock(cfg ApplyBlockConfig) (*ApplyBlockResult, error) {
 	}
 	root, _ := c.RootAt(block.Header.Height)
 	return &ApplyBlockResult{Root: root, Receipts: receipts}, nil
+}
+
+// --- Kitties-DAG workload --------------------------------------------------
+
+// The breed contract is the scheduler's showcase: child = SLOAD(p1) +
+// SLOAD(p2) + 1 stored at SSTORE(child), all three ids taken from calldata.
+// A block of breeds is an explicit data DAG — generation g reads what
+// generation g-1 wrote — that the planner levelizes into one wide wave per
+// generation, while blind speculation executes later generations against
+// pre-block state and aborts.
+var (
+	kittiesBreedAddr = hashing.AddressFromBytes([]byte{0xD7})
+	kittiesBreedCode = asm.MustAssemble(
+		"PUSH1 0 CALLDATALOAD SLOAD PUSH1 32 CALLDATALOAD SLOAD ADD PUSH1 1 ADD PUSH1 64 CALLDATALOAD SSTORE STOP")
+)
+
+const kittiesDAGSenders = 129 // 128 breeders + 1 warmup account
+
+func kittiesBreedData(p1, p2, child uint64) []byte {
+	data := make([]byte, 96)
+	binary.BigEndian.PutUint64(data[24:32], p1)
+	binary.BigEndian.PutUint64(data[56:64], p2)
+	binary.BigEndian.PutUint64(data[88:96], child)
+	return data
+}
+
+// BuildKittiesDAGChain constructs a chain with the breed contract and 64
+// promo kitties (slots 1..64) in genesis and every breeder funded.
+func BuildKittiesDAGChain(threshold int, strategy chain.ParallelStrategy) (*chain.Chain, error) {
+	ccfg := chain.Config{
+		ChainID:           1,
+		TreeKind:          trie.KindMPT,
+		Schedule:          evm.EthereumSchedule(),
+		BlockGasLimit:     1_000_000_000,
+		MaxBlockTxs:       kittiesDAGSenders,
+		ConfirmationDepth: 6,
+		PoolLimit:         kittiesDAGSenders,
+		ParallelThreshold: threshold,
+		Strategy:          strategy,
+	}
+	return chain.New(ccfg, core.NewHeaderStore(), func(db *state.DB) {
+		for s := 0; s < kittiesDAGSenders; s++ {
+			db.AddBalance(keys.Deterministic(uint64(s+1)).Address(), u256.FromUint64(applyBlockFund))
+		}
+		db.CreateContract(kittiesBreedAddr, kittiesBreedCode)
+		for i := uint64(1); i <= 64; i++ {
+			var key, val evm.Word
+			binary.BigEndian.PutUint64(key[24:32], i)
+			binary.BigEndian.PutUint64(val[24:32], 1000+i)
+			db.SetStorage(kittiesBreedAddr, key, val)
+		}
+	})
+}
+
+// BuildKittiesDAGTxs returns a one-transaction warmup block (teaching the
+// breed pattern) and the 4-generation × 32-breed tournament block:
+// generation 1 breeds the genesis promo kitties pairwise, later generations
+// breed the previous generation's children. 128 distinct senders, so only
+// the data DAG orders the transactions.
+func BuildKittiesDAGTxs() (warmup, dag []*types.Transaction, err error) {
+	sign := func(sender uint64, data []byte) (*types.Transaction, error) {
+		tx := &types.Transaction{
+			ChainID:  1,
+			Nonce:    0,
+			Kind:     types.TxCall,
+			To:       kittiesBreedAddr,
+			GasLimit: 1_000_000,
+			GasPrice: u256.FromUint64(2),
+			Data:     data,
+		}
+		if err := tx.Sign(keys.Deterministic(sender)); err != nil {
+			return nil, err
+		}
+		return types.DecodeTransaction(tx.Encode())
+	}
+	w, err := sign(1, kittiesBreedData(1, 2, 999))
+	if err != nil {
+		return nil, nil, err
+	}
+	warmup = []*types.Transaction{w}
+	for gen := 1; gen <= 4; gen++ {
+		for j := 0; j < 32; j++ {
+			var p1, p2 uint64
+			if gen == 1 {
+				p1, p2 = uint64(2*j+1), uint64(2*j+2)
+			} else {
+				p1 = uint64(100*(gen-1) + j)
+				p2 = uint64(100*(gen-1) + (j+1)%32)
+			}
+			tx, err := sign(uint64(2+32*(gen-1)+j), kittiesBreedData(p1, p2, uint64(100*gen+j)))
+			if err != nil {
+				return nil, nil, err
+			}
+			dag = append(dag, tx)
+		}
+	}
+	return warmup, dag, nil
 }

@@ -15,7 +15,8 @@ import (
 // deltas) and the parallel.* counters (they describe the host's execution
 // strategy — how many lanes speculated or aborted — not simulated events,
 // and legitimately differ between GOMAXPROCS settings and metrics on/off;
-// every other counter is driven solely by this run's seeded RNGs).
+// the schedule.* counters are excluded for the same reason; every other
+// counter is driven solely by this run's seeded RNGs).
 func chaosFingerprint(t *testing.T, metricsOn, trace bool) string {
 	t.Helper()
 	cfg := ChaosConfig{DropRate: 0.20, DupRate: 0.20, Seed: 12345, Moves: 2,
@@ -30,7 +31,8 @@ func chaosFingerprint(t *testing.T, metricsOn, trace bool) string {
 	}
 	names := make([]string, 0, len(res.Counters))
 	for name := range res.Counters {
-		if !strings.HasPrefix(name, "sendercache.") && !strings.HasPrefix(name, "parallel.") {
+		if !strings.HasPrefix(name, "sendercache.") && !strings.HasPrefix(name, "parallel.") &&
+			!strings.HasPrefix(name, "schedule.") {
 			names = append(names, name)
 		}
 	}

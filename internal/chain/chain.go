@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"scmove/internal/chain/schedule"
 	"scmove/internal/codec"
 	"scmove/internal/core"
 	"scmove/internal/evm"
@@ -44,11 +45,15 @@ type Config struct {
 	// PoolLimit bounds the pending transaction pool.
 	PoolLimit int
 	// ParallelThreshold is the minimum block size ApplyBlock executes with
-	// the optimistic parallel scheduler (spawning lanes for a couple of
-	// transactions costs more than it saves). 0 means
-	// DefaultParallelThreshold; negative disables parallel execution
-	// entirely. Results are bit-identical either way.
+	// the parallel executor (spawning lanes for a couple of transactions
+	// costs more than it saves). 0 means DefaultParallelThreshold; negative
+	// disables parallel execution entirely. Results are bit-identical
+	// either way.
 	ParallelThreshold int
+	// Strategy selects the parallel executor: conflict-aware scheduled
+	// waves (the zero value, the default) or PR-5 blind optimistic
+	// speculation. Results are bit-identical under both.
+	Strategy ParallelStrategy
 }
 
 // Params returns the interoperability parameters peers configure (§IV-A).
@@ -78,6 +83,10 @@ type Chain struct {
 	pool      *txpool.Pool
 	listeners []BlockListener
 	txWaiters map[hashing.Hash][]TxListener
+
+	// planner holds the conflict scheduler's access-pattern cache and wave
+	// scratch for the StrategyScheduled executor.
+	planner *schedule.Planner
 
 	// Optional observability (SetObserver): block-interval histogram, block
 	// commit trace events, and pool-depth gauges. The chain cannot see the
@@ -125,6 +134,7 @@ func New(cfg Config, headers *core.HeaderStore, genesis func(db *state.DB)) (*Ch
 		txHeights: make(map[hashing.Hash]uint64),
 		pool:      txpool.New(cfg.ChainID, cfg.PoolLimit),
 		txWaiters: make(map[hashing.Hash][]TxListener),
+		planner:   schedule.NewPlanner(schedule.DefaultCacheSize),
 	}, nil
 }
 
@@ -281,16 +291,21 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 	}
 	receipts := make([]*types.Receipt, 0, len(txs))
 	var pstats parallelStats
+	var sstats scheduleStats
 	switch {
 	case len(txs) == 0:
 		// Empty block: nothing to recover, execute, or evict.
 	case c.parallelEligible(len(txs)):
 		// Pre-recover every sender on the crypto worker pool (see the
-		// serial branch), then run the optimistic scheduler: speculative
-		// lanes plus in-order validation/commit, bit-identical to the loop
-		// below by construction.
+		// serial branch), then run the configured parallel executor:
+		// conflict-aware waves by default, or the PR-5 optimistic engine.
+		// Both are bit-identical to the loop below by construction.
 		types.RecoverSenders(txs)
-		receipts, pstats = c.applyBlockParallel(txs, blockCtx)
+		if c.cfg.Strategy == StrategyOptimistic {
+			receipts, pstats = c.applyBlockParallel(txs, blockCtx)
+		} else {
+			receipts, sstats = c.applyBlockScheduled(txs, blockCtx)
+		}
 	default:
 		// Pre-recover every sender on the crypto worker pool before the
 		// serial execution loop. Recovery is pure per transaction and
@@ -351,6 +366,7 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 		}
 	}
 	c.observeParallel(pstats)
+	c.observeScheduled(sstats)
 	c.observeBlock(block)
 	return block, receipts
 }

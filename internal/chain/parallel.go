@@ -2,10 +2,12 @@ package chain
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"scmove/internal/evm"
+	"scmove/internal/hashing"
 	"scmove/internal/state"
 	"scmove/internal/types"
 )
@@ -16,13 +18,25 @@ import (
 const DefaultParallelThreshold = 4
 
 // abortFallback is the bounded-abort cutoff: after this many consecutive
-// failed validations the commit thread stops consuming speculative results
-// for the rest of the block and runs exactly the serial loop (on the commit
-// overlay), so a fully-conflicting block degrades to today's behaviour
-// instead of validating every doomed lane. The bound is counted by the
-// in-order commit thread, so it is deterministic for a given block and
-// state, independent of lane timing.
+// failed validations *of one target* (the called contract or transfer
+// recipient; the sender for creates) the commit thread stops consuming
+// speculative results for that target for the rest of the block and runs
+// its transactions exactly like the serial loop (on the commit overlay).
+// A hot-contract storm therefore degrades only itself: unrelated disjoint
+// transactions in the same block keep speculating and committing. The
+// bound is counted by the in-order commit thread, so it is deterministic
+// for a given block and state, independent of lane timing.
 const abortFallback = 8
+
+// cutoffKey buckets a transaction for the bounded-abort cutoff: the
+// contract (or recipient) it calls, or the creator for deploys. Every
+// field read is deterministic — no recovered state is involved.
+func cutoffKey(tx *types.Transaction) hashing.Address {
+	if tx.Kind == types.TxCreate {
+		return tx.From
+	}
+	return tx.To
+}
 
 // parallelStats summarizes one parallel ApplyBlock for the observability
 // registry. All counts are taken by the in-order commit thread and are a
@@ -68,9 +82,11 @@ func (c *Chain) parallelEligible(n int) bool {
 //     execution would have read, so its buffered writes and receipt are
 //     adopted as-is; otherwise the transaction is re-executed serially on
 //     cv, which *is* the serial semantics at that position.
-//   - Fallback: after abortFallback consecutive aborts the commit thread
-//     ignores speculation for the rest of the block (the lanes drain
-//     without executing), degrading to the plain serial loop.
+//   - Fallback: after abortFallback consecutive aborts *of one cutoff
+//     target* the commit thread ignores speculation for that target for
+//     the rest of the block (its lanes drain without executing), degrading
+//     just that hot spot to the plain serial loop while unrelated
+//     transactions keep speculating.
 //
 // Move2 transactions are never speculated (they read the shared header
 // store and import accounts); duplicated transaction pointers within one
@@ -106,8 +122,14 @@ func (c *Chain) applyBlockParallel(txs []*types.Transaction, blockCtx evm.BlockC
 		done[i] = make(chan struct{})
 	}
 
+	// stopped is the lane-visible cutoff set: targets whose speculation the
+	// commit thread gave up on. It is monotonic (keys are only ever added)
+	// and written only by the commit thread, which keeps its own local
+	// mirror for deterministic reads; lanes merely use it to stop wasting
+	// work, so the race between a lane's Load and the commit thread's Store
+	// can only affect whether a doomed view exists — never what commits.
+	var stopped sync.Map
 	var cursor atomic.Int64
-	var stopSpec atomic.Bool
 	for l := 0; l < lanes; l++ {
 		go func() {
 			for {
@@ -115,7 +137,7 @@ func (c *Chain) applyBlockParallel(txs []*types.Transaction, blockCtx evm.BlockC
 				if i >= n {
 					return
 				}
-				if !skip[i] && !stopSpec.Load() {
+				if _, s := stopped.Load(cutoffKey(txs[i])); !skip[i] && !s {
 					v := state.NewView(c.db)
 					recs[i] = c.applyTx(v, txs[i], blockCtx)
 					views[i] = v
@@ -130,13 +152,20 @@ func (c *Chain) applyBlockParallel(txs []*types.Transaction, blockCtx evm.BlockC
 	cv := state.NewView(c.db)
 	receipts := make([]*types.Receipt, 0, n)
 	st := parallelStats{lanes: lanes}
-	streak := 0
-	fallback := false
+	streaks := make(map[hashing.Address]int)
+	cut := make(map[hashing.Address]bool) // commit thread's mirror of stopped
 	for i := range txs {
 		// Wait even when the result will be ignored: the commit thread may
 		// not touch a transaction object while a lane still owns it.
 		<-done[i]
-		if v := views[i]; v != nil && !fallback {
+		key := cutoffKey(txs[i])
+		// When cut[key] is false here, no Store for key has happened yet
+		// (the commit thread is the only writer and mirrors every Store into
+		// cut before processing later transactions), so the lane cannot have
+		// seen it either: views[i] is non-nil for every non-skipped tx. When
+		// cut[key] is true the view may or may not exist depending on lane
+		// timing, so it is deterministically ignored.
+		if v := views[i]; v != nil && !cut[key] {
 			st.speculated++
 			t0 := time.Now()
 			ok := v.Validate(cv)
@@ -145,14 +174,14 @@ func (c *Chain) applyBlockParallel(txs []*types.Transaction, blockCtx evm.BlockC
 				v.ApplyTo(cv)
 				receipts = append(receipts, recs[i])
 				st.committed++
-				streak = 0
+				streaks[key] = 0
 				continue
 			}
 			st.aborted++
-			if streak++; streak >= abortFallback {
+			if streaks[key]++; streaks[key] >= abortFallback {
 				st.cutoffs++
-				fallback = true
-				stopSpec.Store(true)
+				cut[key] = true
+				stopped.Store(key, struct{}{})
 			}
 		} else if skip[i] {
 			st.skipped++

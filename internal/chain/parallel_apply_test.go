@@ -168,6 +168,7 @@ func TestApplyBlockParallelDifferential(t *testing.T) {
 
 				parCfg := cfg
 				parCfg.ParallelThreshold = 1 // parallelize every non-empty block
+				parCfg.Strategy = StrategyOptimistic
 				for _, procs := range []int{1, 2, 4, runtime.NumCPU()} {
 					prev := runtime.GOMAXPROCS(procs)
 					roots, headers, recs, reg := runFuzzChain(t, parCfg, buildFuzzTraffic(t, seed, cfg.ChainID))
@@ -238,6 +239,7 @@ func TestParallelThresholdGating(t *testing.T) {
 		kp := keys.Deterministic(1)
 		cfg := ethConfig(1)
 		cfg.ParallelThreshold = threshold
+		cfg.Strategy = StrategyOptimistic
 		c := newChain(t, cfg, nil, kp)
 		reg := metrics.NewRegistry()
 		c.SetObserver(reg, func() time.Duration { return 0 })
@@ -284,6 +286,7 @@ func TestParallelAbortFallback(t *testing.T) {
 		kp := keys.Deterministic(1)
 		cfg := ethConfig(1)
 		cfg.ParallelThreshold = threshold
+		cfg.Strategy = StrategyOptimistic
 		c := newChain(t, cfg, nil, kp)
 		c.StateDB().CreateContract(fuzzRMWAddr, fuzzRMWCode)
 		c.StateDB().Commit()
@@ -306,5 +309,74 @@ func TestParallelAbortFallback(t *testing.T) {
 	}
 	if c.Get("parallel.aborted") < abortFallback {
 		t.Fatalf("aborted = %d, want >= %d", c.Get("parallel.aborted"), abortFallback)
+	}
+}
+
+// TestParallelPerTargetCutoff pins the cutoff's granularity: a hot-contract
+// abort storm at the front of a block must stop speculation only for that
+// contract, not for the unrelated disjoint transactions behind it. Under
+// the old 8-consecutive-global cutoff the disjoint tail was forced onto
+// the serial path; per-target, every disjoint transaction still commits
+// speculatively and exactly one cutoff fires.
+func TestParallelPerTargetCutoff(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const hot = 2*abortFallback + 1 // 1 commit + 8 aborts trip the cutoff, 8 ride serial
+	const cold = 16
+	mkTxs := func() []*types.Transaction {
+		var txs []*types.Transaction
+		push := func(tx *types.Transaction) {
+			dec, err := types.DecodeTransaction(tx.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs = append(txs, dec)
+		}
+		for i := 0; i < hot; i++ {
+			push(signedCall(t, keys.Deterministic(uint64(i+1)), 1, 0, fuzzRMWAddr, nil, 0))
+		}
+		for i := 0; i < cold; i++ {
+			var data [32]byte
+			data[31] = byte(i + 1)
+			push(signedCall(t, keys.Deterministic(uint64(hot+i+1)), 1, 0, fuzzDisjointAddr, data[:], 0))
+		}
+		return txs
+	}
+	run := func(threshold int) (hashing.Hash, *metrics.Registry) {
+		cfg := ethConfig(1)
+		cfg.ParallelThreshold = threshold
+		cfg.Strategy = StrategyOptimistic
+		c := newChain(t, cfg, nil, keys.Deterministic(1))
+		db := c.StateDB()
+		for i := 2; i <= hot+cold; i++ {
+			db.AddBalance(keys.Deterministic(uint64(i)).Address(), u256.FromUint64(fund))
+		}
+		db.CreateContract(fuzzRMWAddr, fuzzRMWCode)
+		db.CreateContract(fuzzDisjointAddr, fuzzDisjointCode)
+		db.Commit()
+		reg := metrics.NewRegistry()
+		c.SetObserver(reg, func() time.Duration { return 0 })
+		b, _ := c.ApplyBlock(mkTxs(), 100, ProposerAddress(1, 0))
+		root, _ := c.RootAt(b.Header.Height)
+		return root, reg
+	}
+
+	wantRoot, _ := run(-1)
+	root, reg := run(1)
+	if root != wantRoot {
+		t.Fatal("per-target cutoff block diverges from serial execution")
+	}
+	c := reg.Counters()
+	if got := c.Get("parallel.cutoffs"); got != 1 {
+		t.Fatalf("parallel.cutoffs = %d, want exactly 1 (the hot contract)", got)
+	}
+	// The first hot transaction and every disjoint transaction commit
+	// speculatively; only the hot tail rides the serial path.
+	if got, want := c.Get("parallel.committed"), uint64(cold+1); got != want {
+		t.Fatalf("parallel.committed = %d, want %d (disjoint txs must not be cut off)", got, want)
+	}
+	if got, want := c.Get("parallel.reexecuted"), uint64(hot-1); got != want {
+		t.Fatalf("parallel.reexecuted = %d, want %d (hot tail only)", got, want)
 	}
 }

@@ -1,0 +1,348 @@
+// Package schedule implements the deterministic conflict-aware block
+// scheduler: a bounded cache of per-contract access patterns learned from
+// prior executions, and a planner that partitions a block's transactions
+// into conflict-free waves the parallel executor can run without blind
+// speculation. Patterns are *symbolic* — a storage key observed to equal
+// the caller's address word or a calldata word is stored as that symbol,
+// not as the literal value — so one learned pattern predicts the accesses
+// of every future caller of the same code.
+package schedule
+
+import (
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+)
+
+// Mode is the access-mode bitmask of one predicted key.
+type Mode uint8
+
+const (
+	// ModeRead observes the value: conflicts with writes and deltas.
+	ModeRead Mode = 1 << iota
+	// ModeWrite replaces the value: conflicts with everything.
+	ModeWrite
+	// ModeDelta is a commutative balance adjustment: deltas commute with
+	// each other, so two deltas to one key never conflict, but a delta
+	// conflicts with a read (the read observes the sum) and with a write.
+	ModeDelta
+)
+
+// keyKind splits an account into independently-tracked conflict domains:
+// balance deltas (the coinbase credit every transaction performs, plain
+// value transfers) must not serialize against metadata reads (the code
+// lookup every call performs).
+type keyKind uint8
+
+const (
+	// kindMeta covers existence, nonce, code, location, and move-nonce.
+	kindMeta keyKind = iota
+	// kindBal covers the balance.
+	kindBal
+	// kindSlot is one storage slot.
+	kindSlot
+)
+
+// Key identifies one predicted state access at conflict granularity.
+type Key struct {
+	Addr hashing.Address
+	Slot evm.Word // kindSlot only
+	Kind keyKind
+}
+
+// symKind says how a learned address or storage key generalizes.
+type symKind uint8
+
+const (
+	symLit    symKind = iota // the literal value, every caller
+	symSender                // the transaction sender (CALLER-keyed storage)
+	symSelf                  // the called contract (tx.To)
+	symParam                 // the 32-byte calldata word at offset 32·param
+)
+
+// patEntry is one symbolic access in a learned pattern.
+type patEntry struct {
+	kind    keyKind
+	addrSym symKind // symLit | symSender | symSelf
+	addr    hashing.Address
+	slotSym symKind // kindSlot only: symLit | symSender | symParam
+	slot    evm.Word
+	param   int
+	mode    Mode
+}
+
+// pattern is the learned access set of one contract code hash.
+type pattern struct {
+	entries []patEntry
+	// strikes counts consecutive relearns that produced a different
+	// symbolic shape; volatile contracts stop being predicted.
+	strikes  int
+	volatile bool
+}
+
+const (
+	// DefaultCacheSize bounds the per-chain pattern cache (FIFO eviction,
+	// deterministic: insertion order is execution order).
+	DefaultCacheSize = 1024
+	// maxPatternEntries caps one pattern; contracts that touch more state
+	// than this per call are marked volatile rather than tracked.
+	maxPatternEntries = 64
+	// maxParamWords bounds how deep into calldata symbolization looks.
+	maxParamWords = 8
+	// volatileStrikes is how many consecutive shape-changing relearns mark
+	// a contract volatile (never predicted again).
+	volatileStrikes = 3
+)
+
+// Cache is the bounded code-hash → access-pattern store. It is owned by a
+// single chain and never accessed concurrently.
+type Cache struct {
+	limit    int
+	patterns map[hashing.Hash]*pattern
+	fifo     []hashing.Hash // insertion order, for deterministic eviction
+	hits     uint64
+	misses   uint64
+}
+
+// NewCache returns a pattern cache bounded to limit entries (0 means
+// DefaultCacheSize).
+func NewCache(limit int) *Cache {
+	if limit <= 0 {
+		limit = DefaultCacheSize
+	}
+	return &Cache{
+		limit:    limit,
+		patterns: make(map[hashing.Hash]*pattern),
+	}
+}
+
+// Len returns the number of cached patterns.
+func (c *Cache) Len() int { return len(c.patterns) }
+
+// lookup returns the pattern for a code hash, counting hit/miss.
+func (c *Cache) lookup(codeHash hashing.Hash) (*pattern, bool) {
+	p, ok := c.patterns[codeHash]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+// wordIsAddr reports whether w is a 20-byte address right-aligned in a
+// 32-byte word (the CALLER push convention) matching a.
+func wordIsAddr(w evm.Word, a hashing.Address) bool {
+	for i := 0; i < 12; i++ {
+		if w[i] != 0 {
+			return false
+		}
+	}
+	return a == hashing.Address(w[12:32])
+}
+
+// calldataWord returns the 32-byte word at offset 32·i of data, zero-padded
+// like CALLDATALOAD.
+func calldataWord(data []byte, i int) evm.Word {
+	var w evm.Word
+	off := i * 32
+	if off < len(data) {
+		copy(w[:], data[off:])
+	}
+	return w
+}
+
+// symbolizeSlot generalizes one observed storage key against the
+// transaction that produced it. Priority is fixed (sender, then calldata
+// words low offset first, then literal) so relearning the same behaviour
+// yields the same symbolic shape.
+func symbolizeSlot(key evm.Word, sender hashing.Address, data []byte) (symKind, int) {
+	if wordIsAddr(key, sender) {
+		return symSender, 0
+	}
+	words := (len(data) + 31) / 32
+	if words > maxParamWords {
+		words = maxParamWords
+	}
+	for i := 0; i < words; i++ {
+		if key == calldataWord(data, i) {
+			return symParam, i
+		}
+	}
+	return symLit, 0
+}
+
+// symbolizeAddr generalizes one observed account address.
+func symbolizeAddr(addr, sender, self hashing.Address) symKind {
+	switch addr {
+	case sender:
+		return symSender
+	case self:
+		return symSelf
+	}
+	return symLit
+}
+
+// instantiate resolves a symbolic entry against a concrete transaction.
+func (e *patEntry) instantiate(sender, self hashing.Address, data []byte) Key {
+	k := Key{Kind: e.kind}
+	switch e.addrSym {
+	case symSender:
+		k.Addr = sender
+	case symSelf:
+		k.Addr = self
+	default:
+		k.Addr = e.addr
+	}
+	if e.kind == kindSlot {
+		switch e.slotSym {
+		case symSender:
+			copy(k.Slot[12:], sender[:])
+		case symParam:
+			k.Slot = calldataWord(data, e.param)
+		default:
+			k.Slot = e.slot
+		}
+	}
+	return k
+}
+
+// accessSource is the recorded read/write set of one executed transaction
+// (implemented by *state.View via its Accesses method).
+type accessSource interface {
+	Accesses(
+		acct func(addr hashing.Address, metaRead, metaWrite, balRead, balWrite, balDelta bool),
+		slot func(addr hashing.Address, key evm.Word, read, written bool),
+	)
+}
+
+// Learn records (or re-records) the access pattern of codeHash from the
+// read/write set of one executed call transaction. sender/self/data are the
+// transaction facts the symbolizer generalizes against; coinbase accesses
+// that are pure balance deltas are dropped (every transaction credits the
+// coinbase, and deltas never conflict, so tracking them only bloats
+// patterns). If relearning produces a different symbolic shape than what
+// was cached, the contract accrues a strike; volatileStrikes consecutive
+// shape changes mark it volatile and it is never predicted again.
+func (c *Cache) Learn(codeHash hashing.Hash, sender, self, coinbase hashing.Address, data []byte, src accessSource) {
+	if codeHash.IsZero() {
+		return
+	}
+	old := c.patterns[codeHash]
+	if old != nil && old.volatile {
+		return
+	}
+	entries := make([]patEntry, 0, 8)
+	overflow := false
+	src.Accesses(
+		func(addr hashing.Address, metaRead, metaWrite, balRead, balWrite, balDelta bool) {
+			var metaMode, balMode Mode
+			if metaRead {
+				metaMode |= ModeRead
+			}
+			if metaWrite {
+				metaMode |= ModeWrite
+			}
+			if balRead {
+				balMode |= ModeRead
+			}
+			if balWrite {
+				balMode |= ModeWrite
+			}
+			if balDelta {
+				balMode |= ModeDelta
+			}
+			if addr == coinbase && metaMode == 0 && balMode == ModeDelta {
+				return // universal coinbase credit, never a conflict
+			}
+			sym := symbolizeAddr(addr, sender, self)
+			lit := addr
+			if sym != symLit {
+				lit = hashing.Address{}
+			}
+			if metaMode != 0 {
+				entries = append(entries, patEntry{kind: kindMeta, addrSym: sym, addr: lit, mode: metaMode})
+			}
+			if balMode != 0 {
+				entries = append(entries, patEntry{kind: kindBal, addrSym: sym, addr: lit, mode: balMode})
+			}
+		},
+		func(addr hashing.Address, key evm.Word, read, written bool) {
+			var mode Mode
+			if read {
+				mode |= ModeRead
+			}
+			if written {
+				mode |= ModeWrite
+			}
+			if mode == 0 {
+				return
+			}
+			aSym := symbolizeAddr(addr, sender, self)
+			lit := addr
+			if aSym != symLit {
+				lit = hashing.Address{}
+			}
+			sSym, param := symbolizeSlot(key, sender, data)
+			e := patEntry{kind: kindSlot, addrSym: aSym, addr: lit, slotSym: sSym, param: param, mode: mode}
+			if sSym == symLit {
+				e.slot = key
+			}
+			entries = append(entries, e)
+		},
+	)
+	if len(entries) > maxPatternEntries {
+		overflow = true
+	}
+
+	if old == nil {
+		p := &pattern{entries: entries, volatile: overflow}
+		c.insert(codeHash, p)
+		return
+	}
+	if overflow {
+		old.volatile = true
+		return
+	}
+	if sameShape(old.entries, entries) {
+		old.strikes = 0
+		return
+	}
+	old.strikes++
+	old.entries = entries
+	if old.strikes >= volatileStrikes {
+		old.volatile = true
+	}
+}
+
+// insert stores a new pattern, evicting the oldest entry at capacity.
+func (c *Cache) insert(codeHash hashing.Hash, p *pattern) {
+	if len(c.patterns) >= c.limit {
+		oldest := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.patterns, oldest)
+	}
+	c.patterns[codeHash] = p
+	c.fifo = append(c.fifo, codeHash)
+}
+
+// sameShape reports whether two learned access sets are symbolically
+// identical. Order matters: both sets come from Accesses iteration of
+// equivalent executions, but map order varies, so compare as multisets via
+// a quadratic scan (patterns are ≤ maxPatternEntries).
+func sameShape(a, b []patEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for i := range a {
+		for j := range b {
+			if !used[j] && a[i] == b[j] {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package schedule
+
+// raceEnabled reports whether the race detector is active. The AllocsPerRun
+// guard is skipped under -race: race instrumentation inserts its own heap
+// allocations (shadow state for map and slice operations), so the
+// zero-allocation property only holds for uninstrumented builds.
+const raceEnabled = true

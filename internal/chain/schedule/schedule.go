@@ -1,0 +1,249 @@
+package schedule
+
+import (
+	"scmove/internal/hashing"
+	"scmove/internal/types"
+)
+
+// ExecMode says how the executor should run one planned transaction.
+type ExecMode uint8
+
+const (
+	// ModeSpeculate: predicted accesses; execute on a speculative view in
+	// its wave, validate at commit.
+	ModeSpeculate ExecMode = iota
+	// ModeLearn: no usable pattern; execute alone on a fresh view (exact
+	// base, no validation needed) and learn the pattern from its accesses.
+	ModeLearn
+	// ModeDirect: never predicted and nothing to learn (Move2, creates,
+	// duplicate pointers, unauthenticated senders, volatile contracts);
+	// execute alone, directly on the canonical state.
+	ModeDirect
+)
+
+// Plan is one block's wave partition. Waves are monotone in block index —
+// wave w occupies the contiguous index range [Ends[w-1], Ends[w]) — so the
+// executor alternates strictly between "execute one wave in parallel" and
+// "commit it in order", and every wave starts from exactly the state a
+// serial loop would present to its first transaction. The slices are owned
+// by the Planner and reused on the next Plan call.
+type Plan struct {
+	// Ends[w] is the end index (exclusive) of wave w.
+	Ends []int
+	// Mode per transaction. Learn/Direct transactions are always alone in
+	// their wave.
+	Mode []ExecMode
+	// CodeHash per transaction (zero for transfers/creates/Move2): the
+	// pattern-cache key the executor relearns under after a mispredict.
+	CodeHash []hashing.Hash
+	// Hits/Misses are the pattern-cache lookups this plan performed.
+	Hits, Misses uint64
+}
+
+// Waves returns the number of waves.
+func (p *Plan) Waves() int { return len(p.Ends) }
+
+// Wave returns the index range [start, end) of wave w.
+func (p *Plan) Wave(w int) (int, int) {
+	start := 0
+	if w > 0 {
+		start = p.Ends[w-1]
+	}
+	return start, p.Ends[w]
+}
+
+// waveInfo tracks, per key, the highest wave that read, wrote, or
+// delta-adjusted it so far.
+type waveInfo struct {
+	read, write, delta int
+}
+
+// Planner computes wave partitions. It owns all scratch state, so planning
+// a block of a size seen before performs zero heap allocations (the
+// AllocsPerRun guard in schedule_test.go pins this); it is single-threaded
+// like the chain that owns it.
+type Planner struct {
+	cache *Cache
+
+	// Reusable scratch, sized to the largest block seen.
+	plan  Plan
+	keys  []Key  // flat predicted-key buffer
+	modes []Mode // parallel to keys
+	last  map[Key]waveInfo
+	seen  map[*types.Transaction]struct{}
+}
+
+// NewPlanner returns a planner with a pattern cache bounded to cacheSize
+// (0 means DefaultCacheSize).
+func NewPlanner(cacheSize int) *Planner {
+	return &Planner{
+		cache: NewCache(cacheSize),
+		last:  make(map[Key]waveInfo),
+		seen:  make(map[*types.Transaction]struct{}),
+	}
+}
+
+// Cache exposes the planner's pattern cache (the executor learns into it).
+func (pl *Planner) Cache() *Cache { return pl.cache }
+
+// Plan partitions txs into conflict-free waves. codeHashOf resolves a
+// contract address against the pre-block state (safe: planning runs
+// single-threaded before any lane starts). coinbase is the block proposer,
+// whose universal fee credit is excluded from conflict tracking.
+//
+// Per transaction the planner predicts a key set: the standard frame every
+// call touches (sender meta+balance read/write, callee meta read, callee
+// balance delta when value moves) plus the instantiated symbolic pattern of
+// the callee's code hash. The transaction's wave is one past the highest
+// wave holding a conflicting access to any of its keys, clamped to be
+// monotone in block index so waves stay contiguous; transactions with no
+// usable prediction (cache miss, volatile contract, Move2, create,
+// duplicate pointer, bad signature) become single-transaction barrier
+// waves. Same-sender nonce chains order automatically through the sender
+// account keys.
+func (pl *Planner) Plan(txs []*types.Transaction, coinbase hashing.Address, codeHashOf func(hashing.Address) hashing.Hash) *Plan {
+	n := len(txs)
+	p := &pl.plan
+	p.Ends = p.Ends[:0]
+	p.Mode = p.Mode[:0]
+	p.CodeHash = p.CodeHash[:0]
+	p.Hits, p.Misses = 0, 0
+	pl.keys = pl.keys[:0]
+	pl.modes = pl.modes[:0]
+	clear(pl.last)
+	clear(pl.seen)
+
+	prevWave := 0 // wave of tx i-1 (1-based; 0 = before the block)
+	for i := 0; i < n; i++ {
+		tx := txs[i]
+		mode := ModeSpeculate
+		var codeHash hashing.Hash
+		keyStart := len(pl.keys)
+
+		_, dup := pl.seen[tx]
+		if !dup {
+			pl.seen[tx] = struct{}{}
+		}
+		sender, err := tx.Sender()
+		switch {
+		case dup, err != nil, tx.Kind != types.TxCall:
+			// Duplicate pointers share memoization state; creates derive
+			// addresses from evolving nonces; Move2 imports via the header
+			// store; failed auth writes nothing but stays serial for
+			// simplicity. All are barriers.
+			mode = ModeDirect
+		default:
+			codeHash = codeHashOf(tx.To)
+			if codeHash.IsZero() {
+				// Plain value transfer: fully predictable without a pattern.
+				pl.pushStdKeys(sender, tx.To, !tx.Value.IsZero())
+			} else if pat, ok := pl.cache.lookup(codeHash); !ok {
+				p.Misses++
+				mode = ModeLearn
+			} else {
+				p.Hits++
+				if pat.volatile {
+					mode = ModeDirect
+				} else {
+					pl.pushStdKeys(sender, tx.To, !tx.Value.IsZero())
+					for j := range pat.entries {
+						e := &pat.entries[j]
+						pl.keys = append(pl.keys, e.instantiate(sender, tx.To, tx.Data))
+						pl.modes = append(pl.modes, e.mode)
+					}
+				}
+			}
+		}
+
+		wave := prevWave // monotone floor
+		if mode != ModeSpeculate {
+			// Barrier: alone in its wave, strictly after everything before.
+			wave = prevWave + 1
+			pl.keys = pl.keys[:keyStart]
+			pl.modes = pl.modes[:keyStart]
+			pl.appendTx(p, wave, mode, codeHash)
+			prevWave = wave
+			continue
+		}
+		if wave == 0 {
+			wave = 1
+		}
+		for j := keyStart; j < len(pl.keys); j++ {
+			info := pl.last[pl.keys[j]]
+			m := pl.modes[j]
+			w := 0
+			if m&ModeWrite != 0 {
+				w = maxInt(info.read, maxInt(info.write, info.delta))
+			} else {
+				if m&ModeRead != 0 {
+					w = maxInt(info.write, info.delta)
+				}
+				if m&ModeDelta != 0 {
+					w = maxInt(w, maxInt(info.write, info.read))
+				}
+			}
+			if w >= wave {
+				wave = w + 1
+			}
+		}
+		// A barrier wave holds exactly one transaction: if the predecessor
+		// was one, start strictly after it (ordinary predecessors only
+		// require monotonicity, so sharing their wave is fine).
+		if i > 0 && p.Mode[i-1] != ModeSpeculate && wave <= prevWave {
+			wave = prevWave + 1
+		}
+		for j := keyStart; j < len(pl.keys); j++ {
+			info := pl.last[pl.keys[j]]
+			m := pl.modes[j]
+			if m&ModeRead != 0 && wave > info.read {
+				info.read = wave
+			}
+			if m&ModeWrite != 0 && wave > info.write {
+				info.write = wave
+			}
+			if m&ModeDelta != 0 && wave > info.delta {
+				info.delta = wave
+			}
+			pl.last[pl.keys[j]] = info
+		}
+		pl.appendTx(p, wave, mode, codeHash)
+		prevWave = wave
+	}
+	return p
+}
+
+// appendTx records tx i's wave assignment, extending Ends so that waves
+// stay contiguous ranges (wave numbers are 1-based and monotone).
+func (pl *Planner) appendTx(p *Plan, wave int, mode ExecMode, codeHash hashing.Hash) {
+	i := len(p.Mode)
+	p.Mode = append(p.Mode, mode)
+	p.CodeHash = append(p.CodeHash, codeHash)
+	for len(p.Ends) < wave {
+		p.Ends = append(p.Ends, i)
+	}
+	p.Ends[wave-1] = i + 1
+}
+
+// pushStdKeys predicts the frame every call/transfer touches: the sender's
+// metadata (nonce check and bump) and balance (fee check, debit, refund),
+// the callee's metadata (code lookup), and — when value moves — a
+// commutative delta on the callee's balance.
+func (pl *Planner) pushStdKeys(sender, to hashing.Address, hasValue bool) {
+	pl.keys = append(pl.keys,
+		Key{Addr: sender, Kind: kindMeta},
+		Key{Addr: sender, Kind: kindBal},
+		Key{Addr: to, Kind: kindMeta},
+	)
+	pl.modes = append(pl.modes, ModeRead|ModeWrite, ModeRead|ModeWrite|ModeDelta, ModeRead)
+	if hasValue {
+		pl.keys = append(pl.keys, Key{Addr: to, Kind: kindBal})
+		pl.modes = append(pl.modes, ModeDelta)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,370 @@
+package schedule
+
+import (
+	"testing"
+
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+)
+
+// fakeAccess is a hand-built read/write set standing in for a *state.View.
+type fakeAccess struct {
+	accts []fakeAcct
+	slots []fakeSlot
+}
+
+type fakeAcct struct {
+	addr                                          hashing.Address
+	metaRead, metaWrite, balRead, balWrite, delta bool
+}
+
+type fakeSlot struct {
+	addr          hashing.Address
+	key           evm.Word
+	read, written bool
+}
+
+func (f *fakeAccess) Accesses(
+	acct func(addr hashing.Address, metaRead, metaWrite, balRead, balWrite, balDelta bool),
+	slot func(addr hashing.Address, key evm.Word, read, written bool),
+) {
+	for _, a := range f.accts {
+		acct(a.addr, a.metaRead, a.metaWrite, a.balRead, a.balWrite, a.delta)
+	}
+	for _, s := range f.slots {
+		slot(s.addr, s.key, s.read, s.written)
+	}
+}
+
+func wordOf(n uint64) evm.Word {
+	var w evm.Word
+	w[31] = byte(n)
+	w[30] = byte(n >> 8)
+	return w
+}
+
+func addrOf(n byte) hashing.Address { return hashing.AddressFromBytes([]byte{n}) }
+
+func callerWord(a hashing.Address) evm.Word {
+	var w evm.Word
+	copy(w[12:], a[:])
+	return w
+}
+
+var (
+	testCode  = hashing.Sum([]byte{0xEE})
+	testSelf  = addrOf(0xC0)
+	testCoin  = addrOf(0xFE)
+	testOther = addrOf(0x33)
+)
+
+// TestCacheSymbolization: storage keys equal to the caller's address word
+// or to a calldata word must be learned symbolically and re-instantiate
+// against a *different* transaction's sender and calldata; unrelated keys
+// stay literal. The coinbase's delta-only balance credit must be dropped.
+func TestCacheSymbolization(t *testing.T) {
+	sender := addrOf(0x11)
+	data := make([]byte, 64)
+	data[31] = 0x42 // param word 0
+	data[63] = 0x43 // param word 1
+
+	src := &fakeAccess{
+		accts: []fakeAcct{
+			{addr: sender, metaRead: true, metaWrite: true, balRead: true, delta: true},
+			{addr: testSelf, metaRead: true},
+			{addr: testCoin, delta: true},    // dropped: universal fee credit
+			{addr: testOther, balRead: true}, // literal third-party account
+		},
+		slots: []fakeSlot{
+			{addr: testSelf, key: callerWord(sender), read: true, written: true},
+			{addr: testSelf, key: wordOf(0x42), read: true}, // == param 0
+			{addr: testSelf, key: wordOf(7), written: true}, // literal
+		},
+	}
+	c := NewCache(0)
+	c.Learn(testCode, sender, testSelf, testCoin, data, src)
+	p, ok := c.patterns[testCode]
+	if !ok || p.volatile {
+		t.Fatalf("pattern not learned: %+v", p)
+	}
+
+	counts := map[symKind]int{}
+	for _, e := range p.entries {
+		if e.kind == kindSlot {
+			counts[e.slotSym]++
+		}
+		if e.addr == testCoin {
+			t.Fatalf("delta-only coinbase access must be dropped: %+v", e)
+		}
+	}
+	if counts[symSender] != 1 || counts[symParam] != 1 || counts[symLit] != 1 {
+		t.Fatalf("slot symbolization wrong: %+v", p.entries)
+	}
+
+	// Re-instantiate against a different sender and calldata: the symbolic
+	// entries must follow, the literal one must not move.
+	sender2 := addrOf(0x99)
+	data2 := make([]byte, 64)
+	data2[31] = 0x77
+	for _, e := range p.entries {
+		if e.kind != kindSlot {
+			continue
+		}
+		k := e.instantiate(sender2, testSelf, data2)
+		switch e.slotSym {
+		case symSender:
+			if k.Slot != callerWord(sender2) {
+				t.Fatalf("sender-symbolic slot did not follow the sender: %x", k.Slot)
+			}
+		case symParam:
+			if k.Slot != wordOf(0x77) {
+				t.Fatalf("param-symbolic slot did not follow calldata: %x", k.Slot)
+			}
+		default:
+			if k.Slot != wordOf(7) {
+				t.Fatalf("literal slot moved: %x", k.Slot)
+			}
+		}
+	}
+}
+
+// TestCacheVolatileAfterStrikes: a contract whose relearned shape keeps
+// changing must be marked volatile after volatileStrikes changes, and a
+// pattern larger than maxPatternEntries must be volatile immediately.
+func TestCacheVolatileAfterStrikes(t *testing.T) {
+	c := NewCache(0)
+	sender := addrOf(0x11)
+	for i := 0; i <= volatileStrikes; i++ {
+		src := &fakeAccess{slots: []fakeSlot{{addr: testSelf, key: wordOf(uint64(100 + i)), written: true}}}
+		c.Learn(testCode, sender, testSelf, testCoin, nil, src)
+	}
+	if p := c.patterns[testCode]; !p.volatile {
+		t.Fatalf("shape-shifting contract not volatile after %d strikes (strikes=%d)", volatileStrikes, p.strikes)
+	}
+
+	big := &fakeAccess{}
+	for i := 0; i < maxPatternEntries+1; i++ {
+		big.slots = append(big.slots, fakeSlot{addr: testSelf, key: wordOf(uint64(i + 1)), written: true})
+	}
+	c2 := NewCache(0)
+	c2.Learn(testCode, sender, testSelf, testCoin, nil, big)
+	if p := c2.patterns[testCode]; !p.volatile {
+		t.Fatal("oversized pattern must be volatile")
+	}
+}
+
+// TestCacheFIFOEviction: at capacity the oldest inserted pattern is evicted
+// — deterministically, regardless of lookup order.
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache(2)
+	sender := addrOf(0x11)
+	src := &fakeAccess{slots: []fakeSlot{{addr: testSelf, key: wordOf(1), read: true}}}
+	h1, h2, h3 := hashing.Sum([]byte{1}), hashing.Sum([]byte{2}), hashing.Sum([]byte{3})
+	c.Learn(h1, sender, testSelf, testCoin, nil, src)
+	c.Learn(h2, sender, testSelf, testCoin, nil, src)
+	c.Learn(h3, sender, testSelf, testCoin, nil, src)
+	if c.Len() != 2 {
+		t.Fatalf("cache size %d, want 2", c.Len())
+	}
+	if _, ok := c.patterns[h1]; ok {
+		t.Fatal("oldest pattern must be evicted first")
+	}
+	if _, ok := c.patterns[h3]; !ok {
+		t.Fatal("newest pattern missing")
+	}
+}
+
+// --- planner tests --------------------------------------------------------
+
+func plannerTx(t *testing.T, kp *keys.KeyPair, nonce uint64, kind types.TxKind, to hashing.Address, data []byte) *types.Transaction {
+	t.Helper()
+	tx := &types.Transaction{
+		ChainID:  1,
+		Nonce:    nonce,
+		Kind:     kind,
+		To:       to,
+		GasLimit: 1_000_000,
+		GasPrice: u256.FromUint64(1),
+		Data:     data,
+	}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// checkPlanShape validates the structural invariants every plan must hold:
+// contiguous waves covering all transactions, and barriers alone in theirs.
+func checkPlanShape(t *testing.T, p *Plan, n int) {
+	t.Helper()
+	if len(p.Mode) != n || len(p.CodeHash) != n {
+		t.Fatalf("plan covers %d/%d txs", len(p.Mode), n)
+	}
+	prev := 0
+	for w := 0; w < p.Waves(); w++ {
+		start, end := p.Wave(w)
+		if start != prev || end <= start {
+			t.Fatalf("wave %d = [%d,%d) not contiguous after %d", w, start, end, prev)
+		}
+		prev = end
+		for i := start; i < end; i++ {
+			if p.Mode[i] != ModeSpeculate && end-start != 1 {
+				t.Fatalf("barrier tx %d shares wave %d of width %d", i, w, end-start)
+			}
+		}
+	}
+	if prev != n {
+		t.Fatalf("waves cover %d of %d txs", prev, n)
+	}
+}
+
+// TestPlanWaves covers the planner end to end: disjoint transfers share one
+// wave, same-sender chains serialize, a shared literal slot serializes its
+// callers while a caller-keyed slot keeps them parallel, and cache misses,
+// creates, and duplicate pointers become singleton barrier waves.
+func TestPlanWaves(t *testing.T) {
+	contract := addrOf(0xC0)
+	contractHash := hashing.Sum([]byte{0xAA})
+	codeHashOf := func(a hashing.Address) hashing.Hash {
+		if a == contract {
+			return contractHash
+		}
+		return hashing.Hash{}
+	}
+	coin := addrOf(0xFE)
+	kp := func(i uint64) *keys.KeyPair { return keys.Deterministic(i) }
+
+	t.Run("disjoint transfers one wave", func(t *testing.T) {
+		pl := NewPlanner(0)
+		var txs []*types.Transaction
+		for i := uint64(1); i <= 6; i++ {
+			txs = append(txs, plannerTx(t, kp(i), 0, types.TxCall, addrOf(byte(0x40+i)), nil))
+		}
+		p := pl.Plan(txs, coin, codeHashOf)
+		checkPlanShape(t, p, len(txs))
+		if p.Waves() != 1 {
+			t.Fatalf("disjoint transfers need 1 wave, got %d", p.Waves())
+		}
+	})
+
+	t.Run("same-sender chain serializes", func(t *testing.T) {
+		pl := NewPlanner(0)
+		var txs []*types.Transaction
+		for n := uint64(0); n < 4; n++ {
+			txs = append(txs, plannerTx(t, kp(1), n, types.TxCall, addrOf(0x41), nil))
+		}
+		p := pl.Plan(txs, coin, codeHashOf)
+		checkPlanShape(t, p, len(txs))
+		if p.Waves() != 4 {
+			t.Fatalf("nonce chain needs 4 waves, got %d", p.Waves())
+		}
+	})
+
+	t.Run("literal slot serializes, sender slot does not", func(t *testing.T) {
+		pl := NewPlanner(0)
+		sender := kp(1).Address()
+		pl.Cache().Learn(contractHash, sender, contract, coin, nil, &fakeAccess{
+			slots: []fakeSlot{{addr: contract, key: callerWord(sender), read: true, written: true}},
+		})
+		var txs []*types.Transaction
+		for i := uint64(1); i <= 5; i++ {
+			txs = append(txs, plannerTx(t, kp(i), 0, types.TxCall, contract, nil))
+		}
+		p := pl.Plan(txs, coin, codeHashOf)
+		checkPlanShape(t, p, len(txs))
+		if p.Waves() != 1 {
+			t.Fatalf("caller-keyed contract should plan 1 wave, got %d", p.Waves())
+		}
+		if p.Hits != 5 || p.Misses != 0 {
+			t.Fatalf("hits=%d misses=%d", p.Hits, p.Misses)
+		}
+
+		pl2 := NewPlanner(0)
+		pl2.Cache().Learn(contractHash, sender, contract, coin, nil, &fakeAccess{
+			slots: []fakeSlot{{addr: contract, key: wordOf(0), read: true, written: true}},
+		})
+		p2 := pl2.Plan(txs, coin, codeHashOf)
+		checkPlanShape(t, p2, len(txs))
+		if p2.Waves() != 5 {
+			t.Fatalf("shared-slot contract must serialize into 5 waves, got %d", p2.Waves())
+		}
+	})
+
+	t.Run("barriers", func(t *testing.T) {
+		pl := NewPlanner(0)
+		miss := plannerTx(t, kp(1), 0, types.TxCall, contract, nil) // unknown hash: learn
+		create := plannerTx(t, kp(2), 0, types.TxCreate, hashing.Address{}, []byte{0x00})
+		dup := plannerTx(t, kp(3), 0, types.TxCall, addrOf(0x41), nil)
+		after := plannerTx(t, kp(4), 0, types.TxCall, addrOf(0x42), nil)
+		txs := []*types.Transaction{miss, create, dup, dup, after}
+		p := pl.Plan(txs, coin, codeHashOf)
+		checkPlanShape(t, p, len(txs))
+		if p.Mode[0] != ModeLearn {
+			t.Fatalf("cache miss must learn, got %v", p.Mode[0])
+		}
+		if p.Mode[1] != ModeDirect || p.Mode[3] != ModeDirect {
+			t.Fatalf("create/duplicate must be direct: %v", p.Mode)
+		}
+		if p.Mode[2] != ModeSpeculate || p.Mode[4] != ModeSpeculate {
+			t.Fatalf("plain transfers must speculate: %v", p.Mode)
+		}
+		if p.Misses != 1 {
+			t.Fatalf("misses=%d", p.Misses)
+		}
+		// Every barrier is its own wave and each successor of a barrier
+		// starts strictly later, so this block is fully serialized.
+		if p.Waves() != 5 {
+			t.Fatalf("barrier-heavy block planned %d waves: %v", p.Waves(), p.Ends)
+		}
+	})
+}
+
+// TestPlanZeroAllocHitPath is the satellite guard: once the pattern cache
+// is warm and the planner's scratch has grown to the block size, planning
+// is O(txs) with zero heap allocations — no per-wave slices, no map churn.
+func TestPlanZeroAllocHitPath(t *testing.T) {
+	contract := addrOf(0xC0)
+	contractHash := hashing.Sum([]byte{0xAA})
+	codeHashOf := func(a hashing.Address) hashing.Hash {
+		if a == contract {
+			return contractHash
+		}
+		return hashing.Hash{}
+	}
+	coin := addrOf(0xFE)
+
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc holds only uninstrumented")
+	}
+
+	pl := NewPlanner(0)
+	teach := keys.Deterministic(1).Address()
+	pl.Cache().Learn(contractHash, teach, contract, coin, nil, &fakeAccess{
+		slots: []fakeSlot{
+			{addr: contract, key: callerWord(teach), read: true, written: true},
+			{addr: contract, key: wordOf(0x42), read: true},
+		},
+	})
+
+	var txs []*types.Transaction
+	for i := uint64(1); i <= 64; i++ {
+		to := contract
+		if i%4 == 0 {
+			to = addrOf(byte(0x40 + i)) // sprinkle transfers between the calls
+		}
+		txs = append(txs, plannerTx(t, keys.Deterministic(i), 0, types.TxCall, to, nil))
+	}
+	// Warm: memoize senders, grow the scratch slices and map buckets.
+	pl.Plan(txs, coin, codeHashOf)
+	pl.Plan(txs, coin, codeHashOf)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		pl.Plan(txs, coin, codeHashOf)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Plan allocates %.1f objects per block, want 0", allocs)
+	}
+}

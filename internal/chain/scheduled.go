@@ -1,0 +1,208 @@
+package chain
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scmove/internal/chain/schedule"
+	"scmove/internal/evm"
+	"scmove/internal/hashing"
+	"scmove/internal/state"
+	"scmove/internal/types"
+)
+
+// ParallelStrategy selects the parallel block executor used once a block
+// clears the ParallelThreshold gate. Results are bit-identical to the
+// serial loop under every strategy, by construction and by the three-way
+// differential fuzz.
+type ParallelStrategy int
+
+const (
+	// StrategyScheduled (the default) plans conflict-free waves from
+	// learned per-contract access patterns and only speculates where the
+	// plan says it is safe, with read-set validation as the safety net.
+	StrategyScheduled ParallelStrategy = iota
+	// StrategyOptimistic is the PR-5 engine: speculate everything, validate
+	// in order, re-execute serially on conflict.
+	StrategyOptimistic
+)
+
+// scheduleStats summarizes one scheduled ApplyBlock. Like parallelStats,
+// every count is decided by the single-threaded plan/commit path as a pure
+// function of (state, block, GOMAXPROCS) — never of lane timing.
+type scheduleStats struct {
+	lanes      int // widest worker count used by any wave (0: serial block)
+	waves      int
+	maxWidth   int
+	speculated int // transactions executed on lanes in multi-tx waves
+	committed  int // speculations that validated clean
+	aborted    int // speculations rejected by validation (= mispredicts)
+	reexecuted int // aborted transactions re-run in block order
+	learned    int // cache-miss singletons executed on a learning view
+	direct     int // barrier singletons run directly on the canonical DB
+	cacheHits  uint64
+	cacheMiss  uint64
+	validation time.Duration
+}
+
+// applyBlockScheduled executes a block as a sequence of conflict-free
+// waves. The planner predicts each transaction's access keys from the
+// symbolic pattern cache; waves are contiguous index ranges, so execution
+// strictly alternates:
+//
+//   - Execute: every transaction of wave w runs on its own state.View over
+//     c.db, across work-stealing workers. c.db is frozen during the wave —
+//     waves 1..w-1 are fully committed, so the base state is exactly what
+//     a serial loop would present to the wave's first transaction.
+//   - Commit: in block order, each view validates its read set against
+//     c.db. The plan said wave-mates are disjoint, so with a correct
+//     prediction validation always passes and the buffered writes flush
+//     straight into c.db. A mispredicted access fails validation and the
+//     transaction re-executes in place — block order, exact base — which
+//     *is* the serial semantics; its actual access set then relearns the
+//     contract's pattern.
+//
+// Single-transaction waves skip speculation entirely: their base state is
+// exact, so they run inline with no validation — cache-miss transactions
+// on a fresh view to learn their pattern, barriers (Move2, creates,
+// duplicates, volatile contracts) directly on c.db. A fully-conflicting
+// block therefore degenerates to the plain serial loop plus pattern
+// lookups: no aborts, no re-exec storm.
+func (c *Chain) applyBlockScheduled(txs []*types.Transaction, blockCtx evm.BlockContext) ([]*types.Receipt, scheduleStats) {
+	n := len(txs)
+	plan := c.planner.Plan(txs, blockCtx.Coinbase, c.db.GetCodeHash)
+	recs := make([]*types.Receipt, n)
+	views := make([]*state.View, n)
+	st := scheduleStats{
+		waves:     plan.Waves(),
+		cacheHits: plan.Hits,
+		cacheMiss: plan.Misses,
+	}
+
+	for w := 0; w < plan.Waves(); w++ {
+		start, end := plan.Wave(w)
+		width := end - start
+		if width > st.maxWidth {
+			st.maxWidth = width
+		}
+		if width == 1 {
+			i := start
+			switch plan.Mode[i] {
+			case schedule.ModeLearn:
+				v := state.NewView(c.db)
+				recs[i] = c.applyTx(v, txs[i], blockCtx)
+				v.ApplyTo(c.db)
+				c.learn(plan.CodeHash[i], txs[i], blockCtx, recs[i], v)
+				st.learned++
+			default:
+				// Barriers and singleton speculative waves: the base state
+				// is exact, so run directly on the canonical DB.
+				recs[i] = c.applyTx(c.db, txs[i], blockCtx)
+				st.direct++
+			}
+			continue
+		}
+
+		workers := runtime.GOMAXPROCS(0)
+		if workers > width {
+			workers = width
+		}
+		if workers > st.lanes {
+			st.lanes = workers
+		}
+		var cursor atomic.Int64
+		cursor.Store(int64(start))
+		var wg sync.WaitGroup
+		work := func() {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= end {
+					return
+				}
+				v := state.NewView(c.db)
+				recs[i] = c.applyTx(v, txs[i], blockCtx)
+				views[i] = v
+			}
+		}
+		wg.Add(workers - 1)
+		for l := 0; l < workers-1; l++ {
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+
+		for i := start; i < end; i++ {
+			v := views[i]
+			views[i] = nil
+			st.speculated++
+			t0 := time.Now()
+			ok := v.Validate(c.db)
+			st.validation += time.Since(t0)
+			if ok {
+				v.ApplyTo(c.db)
+				st.committed++
+				continue
+			}
+			// Mispredict: some wave-mate that committed before us wrote a
+			// key we read. Re-execute here, in block order on the exact
+			// base, and relearn the contract's real access set.
+			st.aborted++
+			rv := state.NewView(c.db)
+			recs[i] = c.applyTx(rv, txs[i], blockCtx)
+			rv.ApplyTo(c.db)
+			c.learn(plan.CodeHash[i], txs[i], blockCtx, recs[i], rv)
+			st.reexecuted++
+		}
+	}
+
+	receipts := make([]*types.Receipt, 0, n)
+	receipts = append(receipts, recs...)
+	return receipts, st
+}
+
+// learn records a call transaction's actual access set into the pattern
+// cache. Only successful executions teach: an early failure (bad nonce,
+// insufficient funds) never reaches the contract, so its access set says
+// nothing about the code.
+func (c *Chain) learn(codeHash hashing.Hash, tx *types.Transaction, blockCtx evm.BlockContext, rec *types.Receipt, v *state.View) {
+	if codeHash.IsZero() || rec.Status != types.ReceiptSuccess {
+		return
+	}
+	sender, err := tx.Sender()
+	if err != nil {
+		return
+	}
+	c.planner.Cache().Learn(codeHash, sender, tx.To, blockCtx.Coinbase, tx.Data, v)
+}
+
+// observeScheduled records one scheduled block's statistics on the
+// observability registry. Counter values are deterministic for a given
+// simulation at fixed GOMAXPROCS; like parallel.*, the schedule.* family is
+// host-strategy telemetry and is excluded from cross-GOMAXPROCS
+// fingerprints. The validation histogram observes wall-clock time and is
+// diagnostic only.
+func (c *Chain) observeScheduled(st scheduleStats) {
+	if c.reg == nil || st.waves == 0 {
+		return
+	}
+	c.reg.Count("schedule.blocks", 1)
+	c.reg.Count("schedule.waves", uint64(st.waves))
+	c.reg.Count("schedule.speculated", uint64(st.speculated))
+	c.reg.Count("schedule.committed", uint64(st.committed))
+	c.reg.Count("schedule.aborted", uint64(st.aborted))
+	c.reg.Count("schedule.mispredicts", uint64(st.aborted))
+	c.reg.Count("schedule.reexecuted", uint64(st.reexecuted))
+	c.reg.Count("schedule.learned", uint64(st.learned))
+	c.reg.Count("schedule.direct", uint64(st.direct))
+	c.reg.Count("schedule.cache.hits", st.cacheHits)
+	c.reg.Count("schedule.cache.misses", st.cacheMiss)
+	id := c.cfg.ChainID.String()
+	c.reg.MaxGauge("schedule.width."+id, float64(st.maxWidth))
+	c.reg.MaxGauge("schedule.lanes."+id, float64(st.lanes))
+	c.reg.Observe("schedule.validate."+id, st.validation)
+}

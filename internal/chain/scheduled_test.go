@@ -1,0 +1,309 @@
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"scmove/internal/evm"
+	"scmove/internal/evm/asm"
+	"scmove/internal/hashing"
+	"scmove/internal/keys"
+	"scmove/internal/metrics"
+	"scmove/internal/types"
+	"scmove/internal/u256"
+)
+
+// execFingerprint reduces a run's counter table to the simulated events:
+// the parallel.*/schedule.* families describe the host's execution strategy
+// (how many lanes, waves, aborts) and legitimately differ between engines
+// and GOMAXPROCS settings; sendercache.* is process-wide and polluted by
+// other tests. Everything else must be bit-identical across engines.
+func execFingerprint(reg *metrics.Registry) string {
+	snap := reg.Counters().Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		if strings.HasPrefix(name, "parallel.") || strings.HasPrefix(name, "schedule.") ||
+			strings.HasPrefix(name, "sendercache.") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s=%d\n", name, snap[name])
+	}
+	return sb.String()
+}
+
+// TestApplyBlockScheduledDifferential is the serial-identity gate of the
+// conflict-aware scheduler, run three ways: the same randomized traffic —
+// conflicts, failures, forgeries, duplicates, self-destructs, chaotic block
+// sizes — must produce bit-identical roots, header hashes, receipts, and
+// simulated-counter fingerprints whether executed by the serial loop, the
+// optimistic engine, or the scheduled engine, at every GOMAXPROCS. The
+// scheduler learns patterns as blocks commit, so later blocks of one run
+// exercise the predicted path while early ones exercise learning barriers.
+func TestApplyBlockScheduledDifferential(t *testing.T) {
+	for _, cfgOf := range []func(hashing.ChainID) Config{ethConfig, burrowConfig} {
+		cfg := cfgOf(1)
+		name := cfg.TreeKind.String()
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				serialCfg := cfg
+				serialCfg.ParallelThreshold = -1
+				wantRoots, wantHeaders, wantRecs, serialReg := runFuzzChain(t, serialCfg, buildFuzzTraffic(t, seed, cfg.ChainID))
+				wantFP := execFingerprint(serialReg)
+
+				optCfg := cfg
+				optCfg.ParallelThreshold = 1
+				optCfg.Strategy = StrategyOptimistic
+				schedCfg := cfg
+				schedCfg.ParallelThreshold = 1
+				schedCfg.Strategy = StrategyScheduled
+
+				for _, procs := range []int{1, 2, 4, runtime.NumCPU()} {
+					for _, variant := range []struct {
+						name string
+						cfg  Config
+					}{{"optimistic", optCfg}, {"scheduled", schedCfg}} {
+						prev := runtime.GOMAXPROCS(procs)
+						roots, headers, recs, reg := runFuzzChain(t, variant.cfg, buildFuzzTraffic(t, seed, cfg.ChainID))
+						runtime.GOMAXPROCS(prev)
+						if !reflect.DeepEqual(roots, wantRoots) {
+							t.Fatalf("seed %d %s GOMAXPROCS=%d: state roots diverge", seed, variant.name, procs)
+						}
+						if !reflect.DeepEqual(headers, wantHeaders) {
+							t.Fatalf("seed %d %s GOMAXPROCS=%d: header hashes diverge", seed, variant.name, procs)
+						}
+						if !reflect.DeepEqual(recs, wantRecs) {
+							t.Fatalf("seed %d %s GOMAXPROCS=%d: receipts diverge", seed, variant.name, procs)
+						}
+						if fp := execFingerprint(reg); fp != wantFP {
+							t.Fatalf("seed %d %s GOMAXPROCS=%d: counter fingerprint diverges:\n%s\nwant:\n%s",
+								seed, variant.name, procs, fp, wantFP)
+						}
+						counters := reg.Counters()
+						engaged := counters.Get("parallel.blocks") + counters.Get("schedule.blocks")
+						if procs >= 2 && engaged == 0 {
+							t.Fatalf("seed %d %s GOMAXPROCS=%d: executor never engaged", seed, variant.name, procs)
+						}
+						if procs == 1 && engaged != 0 {
+							t.Fatalf("seed %d %s: executor must stay off at GOMAXPROCS=1", seed, variant.name)
+						}
+						if variant.name == "scheduled" && procs >= 2 && counters.Get("schedule.waves") == 0 {
+							t.Fatalf("seed %d GOMAXPROCS=%d: no waves planned", seed, procs)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScheduledConflictingNoStorm pins the headline fix: a fully-conflicting
+// block (every call read-modify-writes one slot) under the scheduler must
+// not degenerate into an abort/re-exec storm. After one learning block the
+// planner predicts the conflicts, serializes the transactions into
+// singleton waves, and executes them with zero aborts and zero serial
+// re-executions — re-execs ≤ true conflicts trivially, since the true
+// conflicts are resolved by ordering, not by failure.
+func TestScheduledConflictingNoStorm(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	senders := make([]*keys.KeyPair, 16)
+	for i := range senders {
+		senders[i] = keys.Deterministic(uint64(i + 1))
+	}
+	mkBlock := func(nonce uint64) []*types.Transaction {
+		var txs []*types.Transaction
+		for _, kp := range senders {
+			tx := signedCall(t, kp, 1, nonce, fuzzRMWAddr, nil, 0)
+			dec, err := types.DecodeTransaction(tx.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs = append(txs, dec)
+		}
+		return txs
+	}
+	run := func(threshold int) ([]hashing.Hash, *metrics.Registry) {
+		cfg := ethConfig(1)
+		cfg.ParallelThreshold = threshold
+		c := newChain(t, cfg, nil, senders[0])
+		db := c.StateDB()
+		for _, kp := range senders[1:] {
+			db.AddBalance(kp.Address(), u256.FromUint64(fund))
+		}
+		db.CreateContract(fuzzRMWAddr, fuzzRMWCode)
+		db.Commit()
+		reg := metrics.NewRegistry()
+		c.SetObserver(reg, func() time.Duration { return 0 })
+		var roots []hashing.Hash
+		// Block 1 is all learning barriers (cold cache); the storm assertion
+		// below is about the predicted block 2.
+		for blk := uint64(0); blk < 2; blk++ {
+			b, _ := c.ApplyBlock(mkBlock(blk), 100+blk, ProposerAddress(1, 0))
+			root, _ := c.RootAt(b.Header.Height)
+			roots = append(roots, root)
+		}
+		return roots, reg
+	}
+
+	wantRoots, _ := run(-1)
+	roots, reg := run(1)
+	if !reflect.DeepEqual(roots, wantRoots) {
+		t.Fatal("scheduled conflicting blocks diverge from serial execution")
+	}
+	c := reg.Counters()
+	if c.Get("schedule.blocks") != 2 {
+		t.Fatalf("schedule.blocks = %d, want 2", c.Get("schedule.blocks"))
+	}
+	if got := c.Get("schedule.aborted"); got != 0 {
+		t.Fatalf("conflicting workload aborted %d speculations; the plan must serialize them instead", got)
+	}
+	if got := c.Get("schedule.reexecuted"); got != 0 {
+		t.Fatalf("conflicting workload re-executed %d txs serially after aborts, want 0", got)
+	}
+	if got := c.Get("schedule.learned"); got != uint64(len(senders)) {
+		t.Fatalf("schedule.learned = %d, want %d (block 1 only)", got, len(senders))
+	}
+	if got := c.Get("schedule.cache.hits"); got < uint64(len(senders)) {
+		t.Fatalf("schedule.cache.hits = %d, want >= %d (block 2 predicted)", got, len(senders))
+	}
+}
+
+// Kitties breeding contract (PAPER.md Fig. 4 shape): calldata carries three
+// slot numbers [parent1, parent2, child]; the call reads both parents'
+// genomes, derives the child genome, and stores it. A breeding tournament
+// is therefore an explicit dependency DAG: generation g reads what
+// generation g-1 wrote.
+var (
+	breedAddr = hashing.AddressFromBytes([]byte{0xD7})
+	breedCode = asm.MustAssemble(
+		"PUSH1 0 CALLDATALOAD SLOAD PUSH1 32 CALLDATALOAD SLOAD ADD PUSH1 1 ADD PUSH1 64 CALLDATALOAD SSTORE STOP")
+)
+
+func breedData(p1, p2, child uint64) []byte {
+	data := make([]byte, 96)
+	binary.BigEndian.PutUint64(data[24:32], p1)
+	binary.BigEndian.PutUint64(data[56:64], p2)
+	binary.BigEndian.PutUint64(data[88:96], child)
+	return data
+}
+
+// buildKittiesBlocks returns a warmup block (one breed teaching the access
+// pattern) and a 4-generation × 32-breed tournament block: generation 1
+// breeds the 64 genesis promo kitties pairwise, later generations breed the
+// previous generation's children. 128 distinct senders, so only the data
+// DAG orders the transactions.
+func buildKittiesBlocks(t *testing.T, senders []*keys.KeyPair) [][]*types.Transaction {
+	t.Helper()
+	push := func(txs []*types.Transaction, tx *types.Transaction) []*types.Transaction {
+		dec, err := types.DecodeTransaction(tx.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(txs, dec)
+	}
+	warmup := push(nil, signedCall(t, senders[0], 1, 0, breedAddr, breedData(1, 2, 999), 0))
+	var dag []*types.Transaction
+	for gen := 1; gen <= 4; gen++ {
+		for j := 0; j < 32; j++ {
+			var p1, p2 uint64
+			if gen == 1 {
+				p1, p2 = uint64(2*j+1), uint64(2*j+2)
+			} else {
+				p1 = uint64(100*(gen-1) + j)
+				p2 = uint64(100*(gen-1) + (j+1)%32)
+			}
+			child := uint64(100*gen + j)
+			s := senders[1+32*(gen-1)+j]
+			dag = push(dag, signedCall(t, s, 1, 0, breedAddr, breedData(p1, p2, child), 0))
+		}
+	}
+	return [][]*types.Transaction{warmup, dag}
+}
+
+// runKittiesChain executes the warmup + tournament blocks and returns the
+// final root plus the registry.
+func runKittiesChain(t *testing.T, cfg Config, senders []*keys.KeyPair) (hashing.Hash, *metrics.Registry) {
+	t.Helper()
+	c := newChain(t, cfg, nil, senders[0])
+	db := c.StateDB()
+	for _, kp := range senders[1:] {
+		db.AddBalance(kp.Address(), u256.FromUint64(fund))
+	}
+	db.CreateContract(breedAddr, breedCode)
+	for i := uint64(1); i <= 64; i++ {
+		var key, val evm.Word
+		binary.BigEndian.PutUint64(key[24:32], i)
+		binary.BigEndian.PutUint64(val[24:32], 1000+i)
+		db.SetStorage(breedAddr, key, val)
+	}
+	db.Commit()
+	reg := metrics.NewRegistry()
+	c.SetObserver(reg, func() time.Duration { return 0 })
+	var root hashing.Hash
+	for i, blk := range buildKittiesBlocks(t, senders) {
+		b, _ := c.ApplyBlock(blk, uint64(100+i), ProposerAddress(1, 0))
+		root, _ = c.RootAt(b.Header.Height)
+	}
+	return root, reg
+}
+
+// TestScheduledKittiesDAG is the acceptance gate of the tentpole: on the
+// Kitties breeding DAG the scheduler must commit every transaction
+// speculatively (the plan levelizes the DAG into 4 wide waves), strictly
+// more than the optimistic engine manages (its lanes execute later
+// generations against pre-block state, abort, and fall back serial), with
+// roots bit-identical to serial execution for all three engines.
+func TestScheduledKittiesDAG(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	senders := make([]*keys.KeyPair, 129)
+	for i := range senders {
+		senders[i] = keys.Deterministic(uint64(i + 1))
+	}
+
+	serialCfg := ethConfig(1)
+	serialCfg.ParallelThreshold = -1
+	wantRoot, _ := runKittiesChain(t, serialCfg, senders)
+
+	optCfg := ethConfig(1)
+	optCfg.ParallelThreshold = 1
+	optCfg.Strategy = StrategyOptimistic
+	optRoot, optReg := runKittiesChain(t, optCfg, senders)
+	if optRoot != wantRoot {
+		t.Fatal("optimistic kitties root diverges from serial")
+	}
+
+	schedCfg := ethConfig(1)
+	schedCfg.ParallelThreshold = 1
+	schedCfg.Strategy = StrategyScheduled
+	schedRoot, schedReg := runKittiesChain(t, schedCfg, senders)
+	if schedRoot != wantRoot {
+		t.Fatal("scheduled kitties root diverges from serial")
+	}
+
+	sc := schedReg.Counters()
+	oc := optReg.Counters()
+	if got := sc.Get("schedule.committed"); got != 128 {
+		t.Fatalf("scheduled speculative commits = %d, want all 128 (aborted=%d learned=%d direct=%d waves=%d)",
+			got, sc.Get("schedule.aborted"), sc.Get("schedule.learned"), sc.Get("schedule.direct"), sc.Get("schedule.waves"))
+	}
+	if got := sc.Get("schedule.aborted"); got != 0 {
+		t.Fatalf("scheduled kitties aborted %d speculations, want 0", got)
+	}
+	if sched, opt := sc.Get("schedule.committed"), oc.Get("parallel.committed"); sched <= opt {
+		t.Fatalf("scheduled must out-commit optimistic on the DAG: scheduled=%d optimistic=%d", sched, opt)
+	}
+}

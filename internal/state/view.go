@@ -430,6 +430,36 @@ func (v *View) RevertToSnapshot(id int) {
 	v.undo = v.undo[:id]
 }
 
+// Accesses reports the view's recorded read/write set at the granularity
+// the conflict scheduler tracks: per account, whether metadata (existence,
+// nonce, code, location, move-nonce) was read or written, and whether the
+// balance was read, replaced, or delta-adjusted; per storage slot, whether
+// it was read and whether a write survives (writes buried by a later
+// account wipe are dead and not reported — the wipe itself surfaces as a
+// metadata write). Iteration order is map order: callers must not depend
+// on it.
+func (v *View) Accesses(
+	acct func(addr hashing.Address, metaRead, metaWrite, balRead, balWrite, balDelta bool),
+	slot func(addr hashing.Address, key evm.Word, read, written bool),
+) {
+	for addr, a := range v.accounts {
+		metaRead := a.readExists || a.readNonce || a.readCode || a.readLoc || a.readMove
+		metaWrite := a.w.wiped || a.w.nonceSet || a.w.codeSet || a.w.locSet || a.w.moveSet
+		if metaRead || metaWrite || a.readBal || a.w.balSet || a.w.balTouched {
+			acct(addr, metaRead, metaWrite, a.readBal, a.w.balSet, a.w.balTouched)
+		}
+	}
+	for k, s := range v.slots {
+		written := s.w.written
+		if a, ok := v.accounts[k.addr]; ok && s.w.epoch != a.w.epoch {
+			written = false
+		}
+		if s.read || written {
+			slot(k.addr, k.key, s.read, written)
+		}
+	}
+}
+
 // Validate re-reads every recorded parent observation through st — the
 // state the transaction would actually execute on in block order — and
 // reports whether all of them still hold. When it returns true, replaying

@@ -306,3 +306,67 @@ func TestViewWipeThenRecreate(t *testing.T) {
 		t.Fatalf("wipe/recreate diverges: %s != %s", got, want)
 	}
 }
+
+// TestViewAccessesGranularity pins the read/write set Accesses exports for
+// the conflict scheduler: reads and writes land in the right conflict
+// domain (metadata, balance, slot), balance deltas are distinguished from
+// balance replacement, untouched accounts are silent, and slot writes
+// buried by a later account wipe are not reported (the wipe itself shows
+// up as a metadata write).
+func TestViewAccessesGranularity(t *testing.T) {
+	db := newTestDB(t)
+	seedParent(t, db)
+
+	v := NewView(db)
+	_ = v.GetNonce(addr(1))                   // metadata read
+	v.AddBalance(addr(1), u256.FromUint64(5)) // commutative delta, no read
+	v.SetNonce(addr(1), 8)                    // metadata write
+	_ = v.GetBalance(addr(3))                 // balance read
+	v.SetStorage(addr(2), word(1), word(9))   // blind slot write
+	_ = v.GetStorage(addr(2), word(2))        // slot read
+
+	// Wipe burial: the first write is dead under the DeleteAccount epoch,
+	// the second survives because it happens after the wipe.
+	v.CreateContract(addr(5), []byte{1})
+	v.SetStorage(addr(5), word(1), word(1))
+	v.DeleteAccount(addr(5))
+	v.SetStorage(addr(5), word(2), word(2))
+
+	type acctFlags struct{ metaRead, metaWrite, balRead, balWrite, balDelta bool }
+	type slotFlags struct{ read, written bool }
+	accts := map[hashing.Address]acctFlags{}
+	slots := map[[2]interface{}]slotFlags{}
+	v.Accesses(
+		func(a hashing.Address, mr, mw, br, bw, bd bool) {
+			accts[a] = acctFlags{mr, mw, br, bw, bd}
+		},
+		func(a hashing.Address, k evm.Word, r, w bool) {
+			slots[[2]interface{}{a, k}] = slotFlags{r, w}
+		},
+	)
+
+	if got := accts[addr(1)]; !got.metaRead || !got.metaWrite || !got.balDelta || got.balWrite || got.balRead {
+		t.Fatalf("addr1 flags %+v", got)
+	}
+	if got := accts[addr(3)]; !got.balRead || got.metaWrite || got.balWrite || got.balDelta {
+		t.Fatalf("addr3 flags %+v", got)
+	}
+	if got := accts[addr(5)]; !got.metaWrite {
+		t.Fatalf("wiped addr5 must report a metadata write: %+v", got)
+	}
+	if _, ok := accts[addr(4)]; ok {
+		t.Fatal("untouched account reported")
+	}
+	if got := slots[[2]interface{}{addr(2), word(1)}]; got.read || !got.written {
+		t.Fatalf("blind write flags %+v", got)
+	}
+	if got := slots[[2]interface{}{addr(2), word(2)}]; !got.read || got.written {
+		t.Fatalf("read-only slot flags %+v", got)
+	}
+	if got, ok := slots[[2]interface{}{addr(5), word(1)}]; ok && got.written {
+		t.Fatalf("wipe-buried slot write reported: %+v", got)
+	}
+	if got := slots[[2]interface{}{addr(5), word(2)}]; !got.written {
+		t.Fatalf("post-wipe slot write lost: %+v", got)
+	}
+}

@@ -25,6 +25,23 @@ type Pool struct {
 
 	queue   []*entry
 	pending map[hashing.Hash]struct{}
+
+	// Selection scratch reused across NextBatch/NextBatchGrouped calls so
+	// the per-proposal hot path allocates nothing beyond the returned
+	// slice(s). All are cleared (not freed) between calls.
+	selScratch []selRec
+	giOf       map[hashing.Address]int    // sender → group index this pass
+	nonceMemo  map[hashing.Address]uint64 // committed nonce, one nonceOf per sender
+	lastNonce  []uint64                   // per-group last selected nonce
+	cntScratch []int                      // per-group selection counts
+}
+
+// selRec records one selected transaction during the shared selection pass:
+// the pool entry and the group (sender) it chained onto. Selection order is
+// the flat FIFO batch order.
+type selRec struct {
+	e  *entry
+	gi int
 }
 
 type entry struct {
@@ -39,9 +56,11 @@ type entry struct {
 // per node.
 func New(chainID hashing.ChainID, limit int) *Pool {
 	return &Pool{
-		chainID: chainID,
-		limit:   limit,
-		pending: make(map[hashing.Hash]struct{}),
+		chainID:   chainID,
+		limit:     limit,
+		pending:   make(map[hashing.Hash]struct{}),
+		giOf:      make(map[hashing.Address]int),
+		nonceMemo: make(map[hashing.Address]uint64),
 	}
 }
 
@@ -98,10 +117,23 @@ func (p *Pool) Contains(id hashing.Hash) bool {
 	return ok
 }
 
-// NextBatch selects up to max transactions in FIFO order, respecting
-// per-sender nonce sequencing against the provided current account nonces:
-// a transaction whose nonce is not the sender's next is skipped (left in
-// the pool) so it can run in a later block.
+// SenderGroup is one sender's selected transactions: a nonce-ordered chain
+// that must execute in sequence. Pos holds each transaction's position in
+// the flat FIFO batch, so flattening the groups reproduces the historical
+// NextBatch order bit-exactly.
+type SenderGroup struct {
+	Sender hashing.Address
+	Txs    []*types.Transaction
+	Pos    []int
+}
+
+// NextBatchGrouped selects up to max transactions exactly like NextBatch —
+// FIFO order across senders, per-sender nonce sequencing against the
+// provided committed account nonces, stale-entry eviction — but returns
+// them as per-sender nonce-ordered chains (groups appear in order of their
+// first selected transaction), exposing the sender/nonce dependency graph
+// the conflict scheduler consumes instead of re-deriving it from a flat
+// slice.
 //
 // Selection does not consume: the batch stays pending until Remove (called
 // by the chain when a block commits). A consensus round that fails after
@@ -114,37 +146,110 @@ func (p *Pool) Contains(id hashing.Hash) bool {
 // batch-mates selected in this same pass: those selections are not
 // committed yet, and evicting against them would destroy a competing
 // same-nonce transaction that must survive if the proposed block fails.
+func (p *Pool) NextBatchGrouped(max int, nonceOf func(hashing.Address) uint64) []SenderGroup {
+	if max <= 0 {
+		return nil
+	}
+	sel, ngroups := p.selectBatch(max, nonceOf)
+	if len(sel) == 0 {
+		return nil
+	}
+	// Materialize: one header slice plus two flat backing arrays carved
+	// into per-group subslices (full-slice expressions pin the capacities,
+	// so the in-capacity appends below can never cross groups).
+	cnt := p.cntScratch[:0]
+	for gi := 0; gi < ngroups; gi++ {
+		cnt = append(cnt, 0)
+	}
+	p.cntScratch = cnt
+	for _, r := range sel {
+		cnt[r.gi]++
+	}
+	groups := make([]SenderGroup, ngroups)
+	txFlat := make([]*types.Transaction, 0, len(sel))
+	posFlat := make([]int, 0, len(sel))
+	off := 0
+	for gi := 0; gi < ngroups; gi++ {
+		groups[gi].Txs = txFlat[off : off : off+cnt[gi]]
+		groups[gi].Pos = posFlat[off : off : off+cnt[gi]]
+		off += cnt[gi]
+	}
+	for i, r := range sel {
+		g := &groups[r.gi]
+		if len(g.Txs) == 0 {
+			g.Sender = r.e.sender
+		}
+		g.Txs = append(g.Txs, r.e.tx)
+		g.Pos = append(g.Pos, i)
+	}
+	return groups
+}
+
+// NextBatch selects up to max transactions in FIFO order, respecting
+// per-sender nonce sequencing against the provided current account nonces:
+// a transaction whose nonce is not the sender's next is skipped (left in
+// the pool) so it can run in a later block. It materializes the same
+// single selection pass as NextBatchGrouped in flat form — selection order
+// *is* the historical FIFO batch order (the regression test pins them
+// bit-exact against the pre-grouping algorithm).
 func (p *Pool) NextBatch(max int, nonceOf func(hashing.Address) uint64) []*types.Transaction {
 	if max <= 0 {
 		return nil
 	}
-	batch := make([]*types.Transaction, 0, max)
-	committed := make(map[hashing.Address]uint64) // account nonce in committed state
-	next := make(map[hashing.Address]uint64)      // speculative next nonce for selection
+	sel, _ := p.selectBatch(max, nonceOf)
+	batch := make([]*types.Transaction, len(sel))
+	for i, r := range sel {
+		batch[i] = r.e.tx
+	}
+	return batch
+}
+
+// selectBatch is the shared selection/eviction pass behind NextBatch and
+// NextBatchGrouped: FIFO over the queue, per-sender nonce chaining, stale
+// eviction. It returns the selections in flat FIFO order (each tagged with
+// its sender-group index, groups numbered in order of first selection) and
+// the number of groups. The returned slice aliases pool-owned scratch and
+// is only valid until the next call.
+func (p *Pool) selectBatch(max int, nonceOf func(hashing.Address) uint64) ([]selRec, int) {
+	clear(p.giOf)
+	clear(p.nonceMemo)
+	sel := p.selScratch[:0]
+	lastNonce := p.lastNonce[:0]
 	keep := p.queue[:0]
 	for _, e := range p.queue {
-		base, seen := committed[e.sender]
+		base, seen := p.nonceMemo[e.sender]
 		if !seen {
 			base = nonceOf(e.sender)
-			committed[e.sender] = base
+			p.nonceMemo[e.sender] = base
 		}
 		if e.tx.Nonce < base {
 			delete(p.pending, e.id)
 			continue
 		}
 		keep = append(keep, e)
-		want, selecting := next[e.sender]
-		if !selecting {
-			want = base
-		}
-		if len(batch) >= max || e.tx.Nonce != want {
+		if len(sel) >= max {
 			continue
 		}
-		batch = append(batch, e.tx)
-		next[e.sender] = want + 1
+		gi, selecting := p.giOf[e.sender]
+		want := base
+		if selecting {
+			want = lastNonce[gi] + 1
+		}
+		if e.tx.Nonce != want {
+			continue
+		}
+		if !selecting {
+			gi = len(lastNonce)
+			lastNonce = append(lastNonce, 0)
+			p.giOf[e.sender] = gi
+		}
+		lastNonce[gi] = e.tx.Nonce
+		sel = append(sel, selRec{e: e, gi: gi})
 	}
 	p.queue = keep
-	return batch
+	p.selScratch = sel
+	p.lastNonce = lastNonce
+	return sel, len(lastNonce)
 }
 
 // Remove drops a transaction (e.g. once included in a block received from a

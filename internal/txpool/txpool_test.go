@@ -261,3 +261,130 @@ func TestSequentialNoncesInOneBatch(t *testing.T) {
 		}
 	}
 }
+
+// legacyNextBatch is the pre-grouping NextBatch selection loop, kept
+// verbatim as the reference for the bit-exactness regression below. It
+// must never be called on a pool the test still needs: it evicts stale
+// entries just like the real implementation.
+func legacyNextBatch(p *Pool, max int, nonceOf func(hashing.Address) uint64) []*types.Transaction {
+	if max <= 0 {
+		return nil
+	}
+	batch := make([]*types.Transaction, 0, max)
+	committed := make(map[hashing.Address]uint64)
+	next := make(map[hashing.Address]uint64)
+	keep := p.queue[:0]
+	for _, e := range p.queue {
+		base, seen := committed[e.sender]
+		if !seen {
+			base = nonceOf(e.sender)
+			committed[e.sender] = base
+		}
+		if e.tx.Nonce < base {
+			delete(p.pending, e.id)
+			continue
+		}
+		keep = append(keep, e)
+		want, selecting := next[e.sender]
+		if !selecting {
+			want = base
+		}
+		if len(batch) >= max || e.tx.Nonce != want {
+			continue
+		}
+		batch = append(batch, e.tx)
+		next[e.sender] = want + 1
+	}
+	p.queue = keep
+	return batch
+}
+
+// TestNextBatchGroupedPreservesFIFO builds two identical pools — stale
+// entries, nonce gaps, competing same-nonce transactions, interleaved
+// senders, a max cutoff mid-stream — and checks that flattening the
+// grouped selection reproduces the legacy flat FIFO batch bit-exactly
+// (same transactions, same order, same surviving queue), and that each
+// group is one sender's gapless nonce chain.
+func TestNextBatchGroupedPreservesFIFO(t *testing.T) {
+	kps := []*keys.KeyPair{keys.Deterministic(1), keys.Deterministic(2), keys.Deterministic(3)}
+	nonceOf := func(a hashing.Address) uint64 {
+		if a == kps[2].Address() {
+			return 2 // sender 3's nonces 0 and 1 are stale
+		}
+		return 0
+	}
+	build := func() *Pool {
+		p := New(1, 100)
+		admit := func(tx *types.Transaction) {
+			if err := p.Add(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Interleaved: stale entries, a nonce gap for sender 2 (nonce 2
+		// before nonce 1), and a competing same-nonce pair for sender 1.
+		admit(signedTx(t, kps[2], 0)) // stale, evicted
+		admit(signedTx(t, kps[0], 0))
+		admit(signedTx(t, kps[1], 0))
+		admit(signedTx(t, kps[2], 2))
+		admit(signedTx(t, kps[0], 1))
+		admit(signedTx(t, kps[2], 1)) // stale, evicted
+		admit(signedTx(t, kps[1], 2)) // gap: skipped this round
+		admit(signedTxTo(t, kps[0], 2, 0x07))
+		admit(signedTxTo(t, kps[0], 2, 0x08)) // competitor, first-come wins
+		admit(signedTx(t, kps[1], 1))
+		admit(signedTx(t, kps[2], 3))
+		admit(signedTx(t, kps[0], 3)) // over the max cutoff below
+		return p
+	}
+
+	for _, max := range []int{7, 100, 3, 0} {
+		ref := build()
+		want := legacyNextBatch(ref, max, nonceOf)
+
+		p := build()
+		groups := p.NextBatchGrouped(max, nonceOf)
+		n := 0
+		for _, g := range groups {
+			n += len(g.Txs)
+		}
+		flat := make([]*types.Transaction, n)
+		for _, g := range groups {
+			if len(g.Txs) != len(g.Pos) {
+				t.Fatalf("max=%d: group %s has %d txs but %d positions", max, g.Sender, len(g.Txs), len(g.Pos))
+			}
+			for j, tx := range g.Txs {
+				sender, err := tx.Sender()
+				if err != nil || sender != g.Sender {
+					t.Fatalf("max=%d: tx in group %s has sender %s", max, g.Sender, sender)
+				}
+				if j > 0 && tx.Nonce != g.Txs[j-1].Nonce+1 {
+					t.Fatalf("max=%d: group %s nonces not gapless: %d after %d", max, g.Sender, tx.Nonce, g.Txs[j-1].Nonce)
+				}
+				flat[g.Pos[j]] = tx
+			}
+		}
+		if len(flat) != len(want) {
+			t.Fatalf("max=%d: flattened %d txs, legacy %d", max, len(flat), len(want))
+		}
+		for i := range want {
+			if flat[i] == nil || flat[i].ID() != want[i].ID() {
+				t.Fatalf("max=%d: position %d diverges from legacy order", max, i)
+			}
+		}
+		// The wrapper itself must match too, and both pools must keep the
+		// same surviving queue (evictions identical).
+		p2 := build()
+		got := p2.NextBatch(max, nonceOf)
+		if len(got) != len(want) {
+			t.Fatalf("max=%d: NextBatch %d txs, legacy %d", max, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID() != want[i].ID() {
+				t.Fatalf("max=%d: NextBatch position %d diverges", max, i)
+			}
+		}
+		if p2.Len() != ref.Len() {
+			t.Fatalf("max=%d: surviving queue %d vs legacy %d", max, p2.Len(), ref.Len())
+		}
+	}
+}
