@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke fuzzsmoke experiments
+.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke fuzzsmoke statesmoke experiments
 
-check: vet race detsmoke benchsmoke benchgate expsmoke fuzzsmoke
+check: vet race detsmoke benchsmoke benchgate expsmoke fuzzsmoke statesmoke
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,15 @@ benchsmoke:
 	$(GO) run ./cmd/benchsnap -quick -out /tmp/scmove_bench_smoke.json
 	$(GO) run ./cmd/benchdiff /tmp/scmove_bench_smoke.json /tmp/scmove_bench_smoke.json
 
-OLD ?= BENCH_2.json
-NEW ?= BENCH_3.json
+OLD ?= BENCH_4.json
+NEW ?= BENCH_5.json
+# Wall-clock gate threshold. This host cannot support a tight time gate:
+# same-binary captures drift +/-25% run to run, and binary code layout
+# alone moves tight-loop cells up to ~2x (measured: a one-file main-package
+# edit shifted evm_tight_loop +95% with zero semantic change — see
+# DESIGN.md section 14). allocs/op is deterministic, so it stays strictly
+# gated at benchdiff's 5% default; time is a gross-regression backstop.
+TIME_GATE ?= 1.5
 benchdiff:
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
@@ -38,7 +45,7 @@ benchdiff:
 # baseline-only branches still pass check).
 benchgate:
 	@if [ -f $(OLD) ] && [ -f $(NEW) ]; then \
-		$(GO) run ./cmd/benchdiff $(OLD) $(NEW); \
+		$(GO) run ./cmd/benchdiff -threshold $(TIME_GATE) $(OLD) $(NEW); \
 	else \
 		echo "benchgate: skipped ($(OLD) and $(NEW) not both present)"; \
 	fi
@@ -52,7 +59,7 @@ benchgate:
 # breeding DAG, grouped batch selection): bit-identical results at every
 # worker count.
 detsmoke:
-	$(GO) test -run 'TestVerifyBatchMatchesSerial|TestRecoverSendersMatchesSerialAcrossGOMAXPROCS|TestCommitParallelMatchesSerial|TestHashParallelMatchesRootHashAndProofs|TestApplyBlockParallelDeterminism|TestApplyBlockParallelDifferential|TestParallelAbortFallback|TestParallelPerTargetCutoff|TestApplyBlockScheduledDifferential|TestScheduledConflictingNoStorm|TestScheduledKittiesDAG|TestNextBatchGroupedPreservesFIFO|TestViewPropertyDifferentialRandomOps|TestKittiesReplayCrossGOMAXPROCSDeterminism|TestApplyBlockParallelMatchesSerial|TestChaosCellCrossGOMAXPROCS' \
+	$(GO) test -run 'TestVerifyBatchMatchesSerial|TestRecoverSendersMatchesSerialAcrossGOMAXPROCS|TestCommitParallelMatchesSerial|TestHashParallelMatchesRootHashAndProofs|TestApplyBlockParallelDeterminism|TestApplyBlockParallelDifferential|TestParallelAbortFallback|TestParallelPerTargetCutoff|TestApplyBlockScheduledDifferential|TestScheduledConflictingNoStorm|TestScheduledKittiesDAG|TestNextBatchGroupedPreservesFIFO|TestViewPropertyDifferentialRandomOps|TestKittiesReplayCrossGOMAXPROCSDeterminism|TestApplyBlockParallelMatchesSerial|TestChaosCellCrossGOMAXPROCS|TestBackendConformanceDifferential' \
 		./internal/keys/ ./internal/types/ ./internal/state/ ./internal/chain/ ./internal/txpool/ ./internal/workload/ ./internal/bench/
 
 # expsmoke is the experiment-output sanity gate: a CI-scale ablations run
@@ -86,11 +93,21 @@ fuzzsmoke:
 		'./internal/types FuzzDecodeMove2Payload' \
 		'./internal/core FuzzVerifyMove2AccountProof' \
 		'./internal/core FuzzVerifyMove2Storage' \
+		'./internal/state/backend FuzzSegmentDecode' \
 	; do \
 		set -- $$spec; \
 		echo "fuzzsmoke: $$2 ($$1, $(FUZZTIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$2$$" -fuzztime $(FUZZTIME) $$1 || exit 1; \
 	done
+
+# statesmoke is the bounded-RSS state-backend gate: a million-account
+# genesis on the log-structured file backend with capped resident storage
+# trees, an RSS ceiling, a close-and-reopen root check, root identity
+# against the in-memory backend on the same update script, and a Kitties
+# replay whose deterministic counters must match across backends.
+# SCMOVE_STATESMOKE_ACCOUNTS scales the genesis for quicker local runs.
+statesmoke:
+	SCMOVE_STATESMOKE=1 $(GO) test -run TestStateSmoke -count=1 -timeout 900s ./internal/bench/
 
 # experiments reruns the paper's figure experiments end to end (the old
 # `make bench` behaviour, before bench came to mean performance snapshots).

@@ -8,10 +8,12 @@
 //
 // Usage:
 //
-//	benchsnap [-quick] [-out file.json]
+//	benchsnap [-quick] [-repeat n] [-out file.json]
 //
 // -quick cuts iteration counts ~10x for smoke tests; its numbers are
-// noisier and should not be committed as baselines.
+// noisier and should not be committed as baselines. -repeat runs the whole
+// cell list n times and keeps per-cell medians — use it for committed
+// baselines on hosts whose wall-clock is noisy run to run.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"scmove/internal/bench"
@@ -32,6 +35,7 @@ import (
 	"scmove/internal/metrics"
 	"scmove/internal/mpt"
 	"scmove/internal/state"
+	"scmove/internal/state/backend"
 	"scmove/internal/trie"
 	"scmove/internal/types"
 	"scmove/internal/u256"
@@ -60,6 +64,7 @@ type Snapshot struct {
 func main() {
 	quick := flag.Bool("quick", false, "cut iterations ~10x (smoke runs, not baselines)")
 	out := flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
+	repeat := flag.Int("repeat", 1, "run the whole cell list N times and keep per-cell medians (tames scheduler/GC noise on small cells)")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -72,21 +77,33 @@ func main() {
 	if *quick {
 		div = 10
 	}
-	for _, b := range benchmarks() {
-		iters := b.iters / div
-		if iters < 1 {
-			iters = 1
-		}
-		res, err := b.run(iters)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", b.name, err)
-			os.Exit(1)
-		}
-		res.Name = b.name
-		snap.Results = append(snap.Results, res)
-		fmt.Printf("%-24s %10d iters  %12.0f ns/op  %10.0f B/op  %8.1f allocs/op\n",
-			res.Name, res.Iters, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	if *repeat < 1 {
+		*repeat = 1
 	}
+	// With -repeat, every pass runs the full list in order (not N passes of
+	// one cell back to back), so slow drift in host load spreads across all
+	// cells evenly instead of biasing whichever cell ran last.
+	passes := make([][]Result, 0, *repeat)
+	for p := 0; p < *repeat; p++ {
+		var results []Result
+		for _, b := range benchmarks() {
+			iters := b.iters / div
+			if iters < 1 {
+				iters = 1
+			}
+			res, err := b.run(iters)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", b.name, err)
+				os.Exit(1)
+			}
+			res.Name = b.name
+			results = append(results, res)
+			fmt.Printf("%-24s %10d iters  %12.0f ns/op  %10.0f B/op  %8.1f allocs/op\n",
+				res.Name, res.Iters, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+		passes = append(passes, results)
+	}
+	snap.Results = medianResults(passes)
 
 	path := *out
 	if path == "" {
@@ -102,6 +119,47 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", path)
+}
+
+// medianResults folds N same-order passes into one result list, taking the
+// per-cell median of every scalar (and of every extra field). Medians of
+// independent passes resist the one-off GC or timeslicing hiccup a single
+// pass can catch on a loaded host.
+func medianResults(passes [][]Result) []Result {
+	if len(passes) == 1 {
+		return passes[0]
+	}
+	med := func(vals []float64) float64 {
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			return vals[n/2]
+		}
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+	out := make([]Result, len(passes[0]))
+	for i := range out {
+		out[i] = passes[0][i]
+		var ns, by, al []float64
+		for _, pass := range passes {
+			ns = append(ns, pass[i].NsPerOp)
+			by = append(by, pass[i].BytesPerOp)
+			al = append(al, pass[i].AllocsPerOp)
+		}
+		out[i].NsPerOp, out[i].BytesPerOp, out[i].AllocsPerOp = med(ns), med(by), med(al)
+		if len(passes[0][i].Extra) > 0 {
+			ex := make(map[string]float64, len(passes[0][i].Extra))
+			for k := range passes[0][i].Extra {
+				var vals []float64
+				for _, pass := range passes {
+					vals = append(vals, pass[i].Extra[k])
+				}
+				ex[k] = med(vals)
+			}
+			out[i].Extra = ex
+		}
+	}
+	return out
 }
 
 // nextSnapshotPath returns BENCH_<n>.json for the first free n.
@@ -154,11 +212,19 @@ func benchmarks() []benchmark {
 		{name: "kitties_replay", iters: 5, run: runKitties},
 		{name: "fig6_grid_ci", iters: 2, run: runFig6Grid},
 		{name: "move_stages", iters: 2, run: runMoveStages},
-		{name: "apply_block_parallel_disjoint", iters: 20, run: runApplyBlockParallel(false)},
-		{name: "apply_block_parallel_conflicting", iters: 20, run: runApplyBlockParallel(true)},
+		{name: "apply_block_parallel_disjoint", iters: 60, run: runApplyBlockParallel(false)},
+		// The optimistic cells' abort counts depend on goroutine timeslicing
+		// (a single CPU interleaves the lanes differently run to run), so
+		// their allocs/op carry real scheduling noise — more iterations
+		// tighten the mean enough for the 5% benchdiff gate to be meaningful.
+		{name: "apply_block_parallel_conflicting", iters: 60, run: runApplyBlockParallel(true)},
 		{name: "apply_block_scheduled_disjoint", iters: 20, run: runApplyBlockScheduled(false)},
 		{name: "apply_block_scheduled_conflicting", iters: 20, run: runApplyBlockScheduled(true)},
 		{name: "apply_block_scheduled_kitties_dag", iters: 20, run: runApplyBlockKittiesDAG},
+		{name: "state_commit_memory", iters: 300, run: runStateCommit(backend.KindMemory)},
+		{name: "state_commit_file", iters: 300, run: runStateCommit(backend.KindFile)},
+		{name: "state_flat_warm_read", iters: 1_000_000, run: runStateWarmRead},
+		{name: "state_cold_read_file", iters: 500, run: runStateColdRead},
 	}
 }
 
@@ -585,5 +651,131 @@ func runFig6Grid(iters int) (Result, error) {
 	return measure(iters, func() error {
 		_, err := bench.RunFig6Grid(bench.ScaleCI, []int{1, 2, 4}, []float64{0, 0.10})
 		return err
+	})
+}
+
+// stateBenchCfg is the shared shape of the state-backend cells: a mid-size
+// populated database where an eighth of the accounts are contracts with a
+// few storage slots each.
+func stateBenchCfg(kind backend.Kind, dir string) bench.StateDBConfig {
+	return bench.StateDBConfig{
+		Accounts:        4096,
+		Contracts:       512,
+		SlotsPerAccount: 4,
+		BlockAccounts:   1024,
+		Options:         state.Options{Backend: kind, Dir: dir},
+	}
+}
+
+func stateSlotKey(s int) [32]byte {
+	var key [32]byte
+	binary.BigEndian.PutUint64(key[24:], uint64(s))
+	return key
+}
+
+// runStateCommit measures one update block — 256 balance touches plus
+// storage overwrites — flushed through Commit, per backend. The file leg
+// includes the segment append (and any compaction it earns).
+func runStateCommit(kind backend.Kind) func(iters int) (Result, error) {
+	return func(iters int) (Result, error) {
+		var dir string
+		if kind == backend.KindFile {
+			d, err := os.MkdirTemp("", "benchsnap-state-*")
+			if err != nil {
+				return Result{}, err
+			}
+			defer os.RemoveAll(d)
+			dir = d
+		}
+		cfg := stateBenchCfg(kind, dir)
+		db, err := bench.BuildStateDB(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		defer db.Close()
+		round := 0
+		return measure(iters, func() error {
+			round++
+			if root := bench.MutateStateBlock(db, cfg, round, 256); root == (hashing.Hash{}) {
+				return fmt.Errorf("state_commit: zero root")
+			}
+			return nil
+		})
+	}
+}
+
+// runStateWarmRead measures the deployed warm-read stack: storage reads
+// served by the flat cache, balance reads by the decoded working set. The
+// extra field reports the flat cache's hit rate over the run.
+func runStateWarmRead(iters int) (Result, error) {
+	cfg := stateBenchCfg(backend.KindMemory, "")
+	db, err := bench.BuildStateDB(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+	const hot = 256
+	addrs := make([]hashing.Address, hot)
+	key := stateSlotKey(1)
+	for i := range addrs {
+		addrs[i] = bench.StateBenchAddr(i)
+		db.GetBalance(addrs[i])
+		db.GetStorage(addrs[i], key)
+	}
+	h0, m0 := db.FlatCacheStats()
+	i := 0
+	res, err := measure(iters, func() error {
+		a := addrs[i%hot]
+		i++
+		if db.GetStorage(a, key) == ([32]byte{}) {
+			return fmt.Errorf("state_warm_read: empty slot")
+		}
+		if db.GetBalance(a).IsZero() {
+			return fmt.Errorf("state_warm_read: empty balance")
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	h1, m1 := db.FlatCacheStats()
+	total := float64(h1 - h0 + m1 - m0)
+	if total > 0 {
+		res.Extra = map[string]float64{"flat_hit_rate": float64(h1-h0) / total}
+	}
+	return res, nil
+}
+
+// runStateColdRead measures reads with every cache dropped on the file
+// backend with a minimal resident-tree budget: account records come off the
+// in-memory tree, storage slots off the segment files via one ReadAt each.
+func runStateColdRead(iters int) (Result, error) {
+	dir, err := os.MkdirTemp("", "benchsnap-state-*")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := stateBenchCfg(backend.KindFile, dir)
+	cfg.Options.StorageTreeLimit = 1
+	db, err := bench.BuildStateDB(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+	key := stateSlotKey(1)
+	i := 0
+	return measure(iters, func() error {
+		db.DropCaches()
+		for j := 0; j < 64; j++ {
+			a := bench.StateBenchAddr((i + j) % cfg.Contracts)
+			if _, ok := db.GetAccount(a); !ok {
+				return fmt.Errorf("state_cold_read: missing account")
+			}
+			if db.GetStorage(a, key) == ([32]byte{}) {
+				return fmt.Errorf("state_cold_read: empty slot")
+			}
+		}
+		i += 64
+		return nil
 	})
 }

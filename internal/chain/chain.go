@@ -54,6 +54,11 @@ type Config struct {
 	// waves (the zero value, the default) or PR-5 blind optimistic
 	// speculation. Results are bit-identical under both.
 	Strategy ParallelStrategy
+	// State tunes the state database's storage layer: backend selection
+	// (in-memory trees or the bounded-RSS log-structured file store), flat
+	// read-cache sizing, and the retained-root window for historical
+	// proofs. The zero value keeps the historical in-memory behaviour.
+	State state.Options
 }
 
 // Params returns the interoperability parameters peers configure (§IV-A).
@@ -105,7 +110,7 @@ type TxListener func(rec *types.Receipt, block *types.Block)
 // New creates a chain with the given peer header store and genesis
 // allocation function (may be nil).
 func New(cfg Config, headers *core.HeaderStore, genesis func(db *state.DB)) (*Chain, error) {
-	db, err := state.NewDB(cfg.ChainID, cfg.TreeKind)
+	db, err := state.NewDBWith(cfg.ChainID, cfg.TreeKind, cfg.State)
 	if err != nil {
 		return nil, fmt.Errorf("chain %s: %w", cfg.ChainID, err)
 	}
@@ -168,6 +173,23 @@ func (c *Chain) BlockAt(height uint64) (*types.Block, bool) {
 		return nil, false
 	}
 	return c.blocks[height], true
+}
+
+// Close releases the state database's backend resources (file handles of
+// the log-structured store). The chain must not be used afterwards.
+func (c *Chain) Close() error { return c.db.Close() }
+
+// Move2ProofAt assembles the Move2 payload for a locked contract against
+// the committed state at a past height, as long as that height's root is
+// inside the state backend's retained-root window. The proof bytes are
+// bit-identical to what BuildMoveProof produced when that height was the
+// head — the trees are canonical, so the historical rebuild is exact.
+func (c *Chain) Move2ProofAt(contract hashing.Address, height uint64) (*types.Move2Payload, error) {
+	root, ok := c.RootAt(height)
+	if !ok {
+		return nil, fmt.Errorf("chain %s: no root at height %d", c.cfg.ChainID, height)
+	}
+	return core.BuildMoveProofAt(c.db, contract, height, root)
 }
 
 // RootAt returns the state root after executing the block at a height.

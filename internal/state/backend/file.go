@@ -1,0 +1,503 @@
+package backend
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scmove/internal/hashing"
+)
+
+// File is the log-structured file-backed store: a simplified RocksDB built
+// only on the standard library. All writes append to the active segment
+// file; an in-memory index maps each account / slot key to the offset of
+// its newest value, so point reads are one ReadAt. Overwritten and deleted
+// records become dead bytes; once they outweigh the live ones the store
+// compacts by rewriting the live set into a fresh segment and deleting the
+// old files. Commit markers carry the state root, so a reopened store knows
+// which committed root its contents correspond to.
+//
+// RSS is bounded by the index (a few dozen bytes per live key), not by the
+// data: values live on disk until read.
+type File struct {
+	dir     string
+	hist    *history
+	segs    map[uint32]*os.File // open segments, by id
+	active  uint32              // id of the append segment
+	buf     []byte              // batch encode scratch
+	written int64               // bytes appended to the active segment
+
+	index     map[string]loc // account (20-byte) and slot (52-byte) keys
+	liveBytes int64          // record bytes reachable through the index
+	deadBytes int64          // record bytes superseded or deleted
+	root      hashing.Hash   // latest committed root
+	hasRoot   bool
+
+	// CompactMinBytes is the dead-byte floor below which compaction never
+	// triggers (avoids rewriting tiny stores). Tests lower it.
+	CompactMinBytes int64
+}
+
+// loc locates one live value inside a segment.
+type loc struct {
+	seg    uint32
+	off    int64 // value offset
+	vlen   uint32
+	reclen uint32 // full record length, for dead-byte accounting
+}
+
+var _ Backend = (*File)(nil)
+
+const defaultCompactMinBytes = 4 << 20
+
+// OpenFile opens (or creates) a log-structured store in dir, replaying the
+// segments into the in-memory index. A truncated tail record in the newest
+// segment — a torn write from a crash — is discarded; corruption anywhere
+// else is an error. retain is the OpenAt window (0 = DefaultRetainRoots);
+// retained roots do not survive a reopen, only the latest committed state
+// does.
+func OpenFile(dir string, retain int) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("backend: open %s: %w", dir, err)
+	}
+	f := &File{
+		dir:             dir,
+		hist:            newHistory(retain),
+		segs:            make(map[uint32]*os.File),
+		index:           make(map[string]loc),
+		CompactMinBytes: defaultCompactMinBytes,
+	}
+	ids, err := segmentIDs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		if err := f.replaySegment(id, i == len(ids)-1); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if len(ids) == 0 {
+		if err := f.openActive(0); err != nil {
+			return nil, err
+		}
+	} else {
+		f.active = ids[len(ids)-1]
+	}
+	return f, nil
+}
+
+func segmentPath(dir string, id uint32) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%06d.log", id))
+}
+
+// segmentIDs lists the segment files of dir in ascending id order.
+func segmentIDs(dir string) ([]uint32, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("backend: read dir: %w", err)
+	}
+	var ids []uint32
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log"), 10, 32)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, uint32(n))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// openActive creates segment id and makes it the append target.
+func (f *File) openActive(id uint32) error {
+	file, err := os.OpenFile(segmentPath(f.dir, id), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("backend: create segment: %w", err)
+	}
+	f.segs[id] = file
+	f.active = id
+	f.written = 0
+	return nil
+}
+
+// replaySegment loads one existing segment into the index. tail marks the
+// newest segment, whose last record may be torn.
+func (f *File) replaySegment(id uint32, tail bool) error {
+	path := segmentPath(f.dir, id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("backend: replay %s: %w", path, err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			if tail {
+				// Torn tail write: drop the partial record and continue
+				// appending after the last good one.
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return fmt.Errorf("backend: truncate torn tail of %s: %w", path, terr)
+				}
+				break
+			}
+			return fmt.Errorf("backend: replay %s at offset %d: %w", path, off, err)
+		}
+		f.applyRecord(id, int64(off), rec, n)
+		off += n
+	}
+	file, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("backend: reopen segment: %w", err)
+	}
+	f.segs[id] = file
+	f.written = int64(off)
+	return nil
+}
+
+// applyRecord folds one decoded record into the index.
+func (f *File) applyRecord(seg uint32, off int64, rec record, reclen int) {
+	switch rec.Kind {
+	case recAccount, recSlot, recCode:
+		key := string(rec.Key)
+		if old, ok := f.index[key]; ok {
+			f.deadBytes += int64(old.reclen)
+			f.liveBytes -= int64(old.reclen)
+		}
+		f.index[key] = loc{
+			seg:    seg,
+			off:    off + int64(valueOffset(rec)),
+			vlen:   uint32(len(rec.Value)),
+			reclen: uint32(reclen),
+		}
+		f.liveBytes += int64(reclen)
+	case recAccountDel, recSlotDel:
+		key := string(rec.Key)
+		if old, ok := f.index[key]; ok {
+			f.deadBytes += int64(old.reclen)
+			f.liveBytes -= int64(old.reclen)
+			delete(f.index, key)
+		}
+		f.deadBytes += int64(reclen)
+	case recCommit:
+		copy(f.root[:], rec.Key)
+		f.hasRoot = true
+		f.deadBytes += int64(reclen) // markers are never live
+	}
+}
+
+// readValue fetches one live value from its segment.
+func (f *File) readValue(l loc) ([]byte, bool) {
+	file, ok := f.segs[l.seg]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, l.vlen)
+	if _, err := file.ReadAt(out, l.off); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// Account implements Reader.
+func (f *File) Account(addr hashing.Address) ([]byte, bool) {
+	l, ok := f.index[string(addr[:])]
+	if !ok {
+		return nil, false
+	}
+	return f.readValue(l)
+}
+
+// Slot implements Reader.
+func (f *File) Slot(k SlotKey) (Word, bool) {
+	var key [slotSize]byte
+	copy(key[:addrSize], k.Addr[:])
+	copy(key[addrSize:], k.Key[:])
+	l, ok := f.index[string(key[:])]
+	if !ok {
+		return Word{}, false
+	}
+	v, ok := f.readValue(l)
+	if !ok {
+		return Word{}, false
+	}
+	var w Word
+	copy(w[:], v)
+	return w, true
+}
+
+// sortedKeys returns the index keys of the given length with the given
+// prefix, ascending.
+func (f *File) sortedKeys(prefix []byte, keyLen int) []string {
+	out := make([]string, 0, 64)
+	for k := range f.index {
+		if len(k) == keyLen && strings.HasPrefix(k, string(prefix)) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IterateAccounts implements Reader.
+func (f *File) IterateAccounts(fn func(addr hashing.Address, enc []byte) bool) {
+	for _, k := range f.sortedKeys(nil, addrSize) {
+		v, ok := f.readValue(f.index[k])
+		if !ok {
+			continue
+		}
+		var addr hashing.Address
+		copy(addr[:], k)
+		if !fn(addr, v) {
+			return
+		}
+	}
+}
+
+// IterateStorage implements Reader.
+func (f *File) IterateStorage(addr hashing.Address, fn func(key, val Word) bool) {
+	for _, k := range f.sortedKeys(addr[:], slotSize) {
+		v, ok := f.readValue(f.index[k])
+		if !ok {
+			continue
+		}
+		var key, val Word
+		copy(key[:], k[addrSize:])
+		copy(val[:], v)
+		if !fn(key, val) {
+			return
+		}
+	}
+}
+
+// Commit implements Backend: append the batch and a commit marker to the
+// active segment, fold it into the index, and compact if the dead-byte
+// ratio warrants it.
+func (f *File) Commit(root hashing.Hash, batch Batch) error {
+	f.buf = f.buf[:0]
+	base := f.written
+	encOne := func(kind byte, key, value []byte) (int64, int) {
+		start := len(f.buf)
+		f.buf = appendRecord(f.buf, kind, key, value)
+		return base + int64(start), len(f.buf) - start
+	}
+	var slotKey [slotSize]byte
+	for _, ac := range batch.Accounts {
+		if ac.Cur != nil {
+			off, n := encOne(recAccount, ac.Addr[:], ac.Cur)
+			f.applyRecord(f.active, off, record{Kind: recAccount, Key: ac.Addr[:], Value: ac.Cur}, n)
+		} else {
+			off, n := encOne(recAccountDel, ac.Addr[:], nil)
+			f.applyRecord(f.active, off, record{Kind: recAccountDel, Key: ac.Addr[:]}, n)
+		}
+	}
+	for _, sc := range batch.Slots {
+		copy(slotKey[:addrSize], sc.Key.Addr[:])
+		copy(slotKey[addrSize:], sc.Key.Key[:])
+		if sc.CurExists {
+			val := sc.Cur
+			off, n := encOne(recSlot, slotKey[:], val[:])
+			f.applyRecord(f.active, off, record{Kind: recSlot, Key: slotKey[:], Value: val[:]}, n)
+		} else {
+			off, n := encOne(recSlotDel, slotKey[:], nil)
+			f.applyRecord(f.active, off, record{Kind: recSlotDel, Key: slotKey[:]}, n)
+		}
+	}
+	for _, cb := range batch.Codes {
+		off, n := encOne(recCode, cb.Hash[:], cb.Code)
+		f.applyRecord(f.active, off, record{Kind: recCode, Key: cb.Hash[:], Value: cb.Code}, n)
+	}
+	off, n := encOne(recCommit, root[:], nil)
+	f.applyRecord(f.active, off, record{Kind: recCommit, Key: root[:]}, n)
+	if _, err := f.segs[f.active].Write(f.buf); err != nil {
+		return fmt.Errorf("backend: append: %w", err)
+	}
+	f.written += int64(len(f.buf))
+	f.hist.record(root, batch)
+	if f.deadBytes > f.liveBytes && f.deadBytes > f.CompactMinBytes {
+		if err := f.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact rewrites the live set into a fresh segment and deletes the old
+// files. The index is rewritten to point into the new segment; historical
+// OpenAt views are unaffected (the reverse-diff ring lives in memory).
+func (f *File) compact() error {
+	keys := make([]string, 0, len(f.index)+1)
+	for k := range f.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	newID := f.active + 1
+	path := segmentPath(f.dir, newID)
+	out, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("backend: compact: %w", err)
+	}
+	newIndex := make(map[string]loc, len(f.index))
+	var written int64
+	var live int64
+	f.buf = f.buf[:0]
+	flush := func() error {
+		if len(f.buf) == 0 {
+			return nil
+		}
+		if _, err := out.Write(f.buf); err != nil {
+			return fmt.Errorf("backend: compact write: %w", err)
+		}
+		f.buf = f.buf[:0]
+		return nil
+	}
+	for _, k := range keys {
+		v, ok := f.readValue(f.index[k])
+		if !ok {
+			out.Close()
+			return fmt.Errorf("backend: compact: lost value for key %x", k)
+		}
+		var kind byte
+		switch len(k) {
+		case addrSize:
+			kind = recAccount
+		case slotSize:
+			kind = recSlot
+		default: // hashing.HashSize: content-addressed code
+			kind = recCode
+		}
+		start := len(f.buf)
+		f.buf = appendRecord(f.buf, kind, []byte(k), v)
+		reclen := len(f.buf) - start
+		rec := record{Kind: kind, Key: []byte(k), Value: v}
+		newIndex[k] = loc{
+			seg:    newID,
+			off:    written + int64(start) + int64(valueOffset(rec)),
+			vlen:   uint32(len(v)),
+			reclen: uint32(reclen),
+		}
+		live += int64(reclen)
+		if len(f.buf) >= 1<<20 {
+			written += int64(len(f.buf))
+			if err := flush(); err != nil {
+				out.Close()
+				return err
+			}
+		}
+	}
+	written += int64(len(f.buf))
+	if err := flush(); err != nil {
+		out.Close()
+		return err
+	}
+	// Re-assert the latest root in the new segment so a reopen of the
+	// compacted store still knows it.
+	if f.hasRoot {
+		f.buf = appendRecord(f.buf[:0], recCommit, f.root[:], nil)
+		written += int64(len(f.buf))
+		if err := flush(); err != nil {
+			out.Close()
+			return err
+		}
+	}
+	for id, file := range f.segs {
+		file.Close()
+		os.Remove(segmentPath(f.dir, id))
+		delete(f.segs, id)
+	}
+	f.segs[newID] = out
+	f.active = newID
+	f.written = written
+	f.index = newIndex
+	f.liveBytes = live
+	f.deadBytes = 0
+	return nil
+}
+
+// LatestRoot implements Backend. After a reopen it is the root of the last
+// durable commit marker.
+func (f *File) LatestRoot() (hashing.Hash, bool) {
+	if r, ok := f.hist.latestRoot(); ok {
+		return r, true
+	}
+	return f.root, f.hasRoot
+}
+
+// RetainedRoots implements Backend.
+func (f *File) RetainedRoots() []hashing.Hash { return f.hist.retainedRoots() }
+
+// OpenAt implements Backend.
+func (f *File) OpenAt(root hashing.Hash) (Reader, error) {
+	ov, err := f.hist.overlayAt(root)
+	if err != nil {
+		return nil, err
+	}
+	return &histReader{base: f, ov: ov}, nil
+}
+
+// Kind implements Backend.
+func (f *File) Kind() Kind { return KindFile }
+
+// Code implements CodeStore.
+func (f *File) Code(h hashing.Hash) ([]byte, bool) {
+	l, ok := f.index[string(h[:])]
+	if !ok {
+		return nil, false
+	}
+	return f.readValue(l)
+}
+
+// IterateCodes implements CodeStore.
+func (f *File) IterateCodes(fn func(h hashing.Hash, code []byte) bool) {
+	for _, k := range f.sortedKeys(nil, hashing.HashSize) {
+		v, ok := f.readValue(f.index[k])
+		if !ok {
+			continue
+		}
+		var h hashing.Hash
+		copy(h[:], k)
+		if !fn(h, v) {
+			return
+		}
+	}
+}
+
+// Persistent implements Backend: the segment files hold every live value,
+// so trees above may be dropped and rebuilt on demand.
+func (f *File) Persistent() bool { return true }
+
+// LiveKeys returns the number of live index entries (accounts + slots).
+func (f *File) LiveKeys() int { return len(f.index) }
+
+// SegmentBytes returns the live/dead byte split of the store.
+func (f *File) SegmentBytes() (live, dead int64) { return f.liveBytes, f.deadBytes }
+
+// Sync forces the active segment to stable storage.
+func (f *File) Sync() error {
+	if file, ok := f.segs[f.active]; ok {
+		return file.Sync()
+	}
+	return nil
+}
+
+// Close implements Backend.
+func (f *File) Close() error {
+	var firstErr error
+	for id, file := range f.segs {
+		if err := file.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := file.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(f.segs, id)
+	}
+	return firstErr
+}

@@ -5,6 +5,7 @@ import (
 
 	"scmove/internal/evm"
 	"scmove/internal/hashing"
+	"scmove/internal/state/backend"
 )
 
 // journal records inverse operations so transaction execution can roll back
@@ -61,6 +62,11 @@ func (j *journal) revert(db *DB, id int) {
 				if err := t.Delete(e.key[:]); err != nil {
 					panic(fmt.Sprintf("state: journal revert delete: %v", err))
 				}
+			}
+			// The flat cache mirrors the live tree; write the restored
+			// value through so a revert cannot leave a stale hit behind.
+			if db.flat != nil {
+				db.flat.UpdateSlot(backend.SlotKey{Addr: e.addr, Key: e.key}, e.prevValue, e.prevExisted)
 			}
 		case jCode:
 			delete(db.codes, e.codeHash)

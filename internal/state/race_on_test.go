@@ -1,0 +1,8 @@
+//go:build race
+
+package state
+
+// raceEnabled reports whether the race detector is active. AllocsPerRun
+// assertions are skipped under -race: its instrumentation allocates on
+// paths that are allocation-free in a normal build.
+const raceEnabled = true

@@ -10,49 +10,194 @@ import (
 	"scmove/internal/evm"
 	"scmove/internal/hashing"
 	"scmove/internal/keys"
+	"scmove/internal/state/backend"
 	"scmove/internal/trees"
 	"scmove/internal/trie"
 	"scmove/internal/u256"
 )
 
+// Options tunes the state database's storage layer. The zero value is the
+// historical behaviour: in-memory trees, default flat-cache sizes, and the
+// default retained-root window.
+type Options struct {
+	// Backend selects where the flat state (account records and storage
+	// slots) authoritatively lives: the in-memory trees themselves
+	// (KindMemory, the default) or a log-structured file store (KindFile).
+	Backend backend.Kind
+	// Dir is the file backend's directory (required for KindFile).
+	Dir string
+	// RetainRoots is how many committed roots OpenAt/ProveAccountAt serve
+	// (0 = backend.DefaultRetainRoots).
+	RetainRoots int
+	// FlatAccounts / FlatSlots bound the flat-state read cache
+	// (0 = backend defaults).
+	FlatAccounts, FlatSlots int
+	// DisableFlatCache turns the flat cache off entirely (differential
+	// testing; reads then always walk the trees).
+	DisableFlatCache bool
+	// StorageTreeLimit caps the number of resident per-account storage
+	// trees when the backend is persistent: after each commit, the least
+	// recently touched clean trees beyond the cap are dropped and rebuilt
+	// from the backend on demand. 0 keeps every tree resident.
+	StorageTreeLimit int
+}
+
 // DB is the mutable world state of one chain. It implements evm.StateAccess
 // with snapshot/revert journaling, and commits into an authenticated account
 // tree of the chain's configured kind for headers and Merkle proofs.
+//
+// Reads are layered: the per-block decoded working set, then the bounded
+// flat-state cache (no tree walk), then the authenticated trees, then — for
+// storage of accounts whose tree is not resident — the backend. Commits
+// flush the trees and the backend together, so state roots are bit-identical
+// across backends by construction.
 //
 // DB is not safe for concurrent use; each chain node owns one.
 type DB struct {
 	chainID hashing.ChainID
 	kind    trie.Kind
+	opts    Options
 
 	accountTree trie.Tree                     // addr -> Account.Encode()
 	storage     map[hashing.Address]trie.Tree // live storage trees
 	codes       map[hashing.Hash][]byte       // content-addressed code
-	cache       map[hashing.Address]*Account  // decoded working set
+	cache       map[hashing.Address]*Account  // decoded working set (released on Commit)
 	dirty       map[hashing.Address]struct{}  // accounts to flush on Commit
-	dirtyOrder  []hashing.Address             // dirty addresses, kept sorted
+	dirtyOrder  []hashing.Address             // dirty addresses, insertion order (sorted at Commit)
+
+	flat *backend.FlatCache[Account] // nil when disabled
+	back backend.Backend
+
+	// slotDelta records, per block, the committed pre-image of every
+	// storage slot written since the last Commit (first write wins), so the
+	// commit batch and the retained-root reverse diffs are exact.
+	slotDelta map[backend.SlotKey]prevSlot
+	// slotKeyScratch is the reusable sort scratch for appendSlotChanges.
+	slotKeyScratch []backend.SlotKey
+	// newCodes lists code hashes first seen since the last Commit, so a
+	// persistent backend can store the blobs.
+	newCodes []hashing.Hash
+
+	// storageTouch drives storage-tree eviction under a persistent
+	// backend: least recently touched clean trees go first.
+	storageTouch map[hashing.Address]uint64
+	touchSeq     uint64
+
+	// histRoot/histTree memoize the last account tree rebuilt for a
+	// historical proof, so proving several accounts at one root is O(N)
+	// once, not per call.
+	histRoot hashing.Hash
+	histTree trie.Tree
+
+	lastRoot hashing.Hash // root of the last Commit
 
 	logs    []*evm.Log
 	journal journal
 }
 
+type prevSlot struct {
+	val     backend.Word
+	existed bool
+}
+
 var _ evm.StateAccess = (*DB)(nil)
+var _ backend.TreeSource = (*DB)(nil)
 
 // NewDB returns an empty state for the given chain, using the chain's state
-// tree kind for commitments and proofs.
+// tree kind for commitments and proofs, the in-memory backend, and default
+// flat-cache sizing.
 func NewDB(chainID hashing.ChainID, kind trie.Kind) (*DB, error) {
+	return NewDBWith(chainID, kind, Options{})
+}
+
+// NewDBWith returns an empty state with explicit storage-layer options.
+func NewDBWith(chainID hashing.ChainID, kind trie.Kind, opts Options) (*DB, error) {
+	db, err := newDBCore(chainID, kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Backend == backend.KindFile {
+		if fb, ok := db.back.(*backend.File); ok && fb.LiveKeys() > 0 {
+			return nil, fmt.Errorf("new state: %s is not empty (use OpenDB to reopen)", opts.Dir)
+		}
+	}
+	return db, nil
+}
+
+// OpenDB reopens a state database from a persistent backend's directory,
+// rebuilding the authenticated account tree (and, lazily, the storage
+// trees) from the flat records. The rebuilt tree's root must equal the
+// store's last committed root — canonical trees make the check exact.
+func OpenDB(chainID hashing.ChainID, kind trie.Kind, opts Options) (*DB, error) {
+	if opts.Backend != backend.KindFile {
+		return nil, fmt.Errorf("open state: backend %s is not persistent", opts.Backend)
+	}
+	db, err := newDBCore(chainID, kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	db.back.IterateAccounts(func(addr hashing.Address, enc []byte) bool {
+		if err == nil {
+			err = db.accountTree.Set(addr[:], enc)
+		}
+		return err == nil
+	})
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("open state: rebuild account tree: %w", err)
+	}
+	if cs, ok := db.back.(backend.CodeStore); ok {
+		cs.IterateCodes(func(h hashing.Hash, code []byte) bool {
+			db.codes[h] = code
+			return true
+		})
+	}
+	if want, ok := db.back.LatestRoot(); ok {
+		if got := db.accountTree.RootHash(); got != want {
+			db.Close()
+			return nil, fmt.Errorf("open state: rebuilt root %s, store committed %s", got, want)
+		}
+		db.lastRoot = want
+	}
+	return db, nil
+}
+
+func newDBCore(chainID hashing.ChainID, kind trie.Kind, opts Options) (*DB, error) {
 	accountTree, err := trees.New(kind, hashing.AddressSize)
 	if err != nil {
 		return nil, fmt.Errorf("new state: %w", err)
 	}
-	return &DB{
-		chainID:     chainID,
-		kind:        kind,
-		accountTree: accountTree,
-		storage:     make(map[hashing.Address]trie.Tree),
-		codes:       make(map[hashing.Hash][]byte),
-		cache:       make(map[hashing.Address]*Account),
-		dirty:       make(map[hashing.Address]struct{}),
-	}, nil
+	db := &DB{
+		chainID:      chainID,
+		kind:         kind,
+		opts:         opts,
+		accountTree:  accountTree,
+		storage:      make(map[hashing.Address]trie.Tree),
+		codes:        make(map[hashing.Hash][]byte),
+		cache:        make(map[hashing.Address]*Account),
+		dirty:        make(map[hashing.Address]struct{}),
+		slotDelta:    make(map[backend.SlotKey]prevSlot),
+		storageTouch: make(map[hashing.Address]uint64),
+	}
+	if !opts.DisableFlatCache {
+		db.flat = backend.NewFlatCache[Account](opts.FlatAccounts, opts.FlatSlots)
+	}
+	switch opts.Backend {
+	case backend.KindMemory:
+		db.back = backend.NewMemory(db, opts.RetainRoots)
+	case backend.KindFile:
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("new state: file backend needs a directory")
+		}
+		fb, err := backend.OpenFile(opts.Dir, opts.RetainRoots)
+		if err != nil {
+			return nil, err
+		}
+		db.back = fb
+	default:
+		return nil, fmt.Errorf("new state: unknown backend kind %d", opts.Backend)
+	}
+	return db, nil
 }
 
 // ChainID returns the chain this state belongs to.
@@ -61,15 +206,69 @@ func (db *DB) ChainID() hashing.ChainID { return db.chainID }
 // TreeKind returns the state tree kind used for commitments.
 func (db *DB) TreeKind() trie.Kind { return db.kind }
 
-// account returns the cached working copy of addr, loading it from the
-// account tree on first touch. Returns nil if the account does not exist.
+// Backend exposes the flat-state backend (benchmarks, conformance tests,
+// and rebuild tooling read it directly).
+func (db *DB) Backend() backend.Backend { return db.back }
+
+// Close releases the backend's resources (file handles for the
+// log-structured store). The DB must not be used afterwards.
+func (db *DB) Close() error { return db.back.Close() }
+
+// AccountTree implements backend.TreeSource.
+func (db *DB) AccountTree() trie.Tree { return db.accountTree }
+
+// StorageTreeAt implements backend.TreeSource.
+func (db *DB) StorageTreeAt(addr hashing.Address) (trie.Tree, bool) {
+	t, ok := db.storage[addr]
+	return t, ok
+}
+
+// FlatCacheStats returns the flat cache's hit/miss counters (both zero when
+// the cache is disabled).
+func (db *DB) FlatCacheStats() (hits, misses uint64) {
+	if db.flat == nil {
+		return 0, 0
+	}
+	return db.flat.Stats()
+}
+
+// DropCaches empties the decoded working set and the flat cache (cold-read
+// benchmarking and memory-pressure hooks). Committed state is unaffected.
+func (db *DB) DropCaches() {
+	db.cache = make(map[hashing.Address]*Account)
+	if db.flat != nil {
+		db.flat = backend.NewFlatCache[Account](db.opts.FlatAccounts, db.opts.FlatSlots)
+	}
+}
+
+// account returns the cached working copy of addr, loading it through the
+// flat cache (no tree walk on a hit) or from the account tree on first
+// touch. Returns nil if the account does not exist.
 func (db *DB) account(addr hashing.Address) *Account {
 	if acct, ok := db.cache[addr]; ok {
 		return acct
 	}
-	enc, ok := db.accountTree.Get(addr[:])
+	if db.flat != nil {
+		if acct, exists, known := db.flat.Account(addr); known {
+			if !exists {
+				db.cache[addr] = nil
+				return nil
+			}
+			cp := acct
+			db.cache[addr] = &cp
+			return &cp
+		}
+	}
+	// Slice a local copy for the tree walk: addr[:] through the interface
+	// call would move the parameter itself to the heap and cost the warm
+	// cache-hit paths above an allocation per read.
+	treeKey := addr
+	enc, ok := db.accountTree.Get(treeKey[:])
 	if !ok {
 		db.cache[addr] = nil
+		if db.flat != nil {
+			db.flat.PutAccount(addr, Account{}, false)
+		}
 		return nil
 	}
 	acct, err := DecodeAccount(enc)
@@ -77,6 +276,9 @@ func (db *DB) account(addr hashing.Address) *Account {
 		// The tree only ever stores Encode() output; a decode failure is a
 		// corrupted-state invariant violation.
 		panic(fmt.Sprintf("state: corrupt account record for %s: %v", addr, err))
+	}
+	if db.flat != nil {
+		db.flat.PutAccount(addr, acct, true)
 	}
 	db.cache[addr] = &acct
 	return &acct
@@ -94,9 +296,10 @@ func sharedGet(t trie.Tree, key []byte) ([]byte, bool) {
 }
 
 // sharedAccount returns a copy of addr's record without installing cache
-// entries (account() negative-caches misses, which would race). Safe for
-// concurrent readers while the DB itself is quiescent — the contract the
-// parallel executor upholds during its speculation phase.
+// entries (account() negative-caches misses, which would race — the flat
+// cache's LRU splicing likewise). Safe for concurrent readers while the DB
+// itself is quiescent — the contract the parallel executor upholds during
+// its speculation phase.
 func (db *DB) sharedAccount(addr hashing.Address) (Account, bool) {
 	if acct, ok := db.cache[addr]; ok {
 		if acct == nil {
@@ -116,10 +319,16 @@ func (db *DB) sharedAccount(addr hashing.Address) (Account, bool) {
 }
 
 // sharedStorage reads one storage slot under the same frozen-DB contract as
-// sharedAccount.
+// sharedAccount. Storage of accounts whose tree was evicted (persistent
+// backends only) reads through the backend — those accounts are clean by
+// construction, so the committed value is the live one.
 func (db *DB) sharedStorage(addr hashing.Address, key evm.Word) (evm.Word, bool) {
 	t, ok := db.storage[addr]
 	if !ok {
+		if db.back.Persistent() {
+			v, ok := db.back.Slot(backend.SlotKey{Addr: addr, Key: key})
+			return evm.Word(v), ok
+		}
 		return evm.Word{}, false
 	}
 	v, ok := sharedGet(t, key[:])
@@ -148,20 +357,16 @@ func (db *DB) mutable(addr hashing.Address) *Account {
 	return acct
 }
 
-// markDirty records addr for the next Commit, maintaining dirtyOrder as a
-// sorted list so Commit flushes deterministically without re-sorting the
-// whole dirty set from scratch.
+// markDirty records addr for the next Commit. The order list is kept in
+// insertion order and sorted once at Commit — a million-account genesis
+// made the old keep-it-sorted insertion (O(n) memmove per new address)
+// quadratic.
 func (db *DB) markDirty(addr hashing.Address) {
 	if _, ok := db.dirty[addr]; ok {
 		return
 	}
 	db.dirty[addr] = struct{}{}
-	i := sort.Search(len(db.dirtyOrder), func(i int) bool {
-		return bytes.Compare(db.dirtyOrder[i][:], addr[:]) >= 0
-	})
-	db.dirtyOrder = append(db.dirtyOrder, hashing.Address{})
-	copy(db.dirtyOrder[i+1:], db.dirtyOrder[i:])
-	db.dirtyOrder[i] = addr
+	db.dirtyOrder = append(db.dirtyOrder, addr)
 }
 
 func cloneAccount(a *Account) *Account {
@@ -186,6 +391,7 @@ func (db *DB) CreateContract(addr hashing.Address, code []byte) {
 	if _, ok := db.codes[h]; !ok {
 		db.journal.append(journalEntry{kind: jCode, codeHash: h})
 		db.codes[h] = codeCopy
+		db.newCodes = append(db.newCodes, h)
 	}
 	acct.CodeHash = h
 	acct.Location = db.chainID
@@ -248,34 +454,76 @@ func (db *DB) GetCodeHash(addr hashing.Address) hashing.Hash {
 	return hashing.ZeroHash
 }
 
-// storageTree returns the live storage tree for addr, creating it lazily.
+// storageTree returns the live storage tree for addr, creating it lazily —
+// and, under a persistent backend, rebuilding an evicted tree from the
+// backend's flat slots (the tree is canonical, so the rebuild reproduces
+// the committed storage root bit for bit).
 func (db *DB) storageTree(addr hashing.Address) trie.Tree {
+	db.touchStorage(addr)
 	if t, ok := db.storage[addr]; ok {
 		return t
 	}
 	t := trees.MustNew(db.kind, 32)
+	if db.back.Persistent() {
+		db.back.IterateStorage(addr, func(key, val backend.Word) bool {
+			if err := t.Set(key[:], val[:]); err != nil {
+				panic(fmt.Sprintf("state: storage rebuild: %v", err))
+			}
+			return true
+		})
+	}
 	db.storage[addr] = t
 	return t
 }
 
-// GetStorage implements evm.StateAccess.
-func (db *DB) GetStorage(addr hashing.Address, key evm.Word) evm.Word {
-	t, ok := db.storage[addr]
-	if !ok {
-		return evm.Word{}
+// touchStorage refreshes addr's eviction recency.
+func (db *DB) touchStorage(addr hashing.Address) {
+	if db.opts.StorageTreeLimit <= 0 || !db.back.Persistent() {
+		return
 	}
-	v, ok := t.Get(key[:])
-	if !ok {
-		return evm.Word{}
+	db.touchSeq++
+	db.storageTouch[addr] = db.touchSeq
+}
+
+// GetStorage implements evm.StateAccess. The flat cache serves warm reads
+// with no tree walk and no allocation; misses fall back to the live tree
+// (or, for accounts whose tree is not resident, the backend) and populate
+// the cache.
+func (db *DB) GetStorage(addr hashing.Address, key evm.Word) evm.Word {
+	sk := backend.SlotKey{Addr: addr, Key: key}
+	if db.flat != nil {
+		if v, exists, known := db.flat.Slot(sk); known {
+			if !exists {
+				return evm.Word{}
+			}
+			return evm.Word(v)
+		}
 	}
 	var w evm.Word
-	copy(w[:], v)
+	var ok bool
+	if t, resident := db.storage[addr]; resident {
+		// Local copy for the same reason as in account(): key[:] through
+		// the Tree interface would heap-allocate the parameter and tax the
+		// flat-cache hit path above.
+		treeKey := key
+		var v []byte
+		v, ok = t.Get(treeKey[:])
+		copy(w[:], v)
+	} else if db.back.Persistent() {
+		var v backend.Word
+		v, ok = db.back.Slot(sk)
+		w = evm.Word(v)
+	}
+	if db.flat != nil {
+		db.flat.PutSlot(sk, backend.Word(w), ok)
+	}
 	return w
 }
 
 // SetStorage implements evm.StateAccess; storing the zero word deletes.
 func (db *DB) SetStorage(addr hashing.Address, key, value evm.Word) {
-	// One tree lookup feeds both the journal entry and the existence check.
+	// One tree lookup feeds the journal entry, the existence check, and the
+	// per-block committed pre-image.
 	t := db.storageTree(addr)
 	prevBytes, hadPrev := t.Get(key[:])
 	var prev evm.Word
@@ -283,6 +531,11 @@ func (db *DB) SetStorage(addr hashing.Address, key, value evm.Word) {
 	db.journal.append(journalEntry{
 		kind: jStorage, addr: addr, key: key, prevValue: prev, prevExisted: hadPrev,
 	})
+	sk := backend.SlotKey{Addr: addr, Key: key}
+	if _, seen := db.slotDelta[sk]; !seen {
+		// First write this block: the live value still is the committed one.
+		db.slotDelta[sk] = prevSlot{val: backend.Word(prev), existed: hadPrev}
+	}
 	db.markDirty(addr)
 	var zero evm.Word
 	if value == zero {
@@ -291,10 +544,16 @@ func (db *DB) SetStorage(addr hashing.Address, key, value evm.Word) {
 		if err := t.Delete(key[:]); err != nil {
 			panic(fmt.Sprintf("state: storage delete: %v", err))
 		}
+		if db.flat != nil {
+			db.flat.UpdateSlot(sk, backend.Word{}, false)
+		}
 		return
 	}
 	if err := t.Set(key[:], value[:]); err != nil {
 		panic(fmt.Sprintf("state: storage set: %v", err))
+	}
+	if db.flat != nil {
+		db.flat.UpdateSlot(sk, backend.Word(value), true)
 	}
 }
 
@@ -336,15 +595,17 @@ func (db *DB) DeleteAccount(addr hashing.Address) {
 	db.cache[addr] = nil
 	db.markDirty(addr)
 	db.storage[addr] = trees.MustNew(db.kind, 32)
+	if db.flat != nil {
+		db.flat.WipeStorage(addr)
+	}
 }
 
 // journalStorageWipe records every live storage entry of addr so a revert
-// can restore them.
+// can restore them, and folds the wiped slots into the per-block committed
+// pre-image set. Evicted trees are rebuilt first: their entries must enter
+// the journal too.
 func (db *DB) journalStorageWipe(addr hashing.Address) {
-	t, ok := db.storage[addr]
-	if !ok {
-		return
-	}
+	t := db.storageTree(addr)
 	t.Iterate(func(k, v []byte) bool {
 		var key, value evm.Word
 		copy(key[:], k)
@@ -352,6 +613,10 @@ func (db *DB) journalStorageWipe(addr hashing.Address) {
 		db.journal.append(journalEntry{
 			kind: jStorage, addr: addr, key: key, prevValue: value, prevExisted: true,
 		})
+		sk := backend.SlotKey{Addr: addr, Key: key}
+		if _, seen := db.slotDelta[sk]; !seen {
+			db.slotDelta[sk] = prevSlot{val: backend.Word(value), existed: true}
+		}
 		return true
 	})
 }
@@ -381,46 +646,217 @@ func (db *DB) RevertToSnapshot(id int) {
 // journal must not grow across transactions).
 func (db *DB) DiscardJournal() { db.journal.reset() }
 
-// Commit flushes dirty accounts into the account tree and returns the state
-// root. The journal is discarded: committed state cannot be reverted.
+// Commit flushes dirty accounts into the account tree and the backend, and
+// returns the state root. The journal is discarded: committed state cannot
+// be reverted. The decoded working set is released (it would otherwise grow
+// monotonically across blocks); the flat cache carries the hot set forward.
 func (db *DB) Commit() hashing.Hash {
 	// Hash dirty storage trees on the worker pool first. Each tree is an
 	// independent object and a root hash is a pure function of contents, so
 	// this only warms the per-node hash caches the serial flush below will
 	// read — it cannot change what the flush computes.
 	db.warmStorageRoots()
-	// dirtyOrder is maintained sorted by markDirty, so the deterministic
-	// flush order comes for free (map iteration is randomized).
-	for _, addr := range db.dirtyOrder {
-		acct := db.cache[addr]
+	// markDirty appends in first-touch order; sort once for the
+	// deterministic flush (map iteration is randomized).
+	sort.Slice(db.dirtyOrder, func(i, j int) bool {
+		return bytes.Compare(db.dirtyOrder[i][:], db.dirtyOrder[j][:]) < 0
+	})
+	batch := db.buildBatch()
+	for i, addr := range db.dirtyOrder {
+		acct, inCache := db.cache[addr]
+		if !inCache {
+			// Dirty without a working-set entry: the address was touched
+			// only through SetStorage (storage writes alone never
+			// materialize the record). Load the committed record so the
+			// flush updates its storage root instead of mistaking the
+			// missing entry for a deletion.
+			acct = db.account(addr)
+		}
 		if acct == nil {
-			if err := db.accountTree.Delete(addr[:]); err != nil {
-				panic(fmt.Sprintf("state: commit delete: %v", err))
-			}
+			db.dropCommittedAccount(addr)
 			continue
 		}
 		if t, ok := db.storage[addr]; ok {
 			acct.StorageRoot = t.RootHash()
 		}
 		if acct.isEmpty(db.chainID) {
-			if err := db.accountTree.Delete(addr[:]); err != nil {
-				panic(fmt.Sprintf("state: commit delete: %v", err))
-			}
+			db.dropCommittedAccount(addr)
 			continue
 		}
-		if err := db.accountTree.Set(addr[:], acct.Encode()); err != nil {
+		enc := acct.Encode()
+		batch.Accounts[i].Cur = enc
+		if err := db.accountTree.Set(addr[:], enc); err != nil {
 			panic(fmt.Sprintf("state: commit set: %v", err))
 		}
+		if db.flat != nil {
+			db.flat.PutAccount(addr, *acct, true)
+		}
 	}
+	// Drop no-op account transitions (created then deleted in one block, or
+	// dirtied but restored by a revert): they would pollute the reverse
+	// diffs and append dead file records for nothing.
+	liveAccs := batch.Accounts[:0]
+	for _, ac := range batch.Accounts {
+		if ac.Prev == nil && ac.Cur == nil {
+			continue
+		}
+		if bytes.Equal(ac.Prev, ac.Cur) {
+			continue
+		}
+		liveAccs = append(liveAccs, ac)
+	}
+	batch.Accounts = liveAccs
+	// Materialize the slot delta only now, after the flush: an account
+	// deleted at commit has just lost its storage tree, so its slots read
+	// back as gone and the batch records their deletion.
+	db.appendSlotChanges(&batch)
 	clear(db.dirty)
 	db.dirtyOrder = db.dirtyOrder[:0]
+	clear(db.slotDelta)
+	db.newCodes = db.newCodes[:0]
 	db.journal.reset()
+	// Release the decoded working set: entries are either dirty (now
+	// flushed into the tree and the flat cache) or clean read-throughs the
+	// flat cache still holds.
+	clear(db.cache)
 	// The account tree itself fans dirty-subtree hashing out when it can;
 	// HashParallel is specified to equal RootHash bit for bit.
+	var root hashing.Hash
 	if ph, ok := db.accountTree.(trie.ParallelHasher); ok {
-		return ph.HashParallel(keys.SharedPool())
+		root = ph.HashParallel(keys.SharedPool())
+	} else {
+		root = db.accountTree.RootHash()
 	}
-	return db.accountTree.RootHash()
+	if err := db.back.Commit(root, batch); err != nil {
+		panic(fmt.Sprintf("state: backend commit: %v", err))
+	}
+	db.lastRoot = root
+	db.evictStorageTrees()
+	return root
+}
+
+// buildBatch assembles the account and code half of the commit batch:
+// previous account encodings (captured before the tree flush) and new code
+// blobs. Cur fields of account changes are filled in by the flush loop;
+// slot changes are appended afterwards by appendSlotChanges.
+func (db *DB) buildBatch() backend.Batch {
+	batch := backend.Batch{
+		Accounts: make([]backend.AccountChange, len(db.dirtyOrder)),
+	}
+	// Previous encodings are copied into one shared arena instead of one
+	// allocation each. The arena must be fresh per commit — the backend's
+	// reverse-diff history retains the slices for the whole retention
+	// window. A growth reallocation strands earlier slices on the old
+	// backing array, which stays correct: those bytes are never rewritten.
+	var arena []byte
+	for i, addr := range db.dirtyOrder {
+		batch.Accounts[i].Addr = addr
+		if prev, ok := db.accountTree.Get(addr[:]); ok {
+			off := len(arena)
+			arena = append(arena, prev...)
+			batch.Accounts[i].Prev = arena[off:len(arena):len(arena)]
+		}
+	}
+	for _, h := range db.newCodes {
+		if code, ok := db.codes[h]; ok { // reverted codes are gone from the map
+			batch.Codes = append(batch.Codes, backend.CodeBlob{Hash: h, Code: code})
+		}
+	}
+	return batch
+}
+
+// dropCommittedAccount removes a deleted (or empty) account's record and
+// every trace of its storage: the committed tree entry, the resident
+// storage tree, and the flat-cache lines. Slots the backend still holds
+// are deleted by the slot delta, which is materialized after this runs and
+// reads the now-missing tree as all-gone. Without the teardown, storage
+// written after an in-block DeleteAccount would outlive the account in the
+// resident tree but not in a rebuilt one — the backends would disagree the
+// moment the address is recreated.
+func (db *DB) dropCommittedAccount(addr hashing.Address) {
+	if err := db.accountTree.Delete(addr[:]); err != nil {
+		panic(fmt.Sprintf("state: commit delete: %v", err))
+	}
+	delete(db.storage, addr)
+	delete(db.storageTouch, addr)
+	if db.flat != nil {
+		db.flat.DropAccount(addr)
+		db.flat.WipeStorage(addr)
+	}
+}
+
+// appendSlotChanges turns the per-block slot pre-image map into the sorted
+// slot changes of the commit batch. Called after the account flush so
+// commit-time deletions read back as missing slots.
+func (db *DB) appendSlotChanges(batch *backend.Batch) {
+	if len(db.slotDelta) > 0 {
+		// The key scratch is reused across commits (keys are values, nothing
+		// retains them); the change slice is presized to skip growth copies.
+		keys := db.slotKeyScratch[:0]
+		if cap(keys) < len(db.slotDelta) {
+			keys = make([]backend.SlotKey, 0, len(db.slotDelta))
+		}
+		for sk := range db.slotDelta {
+			keys = append(keys, sk)
+		}
+		if batch.Slots == nil {
+			batch.Slots = make([]backend.SlotChange, 0, len(db.slotDelta))
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if c := bytes.Compare(keys[i].Addr[:], keys[j].Addr[:]); c != 0 {
+				return c < 0
+			}
+			return bytes.Compare(keys[i].Key[:], keys[j].Key[:]) < 0
+		})
+		for _, sk := range keys {
+			prev := db.slotDelta[sk]
+			var cur backend.Word
+			var exists bool
+			if t, ok := db.storage[sk.Addr]; ok {
+				if v, found := t.Get(sk.Key[:]); found {
+					copy(cur[:], v)
+					exists = true
+				}
+			}
+			if exists == prev.existed && cur == prev.val {
+				continue // written, then restored to the committed value
+			}
+			batch.Slots = append(batch.Slots, backend.SlotChange{
+				Key: sk, Prev: prev.val, Cur: cur,
+				PrevExisted: prev.existed, CurExists: exists,
+			})
+		}
+		db.slotKeyScratch = keys
+	}
+}
+
+// evictStorageTrees drops the least recently touched clean storage trees
+// beyond the configured cap. Only meaningful with a persistent backend
+// (the trees are rebuilt from its flat slots on demand); eviction order is
+// deterministic (touch sequence, then address).
+func (db *DB) evictStorageTrees() {
+	limit := db.opts.StorageTreeLimit
+	if limit <= 0 || !db.back.Persistent() || len(db.storage) <= limit {
+		return
+	}
+	type candidate struct {
+		addr hashing.Address
+		seq  uint64
+	}
+	cands := make([]candidate, 0, len(db.storage))
+	for addr := range db.storage {
+		cands = append(cands, candidate{addr: addr, seq: db.storageTouch[addr]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].seq != cands[j].seq {
+			return cands[i].seq < cands[j].seq
+		}
+		return bytes.Compare(cands[i].addr[:], cands[j].addr[:]) < 0
+	})
+	for _, c := range cands[:len(db.storage)-limit] {
+		delete(db.storage, c.addr)
+		delete(db.storageTouch, c.addr)
+	}
 }
 
 // warmStorageRoots pre-hashes the storage trees of dirty live accounts on
@@ -481,11 +917,20 @@ func (db *DB) ProveAccount(addr hashing.Address) ([]byte, error) {
 }
 
 // StorageEntries returns all storage of addr in ascending key order — the
-// state payload V of a move proof (paper Alg. 1, Move2).
+// state payload V of a move proof (paper Alg. 1, Move2). Accounts whose
+// tree is not resident read straight from the backend.
 func (db *DB) StorageEntries(addr hashing.Address) []StorageEntry {
 	t, ok := db.storage[addr]
 	if !ok {
-		return nil
+		if !db.back.Persistent() {
+			return nil
+		}
+		var out []StorageEntry
+		db.back.IterateStorage(addr, func(key, val backend.Word) bool {
+			out = append(out, StorageEntry{Key: evm.Word(key), Value: evm.Word(val)})
+			return true
+		})
+		return out
 	}
 	out := make([]StorageEntry, 0, t.Len())
 	t.Iterate(func(k, v []byte) bool {
@@ -520,6 +965,7 @@ func (db *DB) ImportAccount(addr hashing.Address, acct Account, code []byte, ent
 		if _, ok := db.codes[h]; !ok {
 			db.journal.append(journalEntry{kind: jCode, codeHash: h})
 			db.codes[h] = codeCopy
+			db.newCodes = append(db.newCodes, h)
 		}
 		working.CodeHash = h
 	}
@@ -543,6 +989,9 @@ func (db *DB) PruneStale(addr hashing.Address) error {
 	working := db.mutable(addr)
 	db.journalStorageWipe(addr)
 	db.storage[addr] = trees.MustNew(db.kind, 32)
+	if db.flat != nil {
+		db.flat.WipeStorage(addr)
+	}
 	working.CodeHash = hashing.ZeroHash
 	working.StorageRoot = hashing.ZeroHash
 	working.Balance = u256.Zero()

@@ -8,6 +8,7 @@ package universe
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"scmove/internal/simclock"
 	"scmove/internal/simnet"
 	"scmove/internal/state"
+	"scmove/internal/state/backend"
 	"scmove/internal/tendermint"
 	"scmove/internal/trie"
 	"scmove/internal/types"
@@ -150,6 +152,10 @@ type Config struct {
 	// pre-deploy shared contracts (token factories, game registries) at the
 	// same address on every shard.
 	ExtraGenesis func(id hashing.ChainID, db *state.DB)
+	// State is the default state-storage configuration applied to every
+	// chain whose spec does not set its own. With the file backend, each
+	// chain stores its segments in a per-chain subdirectory of State.Dir.
+	State state.Options
 }
 
 // DefaultConfig returns a two-chain (Ethereum + Burrow) universe matching
@@ -318,6 +324,14 @@ func New(cfg Config) (*Universe, error) {
 
 	var nextNodeID simnet.NodeID = 1
 	for _, spec := range cfg.Specs {
+		if spec.Config.State == (state.Options{}) && cfg.State != (state.Options{}) {
+			// Inherit the universe default; file-backed chains each get
+			// their own subdirectory so segment files never collide.
+			spec.Config.State = cfg.State
+			if spec.Config.State.Backend == backend.KindFile {
+				spec.Config.State.Dir = filepath.Join(cfg.State.Dir, spec.Config.ChainID.String())
+			}
+		}
 		c, err := chain.New(spec.Config, core.NewHeaderStore(params...), genesisFor(spec.Config.ChainID))
 		if err != nil {
 			return nil, fmt.Errorf("universe: %w", err)
@@ -444,6 +458,19 @@ func (u *Universe) Start() {
 
 // Chain returns a chain by id.
 func (u *Universe) Chain(id hashing.ChainID) *chain.Chain { return u.chains[id] }
+
+// Close releases every chain's state backend (file handles of
+// log-structured stores). The universe must not be used afterwards; only
+// needed when running with a persistent state backend, but always safe.
+func (u *Universe) Close() error {
+	var firstErr error
+	for _, id := range u.order {
+		if err := u.chains[id].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // BFTNodes returns every BFT consensus node, in chain configuration order —
 // chaos harnesses inspect their clusters for equivocation evidence.

@@ -43,6 +43,10 @@ type KittiesConfig struct {
 	Seed          int64
 	// MaxDuration aborts a replay that stops making progress.
 	MaxDuration time.Duration
+	// State, if non-zero, selects every shard's state-storage options
+	// (backend kind, flat-cache sizing, storage-tree residency cap) — the
+	// bounded-RSS replay runs on the file backend through this.
+	State state.Options
 }
 
 // DefaultKittiesConfig returns a scaled-down replay preserving the paper's
@@ -292,6 +296,7 @@ func RunKitties(cfg KittiesConfig) (*KittiesResult, error) {
 	}
 	registryAddr := contracts.WellKnown("kitties-registry")
 	ucfg := universe.ShardedConfig(cfg.Shards, cfg.Users+1)
+	ucfg.State = cfg.State
 	for i := range ucfg.Specs {
 		ucfg.Specs[i].Config.MaxBlockTxs = cfg.ShardCapacity
 	}
@@ -303,6 +308,7 @@ func RunKitties(cfg KittiesConfig) (*KittiesResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer u.Close()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ops, cats := synthesize(cfg, rng)
 	r := &kittiesRun{
