@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke fuzzsmoke statesmoke experiments
+.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke fuzzsmoke statesmoke rpcsmoke experiments
 
-check: vet race detsmoke benchsmoke benchgate expsmoke fuzzsmoke statesmoke
+check: vet race detsmoke benchsmoke benchgate expsmoke fuzzsmoke statesmoke rpcsmoke
 
 build:
 	$(GO) build ./...
@@ -94,11 +94,21 @@ fuzzsmoke:
 		'./internal/core FuzzVerifyMove2AccountProof' \
 		'./internal/core FuzzVerifyMove2Storage' \
 		'./internal/state/backend FuzzSegmentDecode' \
+		'./internal/simnet FuzzFrameDecode' \
 	; do \
 		set -- $$spec; \
 		echo "fuzzsmoke: $$2 ($$1, $(FUZZTIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$2$$" -fuzztime $(FUZZTIME) $$1 || exit 1; \
 	done
+
+# rpcsmoke is the real-traffic front-door gate: a two-chain universe with
+# per-chain RPC servers on loopback, consensus over real TCP sockets, and a
+# wall-clock driver; cmd/loadgen fires 10k pre-signed transactions through
+# HTTP, requires zero rejected-valid submissions and non-empty wall-clock
+# latency histograms, and replays the identical workload on the
+# discrete-event path asserting bit-identical final state roots.
+rpcsmoke:
+	$(GO) run ./cmd/loadgen -txs 10000 -users 16 -interval 300ms -timeout 120s
 
 # statesmoke is the bounded-RSS state-backend gate: a million-account
 # genesis on the log-structured file backend with capped resident storage

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"scmove/internal/chain/schedule"
@@ -18,6 +19,7 @@ import (
 	"scmove/internal/hashing"
 	"scmove/internal/metrics"
 	"scmove/internal/state"
+	"scmove/internal/state/backend"
 	"scmove/internal/trie"
 	"scmove/internal/txpool"
 	"scmove/internal/types"
@@ -74,13 +76,32 @@ func (c Config) Params() core.ChainParams {
 // BlockListener observes committed blocks.
 type BlockListener func(block *types.Block, receipts []*types.Receipt)
 
-// Chain is the ledger of one blockchain. It is single-threaded, driven by
-// the simulation scheduler.
+// Chain is the ledger of one blockchain. Under the discrete-event
+// simulator every access arrives on the scheduler goroutine; the RPC front
+// door additionally reads (and submits) from arbitrary handler goroutines
+// while the consensus driver commits blocks, so ledger state is guarded by
+// an internal RWMutex:
+//
+//   - ApplyBlock holds the write lock from execution through commit and
+//     index updates, releasing it before block listeners and tx waiters
+//     fire (listeners call back into chain accessors — the header relay
+//     reads HeaderAt of the very chain that committed).
+//   - Read accessors (Head, HeaderAt, BlockAt, RootAt, Receipt, TxHeight)
+//     take the read lock; internal unlocked variants serve the execution
+//     path, which already holds the write lock.
+//   - Query* and StaticCall take the full write lock even though they are
+//     logically reads: state.DB reads mutate working-set and flat-cache
+//     structures. Historical Query*At reads are served between blocks by
+//     construction — the lock excludes a concurrent mid-block Commit.
+//   - SubmitTx/SubmitTxs take no chain lock at all; the pool has its own.
+//     Lock order is chain.mu before pool.mu (ProposeBatch), never the
+//     reverse.
 type Chain struct {
 	cfg     Config
 	db      *state.DB
 	headers *core.HeaderStore
 
+	mu        sync.RWMutex
 	blocks    []*types.Block // height-indexed, genesis at 0
 	rootsAt   []hashing.Hash // state root after executing height i
 	receipts  map[hashing.Hash]*types.Receipt
@@ -157,10 +178,24 @@ func (c *Chain) StateDB() *state.DB { return c.db }
 func (c *Chain) Headers() *core.HeaderStore { return c.headers }
 
 // Head returns the current head header.
-func (c *Chain) Head() *types.Header { return c.blocks[len(c.blocks)-1].Header }
+func (c *Chain) Head() *types.Header {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head()
+}
+
+// head is Head without locking, for callers already holding c.mu.
+func (c *Chain) head() *types.Header { return c.blocks[len(c.blocks)-1].Header }
 
 // HeaderAt returns the header at a height.
 func (c *Chain) HeaderAt(height uint64) (*types.Header, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.headerAt(height)
+}
+
+// headerAt is HeaderAt without locking.
+func (c *Chain) headerAt(height uint64) (*types.Header, bool) {
 	if height >= uint64(len(c.blocks)) {
 		return nil, false
 	}
@@ -169,6 +204,8 @@ func (c *Chain) HeaderAt(height uint64) (*types.Header, bool) {
 
 // BlockAt returns the block at a height.
 func (c *Chain) BlockAt(height uint64) (*types.Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if height >= uint64(len(c.blocks)) {
 		return nil, false
 	}
@@ -185,7 +222,9 @@ func (c *Chain) Close() error { return c.db.Close() }
 // bit-identical to what BuildMoveProof produced when that height was the
 // head — the trees are canonical, so the historical rebuild is exact.
 func (c *Chain) Move2ProofAt(contract hashing.Address, height uint64) (*types.Move2Payload, error) {
-	root, ok := c.RootAt(height)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	root, ok := c.rootAt(height)
 	if !ok {
 		return nil, fmt.Errorf("chain %s: no root at height %d", c.cfg.ChainID, height)
 	}
@@ -194,6 +233,13 @@ func (c *Chain) Move2ProofAt(contract hashing.Address, height uint64) (*types.Mo
 
 // RootAt returns the state root after executing the block at a height.
 func (c *Chain) RootAt(height uint64) (hashing.Hash, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rootAt(height)
+}
+
+// rootAt is RootAt without locking.
+func (c *Chain) rootAt(height uint64) (hashing.Hash, bool) {
 	if height >= uint64(len(c.rootsAt)) {
 		return hashing.Hash{}, false
 	}
@@ -202,24 +248,32 @@ func (c *Chain) RootAt(height uint64) (hashing.Hash, bool) {
 
 // Receipt returns the receipt of an executed transaction.
 func (c *Chain) Receipt(id hashing.Hash) (*types.Receipt, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	r, ok := c.receipts[id]
 	return r, ok
 }
 
 // TxHeight returns the height at which a transaction executed.
 func (c *Chain) TxHeight(id hashing.Hash) (uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	h, ok := c.txHeights[id]
 	return h, ok
 }
 
 // StaticCall runs a read-only contract call against the current state (the
 // equivalent of an RPC eth_call; experiment harnesses and examples use it
-// to read contract views without a transaction).
+// to read contract views without a transaction). It takes the write lock:
+// EVM reads warm state-DB caches.
 func (c *Chain) StaticCall(from, to hashing.Address, input []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.head()
 	blockCtx := evm.BlockContext{
 		ChainID:   c.cfg.ChainID,
-		Number:    c.Head().Height,
-		Time:      c.Head().Time,
+		Number:    head.Height,
+		Time:      head.Time,
 		GasLimit:  c.cfg.BlockGasLimit,
 		BlockHash: c.blockHashFn(),
 	}
@@ -279,30 +333,43 @@ func (c *Chain) PendingTxs() int { return c.pool.Len() }
 
 // OnBlock registers a committed-block listener.
 func (c *Chain) OnBlock(l BlockListener) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.listeners = append(c.listeners, l)
 }
 
 // NotifyTx registers a one-shot listener fired when the transaction with
 // the given id executes. If it already executed, the listener fires
-// immediately.
+// immediately (outside the chain lock, like every listener invocation).
 func (c *Chain) NotifyTx(id hashing.Hash, l TxListener) {
-	if rec, ok := c.receipts[id]; ok {
-		height := c.txHeights[id]
-		l(rec, c.blocks[height])
+	c.mu.Lock()
+	rec, ok := c.receipts[id]
+	if !ok {
+		c.txWaiters[id] = append(c.txWaiters[id], l)
+		c.mu.Unlock()
 		return
 	}
-	c.txWaiters[id] = append(c.txWaiters[id], l)
+	block := c.blocks[c.txHeights[id]]
+	c.mu.Unlock()
+	l(rec, block)
 }
 
 // ProposeBatch selects the next block's transactions from the pool.
+// The chain lock covers the pool's nonceOf callbacks into the state DB
+// (nonce reads warm DB caches); lock order chain.mu → pool.mu.
 func (c *Chain) ProposeBatch() []*types.Transaction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.pool.NextBatch(c.cfg.MaxBlockTxs, c.db.GetNonce)
 }
 
 // ApplyBlock executes txs as the next block at simulated unix time now,
-// proposed by the given address, and commits it.
+// proposed by the given address, and commits it. The write lock is held
+// from execution through commit and index updates; listeners and waiters
+// fire after it is released, so they can freely call back into the chain.
 func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashing.Address) (*types.Block, []*types.Receipt) {
-	height := c.Head().Height + 1
+	c.mu.Lock()
+	height := c.head().Height + 1
 	blockCtx := evm.BlockContext{
 		ChainID:   c.cfg.ChainID,
 		Number:    height,
@@ -356,7 +423,7 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 	header := &types.Header{
 		ChainID:    c.cfg.ChainID,
 		Height:     height,
-		ParentHash: c.Head().Hash(),
+		ParentHash: c.head().Hash(),
 		StateRoot:  headerRoot,
 		TxRoot:     types.TxRoot(txs),
 		Time:       now,
@@ -376,16 +443,31 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 		c.receipts[rec.TxID] = rec
 		c.txHeights[rec.TxID] = height
 	}
-	for _, l := range c.listeners {
-		l(block, receipts)
+	// Snapshot listeners and collect fired waiters under the lock, then
+	// release it before invoking any callback: the header relay's listener
+	// reads HeaderAt of this very chain, and waiters may register new ones.
+	listeners := c.listeners
+	var fired []struct {
+		l   TxListener
+		rec *types.Receipt
 	}
 	for _, rec := range receipts {
 		if waiters, ok := c.txWaiters[rec.TxID]; ok {
 			delete(c.txWaiters, rec.TxID)
 			for _, l := range waiters {
-				l(rec, block)
+				fired = append(fired, struct {
+					l   TxListener
+					rec *types.Receipt
+				}{l, rec})
 			}
 		}
+	}
+	c.mu.Unlock()
+	for _, l := range listeners {
+		l(block, receipts)
+	}
+	for _, f := range fired {
+		f.l(f.rec, block)
 	}
 	c.observeParallel(pstats)
 	c.observeScheduled(sstats)
@@ -413,9 +495,12 @@ func (c *Chain) observeBlock(block *types.Block) {
 	c.observePoolDepth()
 }
 
+// blockHashFn returns the EVM BLOCKHASH resolver. It reads headers without
+// locking: every caller (ApplyBlock execution, StaticCall) already holds
+// c.mu, and an RLock here would self-deadlock against the held write lock.
 func (c *Chain) blockHashFn() func(uint64) hashing.Hash {
 	return func(height uint64) hashing.Hash {
-		h, ok := c.HeaderAt(height)
+		h, ok := c.headerAt(height)
 		if !ok {
 			return hashing.ZeroHash
 		}
@@ -545,6 +630,65 @@ func (c *Chain) move2Gas(p *types.Move2Payload) uint64 {
 		s.CodeByte*codeSize +
 		s.SStoreSet*uint64(len(p.Storage)) +
 		s.Sha3 + s.Sha3Word*proofWords
+}
+
+// QueryHead returns the head header together with the state root after
+// executing it, read atomically under the chain lock. On LaggingStateRoot
+// chains the header's own StateRoot field trails by one block, so RPC
+// clients need this pairing rather than the raw header.
+func (c *Chain) QueryHead() (*types.Header, hashing.Hash) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	head := c.head()
+	root, _ := c.rootAt(head.Height)
+	return head, root
+}
+
+// QueryAccount returns addr's account record at the head state. It takes
+// the write lock even though it is logically a read: state-DB reads warm
+// working-set and flat-cache structures.
+func (c *Chain) QueryAccount(addr hashing.Address) (state.Account, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.db.GetAccount(addr)
+}
+
+// QueryStorage returns one storage slot of addr at the head state.
+func (c *Chain) QueryStorage(addr hashing.Address, key evm.Word) evm.Word {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.db.GetStorage(addr, key)
+}
+
+// QueryAccountAt returns addr's account record as of the committed state
+// at a past height, as long as that height's root is inside the state
+// backend's retained-root window. Historical reads are only valid between
+// blocks; holding the chain lock excludes a concurrent mid-block commit.
+func (c *Chain) QueryAccountAt(addr hashing.Address, height uint64) (state.Account, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	root, ok := c.rootAt(height)
+	if !ok {
+		return state.Account{}, false, fmt.Errorf("chain %s: no root at height %d", c.cfg.ChainID, height)
+	}
+	return c.db.GetAccountAt(addr, root)
+}
+
+// QueryStorageAt returns one storage slot of addr as of the committed
+// state at a past height inside the retained-root window.
+func (c *Chain) QueryStorageAt(addr hashing.Address, key evm.Word, height uint64) (evm.Word, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	root, ok := c.rootAt(height)
+	if !ok {
+		return evm.Word{}, fmt.Errorf("chain %s: no root at height %d", c.cfg.ChainID, height)
+	}
+	r, err := c.db.OpenAt(root)
+	if err != nil {
+		return evm.Word{}, err
+	}
+	val, _ := r.Slot(backend.SlotKey{Addr: addr, Key: key})
+	return val, nil
 }
 
 // EncodeTxList serializes a consensus payload (the proposed tx batch).

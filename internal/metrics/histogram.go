@@ -5,21 +5,29 @@ import (
 	"time"
 )
 
-// histBuckets is the fixed bucket layout every Histogram shares: upper
-// bounds doubling from 1 ms up to ~18 hours, plus an implicit overflow
-// bucket. Latencies in this simulator are simulated-clock durations —
-// sub-millisecond stages do not occur (the fastest modeled link is 1 ms)
-// and no experiment runs longer than a simulated day.
+// histBuckets is the fixed bucket layout every zero-value Histogram shares:
+// upper bounds doubling from 1 ms up to ~18 hours, plus an implicit
+// overflow bucket. Latencies in the simulator are simulated-clock
+// durations — sub-millisecond stages do not occur (the fastest modeled
+// link is 1 ms) and no experiment runs longer than a simulated day.
+//
+// Wall-clock front-door latencies (RPC round trips, loadgen submit→commit)
+// live on a very different scale: most samples are well under a
+// millisecond, and a run lasts minutes. NewWallHistogram keeps the same
+// 26-bucket doubling shape but re-bases it at 1 µs (1µs << 25 ≈ 33.6 s
+// before the overflow bucket), so microsecond-scale quantiles resolve
+// instead of collapsing into the bottom bucket.
 const (
 	histBase       = time.Millisecond
-	histBucketBits = 26 // 1ms << 25 ≈ 9.3 h; index 26 is the overflow bucket
+	wallHistBase   = time.Microsecond
+	histBucketBits = 26 // base << 25 is the last finite bound; index 26 is the overflow bucket
 )
 
 // bucketIndex returns the bucket whose upper bound is the smallest
-// histBase<<i ≥ d (the overflow bucket for anything larger).
-func bucketIndex(d time.Duration) int {
+// base<<i ≥ d (the overflow bucket for anything larger).
+func bucketIndex(base, d time.Duration) int {
 	for i := 0; i < histBucketBits; i++ {
-		if d <= histBase<<i {
+		if d <= base<<i {
 			return i
 		}
 	}
@@ -27,28 +35,43 @@ func bucketIndex(d time.Duration) int {
 }
 
 // bucketBounds returns the (lower, upper] duration bounds of a bucket.
-func bucketBounds(i int) (time.Duration, time.Duration) {
+func bucketBounds(base time.Duration, i int) (time.Duration, time.Duration) {
 	if i == 0 {
-		return 0, histBase
+		return 0, base
 	}
 	if i >= histBucketBits {
-		return histBase << (histBucketBits - 1), 1 << 62
+		return base << (histBucketBits - 1), 1 << 62
 	}
-	return histBase << (i - 1), histBase << i
+	return base << (i - 1), base << i
 }
 
-// Histogram is a fixed-bucket latency distribution over simulated time:
-// counts in exponentially sized buckets plus the exact sum, minimum, and
-// maximum. Quantiles are estimated by linear interpolation inside the
-// bucket the rank falls into, clamped by the exact extremes; everything is
-// integer arithmetic on deterministic inputs, so two identical runs render
-// identical summaries. The zero value is ready to use.
+// Histogram is a fixed-bucket latency distribution: counts in
+// exponentially sized buckets plus the exact sum, minimum, and maximum.
+// Quantiles are estimated by linear interpolation inside the bucket the
+// rank falls into, clamped by the exact extremes; everything is integer
+// arithmetic on deterministic inputs, so two identical runs render
+// identical summaries. The zero value is ready to use and carries the
+// simulated-time layout (1 ms base); NewWallHistogram re-bases the same
+// layout at 1 µs for wall-clock samples.
 type Histogram struct {
+	base   time.Duration // smallest bucket upper bound; 0 means histBase
 	counts [histBucketBits + 1]uint64
 	count  uint64
 	sum    time.Duration
 	min    time.Duration
 	max    time.Duration
+}
+
+// NewWallHistogram returns a histogram whose bucket layout starts at 1 µs,
+// resolving the sub-millisecond latencies real-socket front doors produce.
+func NewWallHistogram() *Histogram { return &Histogram{base: wallHistBase} }
+
+// bucketBase returns the effective smallest bucket bound.
+func (h *Histogram) bucketBase() time.Duration {
+	if h.base == 0 {
+		return histBase
+	}
+	return h.base
 }
 
 // Observe records one sample. Negative samples are clamped to zero (a
@@ -57,7 +80,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.counts[bucketIndex(d)]++
+	h.counts[bucketIndex(h.bucketBase(), d)]++
 	h.count++
 	h.sum += d
 	if h.count == 1 || d < h.min {
@@ -113,7 +136,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 			continue
 		}
 		if rank < cum+n {
-			lo, hi := bucketBounds(i)
+			lo, hi := bucketBounds(h.bucketBase(), i)
 			if lo < h.min {
 				lo = h.min
 			}

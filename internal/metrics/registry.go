@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -20,9 +21,14 @@ import (
 // randomness, or touches simulation state — enabling it cannot perturb
 // simulated results.
 //
-// Like everything driven by the simulation scheduler the registry is
-// single-threaded by design.
+// Simulation-driven registries are effectively single-threaded (all
+// recording happens on the scheduler goroutine), but the front door
+// records wall-clock samples from arbitrary RPC handler goroutines, so
+// every recording method is additionally guarded by an internal mutex.
+// Reading a *Histogram returned by Histogram() is only safe once
+// concurrent recording has stopped (harnesses read after the run).
 type Registry struct {
+	mu       sync.Mutex
 	counters *Counters
 	gauges   map[string]float64
 	hists    map[string]*Histogram
@@ -65,7 +71,9 @@ func (r *Registry) Count(name string, n uint64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.counters.Add(name, n)
+	r.mu.Unlock()
 }
 
 // EnableTrace switches span retention on or off. Histograms observe spans
@@ -79,25 +87,52 @@ func (r *Registry) EnableTrace(on bool) {
 // TraceEnabled reports whether spans are retained.
 func (r *Registry) TraceEnabled() bool { return r != nil && r.trace }
 
-// Observe records one latency sample into the named histogram.
+// Observe records one latency sample into the named histogram (created
+// with the simulated-time bucket layout on first use).
 func (r *Registry) Observe(name string, d time.Duration) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	r.observeLocked(name, d, false)
+	r.mu.Unlock()
+}
+
+// ObserveWall records one wall-clock latency sample into the named
+// histogram, creating it with the microsecond-based wall-clock bucket
+// layout on first use (see NewWallHistogram). A name observed through
+// Observe first keeps its simulated-time layout.
+func (r *Registry) ObserveWall(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.observeLocked(name, d, true)
+	r.mu.Unlock()
+}
+
+func (r *Registry) observeLocked(name string, d time.Duration, wall bool) {
 	h := r.hists[name]
 	if h == nil {
-		h = &Histogram{}
+		if wall {
+			h = NewWallHistogram()
+		} else {
+			h = &Histogram{}
+		}
 		r.hists[name] = h
 	}
 	h.Observe(d)
 }
 
 // Histogram returns the named histogram, or nil if nothing was observed
-// under that name (always nil on a nil registry).
+// under that name (always nil on a nil registry). The returned pointer is
+// only safe to read once concurrent recording has stopped.
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.hists[name]
 }
 
@@ -106,6 +141,8 @@ func (r *Registry) HistogramNames() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.hists))
 	for name := range r.hists {
 		names = append(names, name)
@@ -119,7 +156,9 @@ func (r *Registry) SetGauge(name string, v float64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.gauges[name] = v
+	r.mu.Unlock()
 }
 
 // MaxGauge raises the named gauge to v if v exceeds its current value
@@ -128,9 +167,11 @@ func (r *Registry) MaxGauge(name string, v float64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	if cur, ok := r.gauges[name]; !ok || v > cur {
 		r.gauges[name] = v
 	}
+	r.mu.Unlock()
 }
 
 // AddGauge adjusts the named gauge by delta (in-flight counts).
@@ -138,7 +179,9 @@ func (r *Registry) AddGauge(name string, delta float64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.gauges[name] += delta
+	r.mu.Unlock()
 }
 
 // Gauge returns the named gauge's value (zero if never set).
@@ -146,6 +189,8 @@ func (r *Registry) Gauge(name string) float64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.gauges[name]
 }
 
@@ -154,6 +199,8 @@ func (r *Registry) GaugeNames() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.gauges))
 	for name := range r.gauges {
 		names = append(names, name)
@@ -190,10 +237,12 @@ func (r *Registry) Span(name string, start, end time.Duration, attrs ...Attr) {
 	if r == nil {
 		return
 	}
-	r.Observe(name, end-start)
+	r.mu.Lock()
+	r.observeLocked(name, end-start, false)
 	if r.trace {
 		r.spans = append(r.spans, Span{Name: name, Start: start, End: end, Attrs: attrs})
 	}
+	r.mu.Unlock()
 }
 
 // Event records a point span (submission, retry, recovery, failure). It
@@ -203,7 +252,9 @@ func (r *Registry) Event(name string, at time.Duration, attrs ...Attr) {
 	if r == nil || !r.trace {
 		return
 	}
+	r.mu.Lock()
 	r.spans = append(r.spans, Span{Name: name, Start: at, End: at, Attrs: attrs})
+	r.mu.Unlock()
 }
 
 // Spans returns the retained trace in emission order (simulated time order,

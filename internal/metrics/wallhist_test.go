@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The zero-value Histogram is tuned for simulated time: its smallest
+// bucket spans (0, 1ms], so every sub-millisecond wall-clock sample lands
+// in bucket 0 and the interpolated quantiles are meaningless. The
+// wall-clock layout re-bases the buckets at 1 µs, which keeps exponential
+// quantile accuracy (within one power-of-two bucket) at µs scale.
+func TestWallHistogramQuantileAccuracyAtMicrosecondScale(t *testing.T) {
+	// Uniform samples 1..1000 µs: true p50 ≈ 500 µs, p95 ≈ 950 µs.
+	wall := NewWallHistogram()
+	sim := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		wall.Observe(d)
+		sim.Observe(d)
+	}
+
+	// Exponential buckets bound relative error by 2x: the estimate lives
+	// in the same power-of-two bucket as the true quantile.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := wall.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("wall Quantile(%v) = %v, want within 2x of %v", c.q, got, c.want)
+		}
+	}
+
+	// Regression guard for the original defect: the simulated-time layout
+	// collapses all 1000 sub-ms samples into bucket 0, so its p50 and p95
+	// are indistinguishable (both interpolate across the same bucket and
+	// land near max), while the wall layout separates them cleanly.
+	if sim.counts[0] != 1000 {
+		t.Fatalf("sim layout: bucket0 = %d, want all 1000 sub-ms samples", sim.counts[0])
+	}
+	if wallP50, wallP95 := wall.P50(), wall.P95(); wallP95 < wallP50*3/2 {
+		t.Errorf("wall layout: p95 %v not separated from p50 %v", wallP95, wallP50)
+	}
+}
+
+// ObserveWall creates µs-based histograms through the registry; Observe
+// keeps the legacy simulated-time layout for the same registry.
+func TestRegistryObserveWallLayout(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		r.ObserveWall("wall", time.Duration(i)*10*time.Microsecond)
+		r.Observe("sim", time.Duration(i)*10*time.Microsecond)
+	}
+	wall, sim := r.Histogram("wall"), r.Histogram("sim")
+	if wall == nil || sim == nil {
+		t.Fatal("histograms not recorded")
+	}
+	if wall.bucketBase() != wallHistBase {
+		t.Errorf("wall base = %v, want %v", wall.bucketBase(), wallHistBase)
+	}
+	if sim.bucketBase() != histBase {
+		t.Errorf("sim base = %v, want %v", sim.bucketBase(), histBase)
+	}
+	// True p50 of 10µs..1000µs uniform ≈ 500µs; the sim layout can only
+	// answer ≥ bucket-0 interpolation, the wall layout resolves it.
+	if got := wall.P50(); got < 250*time.Microsecond || got > 1000*time.Microsecond {
+		t.Errorf("wall p50 = %v, want near 500µs", got)
+	}
+}
+
+// Recording from many goroutines must be race-free (exercised with -race
+// in `make race`): the RPC front door observes wall latencies from
+// arbitrary handler goroutines.
+func TestRegistryConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const goroutines, samples = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < samples; i++ {
+				r.ObserveWall("rtt", time.Duration(rng.Intn(5000))*time.Microsecond)
+				r.Count("reqs", 1)
+				r.AddGauge("inflight", 1)
+				r.AddGauge("inflight", -1)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := r.Histogram("rtt").Count(); got != goroutines*samples {
+		t.Errorf("rtt count = %d, want %d", got, goroutines*samples)
+	}
+	if got := r.Counters().Get("reqs"); got != goroutines*samples {
+		t.Errorf("reqs = %d, want %d", got, goroutines*samples)
+	}
+	if got := r.Gauge("inflight"); got != 0 {
+		t.Errorf("inflight = %v, want 0", got)
+	}
+}

@@ -1,0 +1,105 @@
+// Realtime driver: runs a discrete-event Scheduler against the wall
+// clock. The discrete-event mode executes every queued event as fast as
+// possible with simulated time jumping between events; the realtime
+// driver instead anchors the scheduler's timeline to the wall clock, so
+// an event scheduled at simulated time T runs when the wall clock reaches
+// anchor+T. Consensus timers, block intervals, and link delays written
+// against the scheduler API then play out in real time without any
+// changes to the components — the same code runs bit-identically under
+// the deterministic driver and approximately (wall-clock jitter, real
+// goroutine interleaving) under this one.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Realtime pumps a Scheduler's events on one goroutine (Run) while
+// accepting externally-posted work from any goroutine (Post). All
+// scheduler access is serialized under an internal mutex, so components
+// driven by the scheduler remain effectively single-threaded — exactly
+// the execution model the deterministic driver provides, minus the
+// determinism (arrival order now depends on the wall clock).
+type Realtime struct {
+	mu     sync.Mutex
+	s      *Scheduler
+	anchor time.Time // wall-clock instant corresponding to simulated time zero
+	wake   chan struct{}
+}
+
+// NewRealtime wraps a scheduler, anchoring its current simulated time to
+// the present wall-clock instant.
+func NewRealtime(s *Scheduler) *Realtime {
+	return &Realtime{
+		s:      s,
+		anchor: time.Now().Add(-s.Now()),
+		wake:   make(chan struct{}, 1),
+	}
+}
+
+// Elapsed returns the wall-clock time elapsed on the scheduler's
+// timeline (the "current simulated time" a posted event is stamped with).
+func (d *Realtime) Elapsed() time.Duration { return time.Since(d.anchor) }
+
+// Post schedules fn at the current wall-clock position of the timeline
+// and wakes the Run loop. It is safe from any goroutine and is the only
+// correct way to inject work (RPC submissions, TCP deliveries) into
+// scheduler-driven components while Run is active: fn executes on the
+// Run goroutine, serialized with every scheduler event.
+func (d *Realtime) Post(fn func()) {
+	d.mu.Lock()
+	d.s.At(d.Elapsed(), fn)
+	d.mu.Unlock()
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run executes due events until stop is closed. Between events it sleeps
+// on the wall clock — until the next queued event's time, or until a Post
+// wakes it. Call it from exactly one goroutine.
+func (d *Realtime) Run(stop <-chan struct{}) {
+	for {
+		// Drain everything due at the current wall-clock position. The
+		// batch bound keeps one pathological event storm from starving the
+		// stop channel forever.
+		d.mu.Lock()
+		for i := 0; i < 4096; i++ {
+			at, ok := d.s.NextAt()
+			if !ok || at > d.Elapsed() {
+				break
+			}
+			d.s.Step()
+		}
+		next, ok := d.s.NextAt()
+		d.mu.Unlock()
+
+		var wait time.Duration
+		if ok {
+			wait = next - d.Elapsed()
+			if wait <= 0 {
+				// More work already due (event storm or time passed while
+				// draining) — yield to the stop/wake check without sleeping.
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				continue
+			}
+		} else {
+			wait = time.Hour // idle; a Post will wake us long before
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-stop:
+			timer.Stop()
+			return
+		case <-d.wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}

@@ -90,6 +90,16 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
+// NextAt peeks at the earliest queued event's time without running it.
+// The realtime driver uses it to decide how long to sleep on the wall
+// clock before the next due event.
+func (s *Scheduler) NextAt() (time.Duration, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
 type event struct {
 	at  time.Duration
 	seq uint64 // tie-break: FIFO among same-time events

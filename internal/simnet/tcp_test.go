@@ -1,0 +1,308 @@
+package simnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scmove/internal/codec"
+)
+
+// stringCodec is a trivial WireCodec for transport tests: payloads are
+// strings, encoded length-prefixed.
+type stringCodec struct{}
+
+func (stringCodec) EncodePayload(payload any) ([]byte, error) {
+	s, ok := payload.(string)
+	if !ok {
+		return nil, fmt.Errorf("stringCodec: %T", payload)
+	}
+	w := codec.NewWriter(len(s) + 8)
+	w.WriteString(s)
+	return w.Bytes(), nil
+}
+
+func (stringCodec) DecodePayload(b []byte) (any, error) {
+	r := codec.NewReader(b)
+	s := r.ReadString()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("consensus message bytes")
+	frame := EncodeFrame(7, 9, payload)
+	body, err := ReadFrame(bytes.NewReader(frame), DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to, got, err := DecodeFrame(body, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 7 || to != 9 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: from=%d to=%d payload=%q", from, to, got)
+	}
+}
+
+// An oversized length prefix must be refused before any allocation: a
+// hostile peer claiming a 4 GiB frame costs four header bytes, not four
+// gigabytes.
+func TestFrameOversizedLengthPrefix(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 0xFFFFFFFF)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), DefaultMaxFrame); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	// One byte above the bound is refused; exactly at the bound is not.
+	binary.BigEndian.PutUint32(hdr[:], 17)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge at bound+1", err)
+	}
+	body := append([]byte{0, 0, 0, 4}, []byte("abcd")...)
+	if _, err := ReadFrame(bytes.NewReader(body), 4); err != nil {
+		t.Fatalf("frame at exactly maxFrame refused: %v", err)
+	}
+}
+
+// A frame whose body is shorter than its prefix claims (stream truncated
+// by a disconnect) surfaces io.ErrUnexpectedEOF, not a hang or a panic.
+func TestFrameTruncatedBody(t *testing.T) {
+	frame := EncodeFrame(1, 2, []byte("full payload"))
+	for cut := 1; cut < len(frame); cut++ {
+		_, err := ReadFrame(bytes.NewReader(frame[:cut]), DefaultMaxFrame)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Zero bytes is a clean EOF — the peer closed between frames.
+	if _, err := ReadFrame(bytes.NewReader(nil), DefaultMaxFrame); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// Mid-frame disconnect on a real connection: the writer sends a partial
+// frame and closes; the reader must error out rather than wait forever.
+func TestFrameMidFrameDisconnect(t *testing.T) {
+	client, server := net.Pipe()
+	frame := EncodeFrame(3, 4, bytes.Repeat([]byte{0xAB}, 256))
+	go func() {
+		client.Write(frame[:len(frame)/2])
+		client.Close()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReadFrame(server, DefaultMaxFrame)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader hung on mid-frame disconnect")
+	}
+}
+
+// DecodeFrame bounds its payload with ReadBytesMax: a body whose inner
+// length claim exceeds the remaining bytes (or the bound) errors.
+func TestDecodeFrameHostileBody(t *testing.T) {
+	cases := [][]byte{
+		nil,                   // empty body
+		{0x01},                // from only
+		{0x01, 0x02},          // missing payload length
+		{0x01, 0x02, 0xFF},    // truncated uvarint
+		{0x01, 0x02, 0x10, 0}, // payload length 16, one byte present
+		append([]byte{0x01, 0x02}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01), // absurd length claim
+	}
+	for i, body := range cases {
+		if _, _, _, err := DecodeFrame(body, DefaultMaxFrame); err == nil {
+			t.Errorf("case %d: hostile body decoded cleanly", i)
+		}
+	}
+	// Trailing garbage after a valid payload is an error too.
+	frame := EncodeFrame(1, 2, []byte("x"))
+	body := append(frame[frameHeaderSize:], 0xEE)
+	if _, _, _, err := DecodeFrame(body, DefaultMaxFrame); err == nil {
+		t.Error("trailing bytes decoded cleanly")
+	}
+}
+
+// End-to-end delivery over real sockets: payloads arrive decoded, in
+// per-link FIFO order, and a down node receives nothing.
+func TestTCPTransportDelivery(t *testing.T) {
+	tr := NewTCP(stringCodec{}, nil, 0)
+	defer tr.Close()
+
+	const n = 50
+	var mu sync.Mutex
+	got := make(map[NodeID][]string)
+	deliveredCh := make(chan struct{}, 2*n)
+	handler := func(self NodeID) Handler {
+		return func(from NodeID, payload any) {
+			mu.Lock()
+			got[self] = append(got[self], payload.(string))
+			mu.Unlock()
+			deliveredCh <- struct{}{}
+		}
+	}
+	for id := NodeID(1); id <= 3; id++ {
+		if err := tr.Register(id, 0, handler(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		tr.Send(1, 2, fmt.Sprintf("a%03d", i))
+		tr.Send(3, 2, fmt.Sprintf("b%03d", i))
+	}
+	for i := 0; i < 2*n; i++ {
+		select {
+		case <-deliveredCh:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out after %d deliveries", i)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var as, bs []string
+	for _, s := range got[2] {
+		if s[0] == 'a' {
+			as = append(as, s)
+		} else {
+			bs = append(bs, s)
+		}
+	}
+	if len(as) != n || len(bs) != n {
+		t.Fatalf("node 2 got %d+%d messages, want %d+%d", len(as), len(bs), n, n)
+	}
+	for i := 0; i < n; i++ {
+		if as[i] != fmt.Sprintf("a%03d", i) || bs[i] != fmt.Sprintf("b%03d", i) {
+			t.Fatalf("per-link FIFO violated at %d: %s %s", i, as[i], bs[i])
+		}
+	}
+}
+
+func TestTCPTransportDownNode(t *testing.T) {
+	tr := NewTCP(stringCodec{}, nil, 0)
+	defer tr.Close()
+	delivered := make(chan string, 8)
+	for id := NodeID(1); id <= 2; id++ {
+		if err := tr.Register(id, 0, func(from NodeID, payload any) {
+			delivered <- payload.(string)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.SetNodeDown(2, true)
+	tr.Send(1, 2, "while down")
+	tr.SetNodeDown(2, false)
+	tr.Send(1, 2, "after revive")
+	select {
+	case s := <-delivered:
+		if s != "after revive" {
+			t.Fatalf("delivered %q, want only the post-revive message", s)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-revive message not delivered")
+	}
+	select {
+	case s := <-delivered:
+		t.Fatalf("unexpected extra delivery %q", s)
+	case <-time.After(50 * time.Millisecond):
+	}
+	_, _, dropped, _ := tr.Stats()
+	if dropped == 0 {
+		t.Error("down-node send not counted as dropped")
+	}
+}
+
+// A hostile peer writing junk at a node's listener is rejected without
+// crashing the transport, and well-formed traffic keeps flowing after.
+func TestTCPTransportHostilePeer(t *testing.T) {
+	tr := NewTCP(stringCodec{}, nil, 0)
+	defer tr.Close()
+	delivered := make(chan string, 8)
+	for id := NodeID(1); id <= 2; id++ {
+		if err := tr.Register(id, 0, func(from NodeID, payload any) {
+			delivered <- payload.(string)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, _ := tr.Addr(2)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversized claim followed by garbage.
+	junk := make([]byte, 64)
+	binary.BigEndian.PutUint32(junk, 0xFFFFFFF0)
+	c.Write(junk)
+	c.Close()
+
+	tr.Send(1, 2, "still alive")
+	select {
+	case s := <-delivered:
+		if s != "still alive" {
+			t.Fatalf("delivered %q", s)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("transport wedged after hostile peer")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, _, rejected := tr.Stats(); rejected > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hostile frame not counted as rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// FuzzFrameDecode drives hostile bytes through the frame reader and body
+// decoder: no panic, no unbounded allocation, and every accepted frame
+// re-encodes to an equivalent decode (wired into `make fuzzsmoke`).
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(EncodeFrame(1, 2, []byte("hello")))
+	f.Add(EncodeFrame(0, 0, nil))
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 1, 0xAA})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 2, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 16
+		body, err := ReadFrame(bytes.NewReader(data), maxFrame)
+		if err != nil {
+			return
+		}
+		from, to, payload, err := DecodeFrame(body, maxFrame)
+		if err != nil {
+			return
+		}
+		// Accepted frames survive a round trip.
+		again := EncodeFrame(from, to, payload)
+		body2, err := ReadFrame(bytes.NewReader(again), maxFrame)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		f2, t2, p2, err := DecodeFrame(body2, maxFrame)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if f2 != from || t2 != to || !bytes.Equal(p2, payload) {
+			t.Fatalf("round trip mismatch: (%d,%d,%x) vs (%d,%d,%x)", from, to, payload, f2, t2, p2)
+		}
+	})
+}

@@ -39,6 +39,8 @@ type File struct {
 	// CompactMinBytes is the dead-byte floor below which compaction never
 	// triggers (avoids rewriting tiny stores). Tests lower it.
 	CompactMinBytes int64
+
+	closed bool
 }
 
 // loc locates one live value inside a segment.
@@ -487,8 +489,14 @@ func (f *File) Sync() error {
 	return nil
 }
 
-// Close implements Backend.
+// Close implements Backend. Closing an already-closed store is an error:
+// it almost always means two owners both think they are responsible for the
+// store's lifecycle, and silently succeeding would hide the double-free.
 func (f *File) Close() error {
+	if f.closed {
+		return fmt.Errorf("backend: store %s already closed", f.dir)
+	}
+	f.closed = true
 	var firstErr error
 	for id, file := range f.segs {
 		if err := file.Sync(); err != nil && firstErr == nil {

@@ -202,9 +202,10 @@ func TestStragglerCatchesUpAfterLoss(t *testing.T) {
 	// rather than stalling the quorum forever.
 	sched, cluster, _ := newCluster(t, 10)
 	ids := cluster.NodeIDs()
+	wan := cluster.net.(*simnet.Network) // fault injection is a deterministic-network feature
 	for _, other := range ids[1:] {
 		// SetLinkCut is bidirectional.
-		cluster.net.SetLinkCut(ids[0], other, true)
+		wan.SetLinkCut(ids[0], other, true)
 	}
 	cluster.Start()
 	sched.RunUntil(60 * time.Second)
@@ -214,7 +215,7 @@ func TestStragglerCatchesUpAfterLoss(t *testing.T) {
 		t.Fatalf("isolated validator at %d, cluster at %d: expected a straggler", behind, committed)
 	}
 	for _, other := range ids[1:] {
-		cluster.net.SetLinkCut(ids[0], other, false)
+		wan.SetLinkCut(ids[0], other, false)
 	}
 	sched.RunUntil(2 * time.Minute)
 	if got := cluster.validators[0].height; got <= committed {

@@ -1,0 +1,81 @@
+package tendermint
+
+import (
+	"bytes"
+	"testing"
+
+	"scmove/internal/hashing"
+)
+
+func TestWireProposalRoundTrip(t *testing.T) {
+	c := WireMessages()
+	in := msgProposal{Height: 42, Round: 3, Payload: []byte("block bytes"), From: 5}
+	enc, err := c.EncodePayload(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.DecodePayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(msgProposal)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if got.Height != in.Height || got.Round != in.Round || got.From != in.From ||
+		!bytes.Equal(got.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestWireVoteRoundTrip(t *testing.T) {
+	c := WireMessages()
+	for _, kind := range []voteKind{votePrevote, votePrecommit} {
+		in := msgVote{Kind: kind, Height: 7, Round: 1, PayloadHash: hashing.Sum([]byte("p")), From: 2}
+		enc, err := c.EncodePayload(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.DecodePayload(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.(msgVote); got != in {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+		}
+	}
+}
+
+func TestWireRejectsHostileInput(t *testing.T) {
+	c := WireMessages()
+	cases := [][]byte{
+		nil,
+		{0x09},             // unknown kind
+		{0x01},             // proposal with nothing else
+		{0x02, 0x07},       // vote with bad kind and nothing else
+		{0x01, 0x01, 0x01}, // proposal missing payload
+		append([]byte{0x01, 0x01, 0x01}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01), // absurd payload length
+	}
+	for i, b := range cases {
+		if _, err := c.DecodePayload(b); err == nil {
+			t.Errorf("case %d decoded cleanly", i)
+		}
+	}
+	// Out-of-range indices are rejected even when framing is intact.
+	enc, err := c.EncodePayload(msgProposal{Height: 1, Round: maxWireIndex + 1, Payload: nil, From: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecodePayload(enc); err == nil {
+		t.Error("oversized round decoded cleanly")
+	}
+	// Trailing garbage is an error.
+	good, _ := c.EncodePayload(msgVote{Kind: votePrevote, Height: 1, Round: 0, From: 0})
+	if _, err := c.DecodePayload(append(good, 0xEE)); err == nil {
+		t.Error("trailing bytes decoded cleanly")
+	}
+	// Unencodable payload types error instead of panicking.
+	if _, err := c.EncodePayload("not a consensus message"); err == nil {
+		t.Error("foreign payload encoded cleanly")
+	}
+}

@@ -6,6 +6,7 @@ package txpool
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"scmove/internal/hashing"
 	"scmove/internal/types"
@@ -17,12 +18,19 @@ var (
 	ErrPoolFull  = errors.New("txpool: pool is full")
 )
 
-// Pool holds pending transactions for one chain. It is not safe for
-// concurrent use; the owning node serializes access on its event loop.
+// Pool holds pending transactions for one chain. It is safe for concurrent
+// use: the discrete-event simulator serializes access on its event loop,
+// but the RPC front door calls Add from arbitrary handler goroutines while
+// the consensus driver drains via NextBatch/Remove, so every method takes
+// an internal mutex. Signature recovery — the expensive ECDSA work — runs
+// outside the lock; admission decisions (duplicate, capacity, insertion
+// order) are re-checked and applied under it, so single-threaded callers
+// observe exactly the historical semantics.
 type Pool struct {
 	chainID hashing.ChainID
 	limit   int
 
+	mu      sync.Mutex
 	queue   []*entry
 	pending map[hashing.Hash]struct{}
 
@@ -65,7 +73,11 @@ func New(chainID hashing.ChainID, limit int) *Pool {
 }
 
 // Len returns the number of pending transactions.
-func (p *Pool) Len() int { return len(p.queue) }
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
 
 // Add validates and enqueues a transaction. The signature is recovered
 // exactly once, through the types sender cache: stateless checks and the
@@ -77,20 +89,41 @@ func (p *Pool) Len() int { return len(p.queue) }
 // resubmission of an already-pending transaction must report ErrDuplicate
 // even when the pool is full — it consumes no slot, and callers treat
 // ErrPoolFull as capacity pressure worth backing off for.
+//
+// The duplicate/capacity pre-check and the insertion are two critical
+// sections with the ECDSA recovery between them, so the pool mutex is
+// never held across crypto (holding it would serialize signature checks
+// behind one lock and stall the consensus driver). The insertion section
+// re-checks both conditions: two goroutines racing the same transaction
+// resolve to exactly one admission and one ErrDuplicate. For a
+// single-threaded caller the re-check is a no-op and the decision order —
+// stateless, duplicate, capacity, signature — is the historical one.
 func (p *Pool) Add(tx *types.Transaction) error {
 	if err := tx.ValidateStateless(p.chainID); err != nil {
 		return fmt.Errorf("admit tx: %w", err)
 	}
 	id := tx.ID()
+	p.mu.Lock()
+	if _, dup := p.pending[id]; dup {
+		p.mu.Unlock()
+		return ErrDuplicate
+	}
+	if len(p.queue) >= p.limit {
+		p.mu.Unlock()
+		return ErrPoolFull
+	}
+	p.mu.Unlock()
+	sender, err := tx.Sender()
+	if err != nil {
+		return fmt.Errorf("admit tx: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, dup := p.pending[id]; dup {
 		return ErrDuplicate
 	}
 	if len(p.queue) >= p.limit {
 		return ErrPoolFull
-	}
-	sender, err := tx.Sender()
-	if err != nil {
-		return fmt.Errorf("admit tx: %w", err)
 	}
 	p.pending[id] = struct{}{}
 	p.queue = append(p.queue, &entry{tx: tx, sender: sender, id: id})
@@ -113,6 +146,8 @@ func (p *Pool) AddBatch(txs []*types.Transaction) []error {
 
 // Contains reports whether the transaction is pending.
 func (p *Pool) Contains(id hashing.Hash) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, ok := p.pending[id]
 	return ok
 }
@@ -150,6 +185,8 @@ func (p *Pool) NextBatchGrouped(max int, nonceOf func(hashing.Address) uint64) [
 	if max <= 0 {
 		return nil
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	sel, ngroups := p.selectBatch(max, nonceOf)
 	if len(sel) == 0 {
 		return nil
@@ -196,6 +233,8 @@ func (p *Pool) NextBatch(max int, nonceOf func(hashing.Address) uint64) []*types
 	if max <= 0 {
 		return nil
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	sel, _ := p.selectBatch(max, nonceOf)
 	batch := make([]*types.Transaction, len(sel))
 	for i, r := range sel {
@@ -209,7 +248,7 @@ func (p *Pool) NextBatch(max int, nonceOf func(hashing.Address) uint64) []*types
 // eviction. It returns the selections in flat FIFO order (each tagged with
 // its sender-group index, groups numbered in order of first selection) and
 // the number of groups. The returned slice aliases pool-owned scratch and
-// is only valid until the next call.
+// is only valid until the next call. Callers must hold p.mu.
 func (p *Pool) selectBatch(max int, nonceOf func(hashing.Address) uint64) ([]selRec, int) {
 	clear(p.giOf)
 	clear(p.nonceMemo)
@@ -255,6 +294,8 @@ func (p *Pool) selectBatch(max int, nonceOf func(hashing.Address) uint64) ([]sel
 // Remove drops a transaction (e.g. once included in a block received from a
 // peer proposer).
 func (p *Pool) Remove(id hashing.Hash) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, ok := p.pending[id]; !ok {
 		return
 	}

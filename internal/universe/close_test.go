@@ -1,0 +1,56 @@
+package universe
+
+import (
+	"strings"
+	"testing"
+
+	"scmove/internal/state"
+	"scmove/internal/state/backend"
+)
+
+// Close aggregates shutdown failures instead of keeping only the first:
+// with two file-backed chains both failing to close, both chains' errors
+// must surface through the joined error.
+func TestCloseAggregatesAllChainErrors(t *testing.T) {
+	cfg := ShardedConfig(2, 1)
+	cfg.State = state.Options{Backend: backend.KindFile, Dir: t.TempDir()}
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage both chains: close their stores out from under the universe,
+	// so its own Close on each reports a double-close error.
+	for _, id := range u.ChainIDs() {
+		if err := u.Chain(id).Close(); err != nil {
+			t.Fatalf("manual close of %s: %v", id, err)
+		}
+	}
+	err = u.Close()
+	if err == nil {
+		t.Fatal("Close reported success with both backends already closed")
+	}
+	for _, id := range u.ChainIDs() {
+		if !strings.Contains(err.Error(), "chain "+id.String()) {
+			t.Errorf("error does not surface chain %s: %v", id, err)
+		}
+	}
+}
+
+// A clean universe closes cleanly, and RPC-enabled universes close their
+// servers idempotently inside Close.
+func TestCloseCleanUniverse(t *testing.T) {
+	cfg := ShardedConfig(2, 1)
+	cfg.RPC = true
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range u.ChainIDs() {
+		if u.RPCAddr(id) == "" {
+			t.Fatalf("no RPC address for chain %s", id)
+		}
+	}
+	if err := u.Close(); err != nil {
+		t.Fatalf("clean close: %v", err)
+	}
+}

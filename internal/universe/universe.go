@@ -20,6 +20,7 @@ import (
 	"scmove/internal/keys"
 	"scmove/internal/metrics"
 	"scmove/internal/relay"
+	"scmove/internal/rpc"
 	"scmove/internal/simclock"
 	"scmove/internal/simnet"
 	"scmove/internal/state"
@@ -156,6 +157,22 @@ type Config struct {
 	// chain whose spec does not set its own. With the file backend, each
 	// chain stores its segments in a per-chain subdirectory of State.Dir.
 	State state.Options
+	// RPC starts one JSON-over-HTTP front-door server per chain on an
+	// ephemeral loopback port (see RPCAddr): transaction submission, state
+	// queries, and receipt lookups, with wall-clock latency histograms in
+	// WallMetrics. The servers run real goroutines; combined with Realtime
+	// they make the universe a live multi-chain deployment on one machine.
+	RPC bool
+	// Realtime attaches a wall-clock driver to the scheduler: simulated
+	// delays elapse in real time and external goroutines (RPC handlers,
+	// socket readers) inject work via Driver().Post. The caller runs the
+	// driver; see Driver. Incompatible with Chaos (fault injection is a
+	// discrete-event feature).
+	Realtime bool
+	// TCPWan carries consensus traffic over real loopback TCP sockets —
+	// encoded frames between validator goroutines — instead of the
+	// discrete-event network. Requires Realtime.
+	TCPWan bool
 }
 
 // DefaultConfig returns a two-chain (Ethereum + Burrow) universe matching
@@ -215,12 +232,23 @@ type Universe struct {
 	moverCfg    relay.MoverConfig
 	submitLinks map[hashing.ChainID]*simnet.Link
 	relayLinks  map[[2]hashing.ChainID]*simnet.Link
+
+	driver  *simclock.Realtime // non-nil with Config.Realtime
+	tcp     *simnet.TCP        // non-nil with Config.TCPWan
+	rpcs    map[hashing.ChainID]*rpc.Server
+	wallReg *metrics.Registry // wall-clock RPC latencies; nil without RPC
 }
 
 // New builds a universe; call Start to begin block production.
 func New(cfg Config) (*Universe, error) {
 	if len(cfg.Specs) == 0 {
 		return nil, errors.New("universe: no chains configured")
+	}
+	if cfg.TCPWan && !cfg.Realtime {
+		return nil, errors.New("universe: TCPWan requires Realtime (sockets cannot run on virtual time)")
+	}
+	if cfg.Realtime && cfg.Chaos != nil {
+		return nil, errors.New("universe: Chaos is a discrete-event feature, incompatible with Realtime")
 	}
 	sched := simclock.New()
 	netCfg := simnet.Config{JitterFrac: 0.1, Seed: cfg.NetSeed}
@@ -255,6 +283,18 @@ func New(cfg Config) (*Universe, error) {
 		relayLinks:  make(map[[2]hashing.ChainID]*simnet.Link),
 	}
 	net.Observe(u.counters)
+	if cfg.Realtime {
+		u.driver = simclock.NewRealtime(sched)
+	}
+	// The transport seam: consensus clusters send through this interface.
+	// Default is the deterministic discrete-event WAN; TCPWan swaps in real
+	// loopback sockets carrying codec-encoded frames, with deliveries
+	// funneled back onto the realtime driver's event loop.
+	var transport simnet.Transport = net
+	if cfg.TCPWan {
+		u.tcp = simnet.NewTCP(tendermint.WireMessages(), u.driver.Post, 0)
+		transport = u.tcp
+	}
 	if cfg.Metrics || cfg.Trace {
 		u.reg = metrics.NewRegistryWith(u.counters)
 		u.reg.EnableTrace(cfg.Trace)
@@ -355,7 +395,7 @@ func New(cfg Config) (*Universe, error) {
 			}
 			tmCfg := tendermint.DefaultConfig()
 			tmCfg.Interval = spec.Config.BlockInterval
-			node, err := chain.NewBFTNode(sched, net, c, tmCfg, ids, regions)
+			node, err := chain.NewBFTNode(sched, transport, c, tmCfg, ids, regions)
 			if err != nil {
 				return nil, fmt.Errorf("universe: %w", err)
 			}
@@ -403,6 +443,22 @@ func New(cfg Config) (*Universe, error) {
 			}
 		}
 	}
+
+	// Front-door RPC servers, one per chain on an ephemeral loopback port.
+	// They share one wall-clock metrics registry — latencies here are real
+	// time, never simulated time, so they stay out of u.reg.
+	if cfg.RPC {
+		u.wallReg = metrics.NewRegistry()
+		u.rpcs = make(map[hashing.ChainID]*rpc.Server, len(u.order))
+		for _, id := range u.order {
+			srv := rpc.NewServer(u.chains[id], u.wallReg)
+			if err := srv.Start(""); err != nil {
+				u.Close()
+				return nil, fmt.Errorf("universe: %w", err)
+			}
+			u.rpcs[id] = srv
+		}
+	}
 	return u, nil
 }
 
@@ -446,8 +502,19 @@ func (u *Universe) SetRelayerCut(cut bool) {
 	}
 }
 
-// Start launches every chain's consensus.
+// Start launches every chain's consensus. With Realtime the launch is
+// posted onto the driver's event loop: the first cluster's proposals hit
+// peer sockets the moment it starts, and the resulting deliveries must not
+// race the remaining clusters' timer setup on the bare scheduler.
 func (u *Universe) Start() {
+	if u.driver != nil {
+		u.driver.Post(u.startAll)
+		return
+	}
+	u.startAll()
+}
+
+func (u *Universe) startAll() {
 	for _, n := range u.bft {
 		n.Start()
 	}
@@ -459,18 +526,54 @@ func (u *Universe) Start() {
 // Chain returns a chain by id.
 func (u *Universe) Chain(id hashing.ChainID) *chain.Chain { return u.chains[id] }
 
-// Close releases every chain's state backend (file handles of
-// log-structured stores). The universe must not be used afterwards; only
-// needed when running with a persistent state backend, but always safe.
+// Close tears the universe down: RPC servers first (no new ingress), then
+// the TCP transport's listeners and connections, then every chain's state
+// backend (file handles of log-structured stores). The universe must not be
+// used afterwards. All shutdown failures are aggregated with errors.Join —
+// one chain failing to close must not mask another's error.
 func (u *Universe) Close() error {
-	var firstErr error
+	var errs []error
 	for _, id := range u.order {
-		if err := u.chains[id].Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if srv, ok := u.rpcs[id]; ok {
+			if err := srv.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("rpc %s: %w", id, err))
+			}
 		}
 	}
-	return firstErr
+	if u.tcp != nil {
+		if err := u.tcp.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("tcp transport: %w", err))
+		}
+	}
+	for _, id := range u.order {
+		if err := u.chains[id].Close(); err != nil {
+			errs = append(errs, fmt.Errorf("chain %s: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
 }
+
+// RPCAddr returns a chain's front-door address (host:port), or "" when
+// Config.RPC is off.
+func (u *Universe) RPCAddr(id hashing.ChainID) string {
+	if srv, ok := u.rpcs[id]; ok {
+		return srv.Addr()
+	}
+	return ""
+}
+
+// WallMetrics returns the wall-clock metrics registry the RPC servers
+// record into (per-method latency histograms), or nil when RPC is off.
+// Quantiles are only safe to read after ingress stops.
+func (u *Universe) WallMetrics() *metrics.Registry { return u.wallReg }
+
+// Driver returns the wall-clock driver, or nil without Config.Realtime.
+// Run it on its own goroutine; Start enqueues the consensus launch onto it,
+// in either order:
+//
+//	u.Start()
+//	go u.Driver().Run(stop)
+func (u *Universe) Driver() *simclock.Realtime { return u.driver }
 
 // BFTNodes returns every BFT consensus node, in chain configuration order —
 // chaos harnesses inspect their clusters for equivocation evidence.
