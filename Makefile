@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke fuzzsmoke statesmoke rpcsmoke experiments
+.PHONY: check build test vet race bench benchsmoke benchdiff benchgate detsmoke expsmoke fuzzsmoke statesmoke rpcsmoke shardsmoke experiments
 
-check: vet race detsmoke benchsmoke benchgate expsmoke fuzzsmoke statesmoke rpcsmoke
+check: vet race detsmoke benchsmoke benchgate expsmoke fuzzsmoke statesmoke rpcsmoke shardsmoke
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,8 @@ benchsmoke:
 	$(GO) run ./cmd/benchsnap -quick -out /tmp/scmove_bench_smoke.json
 	$(GO) run ./cmd/benchdiff /tmp/scmove_bench_smoke.json /tmp/scmove_bench_smoke.json
 
-OLD ?= BENCH_4.json
-NEW ?= BENCH_5.json
+OLD ?= BENCH_5.json
+NEW ?= BENCH_6.json
 # Wall-clock gate threshold. This host cannot support a tight time gate:
 # same-binary captures drift +/-25% run to run, and binary code layout
 # alone moves tight-loop cells up to ~2x (measured: a one-file main-package
@@ -56,11 +56,12 @@ benchgate:
 # optimistic engine (randomized differential traffic, per-target cutoff,
 # conflict-heavy chaos cell) and the conflict-aware scheduler (three-way
 # scheduled/optimistic/serial differential, no-storm counter pin, Kitties
-# breeding DAG, grouped batch selection): bit-identical results at every
-# worker count.
+# breeding DAG, grouped batch selection), plus the parallel per-tick
+# universe driver (16-chain policy-on scaling cell, serial vs laned
+# drivers): bit-identical results at every worker count.
 detsmoke:
-	$(GO) test -run 'TestVerifyBatchMatchesSerial|TestRecoverSendersMatchesSerialAcrossGOMAXPROCS|TestCommitParallelMatchesSerial|TestHashParallelMatchesRootHashAndProofs|TestApplyBlockParallelDeterminism|TestApplyBlockParallelDifferential|TestParallelAbortFallback|TestParallelPerTargetCutoff|TestApplyBlockScheduledDifferential|TestScheduledConflictingNoStorm|TestScheduledKittiesDAG|TestNextBatchGroupedPreservesFIFO|TestViewPropertyDifferentialRandomOps|TestKittiesReplayCrossGOMAXPROCSDeterminism|TestApplyBlockParallelMatchesSerial|TestChaosCellCrossGOMAXPROCS|TestBackendConformanceDifferential' \
-		./internal/keys/ ./internal/types/ ./internal/state/ ./internal/chain/ ./internal/txpool/ ./internal/workload/ ./internal/bench/
+	$(GO) test -run 'TestVerifyBatchMatchesSerial|TestRecoverSendersMatchesSerialAcrossGOMAXPROCS|TestCommitParallelMatchesSerial|TestHashParallelMatchesRootHashAndProofs|TestApplyBlockParallelDeterminism|TestApplyBlockParallelDifferential|TestParallelAbortFallback|TestParallelPerTargetCutoff|TestApplyBlockScheduledDifferential|TestScheduledConflictingNoStorm|TestScheduledKittiesDAG|TestNextBatchGroupedPreservesFIFO|TestViewPropertyDifferentialRandomOps|TestKittiesReplayCrossGOMAXPROCSDeterminism|TestApplyBlockParallelMatchesSerial|TestChaosCellCrossGOMAXPROCS|TestBackendConformanceDifferential|TestShardedScalingCrossGOMAXPROCSDeterminism|TestRunUntilParallelMatchesSerial' \
+		./internal/keys/ ./internal/types/ ./internal/state/ ./internal/chain/ ./internal/txpool/ ./internal/workload/ ./internal/bench/ ./internal/simclock/
 
 # expsmoke is the experiment-output sanity gate: a CI-scale ablations run
 # plus a chaos run with metrics and span tracing on, captured to /tmp and
@@ -118,6 +119,14 @@ rpcsmoke:
 # SCMOVE_STATESMOKE_ACCOUNTS scales the genesis for quicker local runs.
 statesmoke:
 	SCMOVE_STATESMOKE=1 $(GO) test -run TestStateSmoke -count=1 -timeout 900s ./internal/bench/
+
+# shardsmoke is the sharded-universe scale gate: a 64-chain laned universe
+# with a 100k keyed-user population (SCMOVE_SHARDSMOKE_USERS=1000000 for
+# the full target), lazy relay mesh, parallel-tick driver, and the
+# auto-migration policy engine live. The run must complete with contracts
+# actually migrating off the congested home shard.
+shardsmoke:
+	SCMOVE_SHARDSMOKE=1 $(GO) test -run TestShardSmoke -count=1 -timeout 900s ./internal/workload/
 
 # experiments reruns the paper's figure experiments end to end (the old
 # `make bench` behaviour, before bench came to mean performance snapshots).

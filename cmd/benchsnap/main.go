@@ -221,6 +221,9 @@ func benchmarks() []benchmark {
 		{name: "apply_block_scheduled_disjoint", iters: 20, run: runApplyBlockScheduled(false)},
 		{name: "apply_block_scheduled_conflicting", iters: 20, run: runApplyBlockScheduled(true)},
 		{name: "apply_block_scheduled_kitties_dag", iters: 20, run: runApplyBlockKittiesDAG},
+		{name: "shard_scaling_4", iters: 1, run: runShardScaling(4)},
+		{name: "shard_scaling_16", iters: 1, run: runShardScaling(16)},
+		{name: "shard_scaling_64", iters: 1, run: runShardScaling(64)},
 		{name: "state_commit_memory", iters: 300, run: runStateCommit(backend.KindMemory)},
 		{name: "state_commit_file", iters: 300, run: runStateCommit(backend.KindFile)},
 		{name: "state_flat_warm_read", iters: 1_000_000, run: runStateWarmRead},
@@ -652,6 +655,60 @@ func runFig6Grid(iters int) (Result, error) {
 		_, err := bench.RunFig6Grid(bench.ScaleCI, []int{1, 2, 4}, []float64{0, 0.10})
 		return err
 	})
+}
+
+// runShardScaling measures one cell of the sharded-universe scaling grid:
+// an S-chain laned universe, every contract deployed on one congested
+// shard, and the auto-migration policy engine spreading them to their
+// callers' chains. The headline ns/op is the wall cost of the policy-on
+// run under the parallel-tick driver; the extras carry the simulated
+// steady-state throughput, the policy's throughput gain over the
+// frozen-contracts baseline, the driver speedup over the serial
+// discrete-event loop (on a single-core host this reports overhead, like
+// the apply_block cells), and the migration count/spread. The serial and
+// parallel driver legs must produce bit-identical fingerprints — the cell
+// doubles as a determinism check at benchmark scale.
+func runShardScaling(chains int) func(iters int) (Result, error) {
+	return func(iters int) (Result, error) {
+		var on *workload.ShardedScalingResult
+		procs := benchProcs()
+		prev := runtime.GOMAXPROCS(procs)
+		res, err := measure(iters, func() error {
+			r, err := workload.RunShardedScaling(workload.DefaultShardedScalingConfig(chains, true))
+			if err != nil {
+				return err
+			}
+			on = r
+			return nil
+		})
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return Result{}, err
+		}
+		scfg := workload.DefaultShardedScalingConfig(chains, true)
+		scfg.ParallelTick = false
+		serial, err := workload.RunShardedScaling(scfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if serial.Fingerprint != on.Fingerprint {
+			return Result{}, fmt.Errorf("shard_scaling_%d: parallel-tick fingerprint diverged from serial", chains)
+		}
+		off, err := workload.RunShardedScaling(workload.DefaultShardedScalingConfig(chains, false))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Extra = map[string]float64{
+			"sim_tx_s":    on.Throughput,
+			"policy_gain": on.Throughput / off.Throughput,
+			"moves":       float64(on.Moves.Completed),
+			"spread":      float64(on.FinalSpread),
+			"speedup":     float64(serial.Wall) / float64(on.Wall),
+			"gomaxprocs":  float64(procs),
+			"numcpu":      float64(runtime.NumCPU()),
+		}
+		return res, nil
+	}
 }
 
 // stateBenchCfg is the shared shape of the state-backend cells: a mid-size

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations|chaos|chaossweep|byzantine] [-scale 1.0]
+//	movebench [-experiment all|fig5|fig6|fig7|fig8|fig9|ablations|rebalance|sharded|chaos|chaossweep|byzantine] [-scale 1.0]
 //
 // Scale shrinks population sizes and measurement windows uniformly (0.08 is
 // the CI scale; 1.0 approximates the paper's populations). Results print as
@@ -45,7 +45,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance, chaos, chaossweep, byzantine")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig5, fig6, fig7, fig8, fig9, ablations, rebalance, sharded, chaos, chaossweep, byzantine")
 	scale := flag.Float64("scale", 1.0, "population/duration scale (0.08 = CI, 1.0 = paper-like)")
 	flag.Float64Var(&chaosCfg.DropRate, "drop", chaosCfg.DropRate, "chaos: per-message drop probability on every link")
 	flag.Float64Var(&chaosCfg.DupRate, "dup", chaosCfg.DupRate, "chaos: per-message duplication probability on every link")
@@ -126,9 +126,10 @@ func run(experiment string, scale bench.Scale) error {
 		"chaos":      runChaos,
 		"chaossweep": runChaosSweep,
 		"byzantine":  runByzantine,
+		"sharded":    runSharded,
 	}
 	if experiment == "all" {
-		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "ablations", "rebalance"} {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "ablations", "rebalance", "sharded"} {
 			if err := runs[name](scale); err != nil {
 				return err
 			}
@@ -262,6 +263,34 @@ func runChaosSweep(bench.Scale) error {
 		for _, res := range results {
 			fmt.Println(res)
 		}
+		return nil
+	})
+}
+
+func runSharded(bench.Scale) error {
+	return timed("sharded", func() error {
+		fmt.Println("sharded scaling: congested home shard, auto-migration policy on/off")
+		fmt.Printf("%-7s %-7s %12s %10s %8s %8s %10s\n",
+			"chains", "policy", "committed", "tx/s", "moves", "spread", "wall")
+		base := make(map[int]float64)
+		for _, chains := range []int{4, 16, 64} {
+			for _, policy := range []bool{false, true} {
+				res, err := workload.RunShardedScaling(workload.DefaultShardedScalingConfig(chains, policy))
+				if err != nil {
+					return err
+				}
+				line := fmt.Sprintf("%-7d %-7v %12d %10.1f %8d %8d %10s",
+					chains, policy, res.Committed, res.Throughput,
+					res.Moves.Completed, res.FinalSpread, res.Wall.Round(time.Millisecond))
+				if policy {
+					line += fmt.Sprintf("   gain %.2fx", res.Throughput/base[chains])
+				} else {
+					base[chains] = res.Throughput
+				}
+				fmt.Println(line)
+			}
+		}
+		fmt.Println()
 		return nil
 	})
 }

@@ -123,6 +123,13 @@ type Chain struct {
 	gDepth      string // "txpool.depth.<chain>"
 	gPeak       string // "txpool.peak.<chain>"
 	hInterval   string // "block.interval.<chain>"
+
+	// dispatch, when set, receives the closure that fires block listeners
+	// and tx waiters after ApplyBlock commits. Laned universes route it to
+	// the chain lane's Post so cross-chain callbacks (header relays, client
+	// nonce bookkeeping, workload drivers) run as global events between
+	// waves instead of inside a concurrent wave slot. Nil fires inline.
+	dispatch func(func())
 }
 
 // TxListener observes one transaction's execution.
@@ -302,6 +309,14 @@ func (c *Chain) SetObserver(reg *metrics.Registry, now func() time.Duration) {
 	c.lastBlockAt = now()
 }
 
+// SetDispatcher routes ApplyBlock's post-commit listener and waiter fires
+// through d instead of invoking them inline. Laned universes pass the chain
+// lane's Post so callbacks that touch other chains or shared client state
+// run serially on the global timeline — in both the serial and parallel
+// drivers, keeping their event streams identical. A nil d restores inline
+// firing.
+func (c *Chain) SetDispatcher(d func(func())) { c.dispatch = d }
+
 // observePoolDepth refreshes the pool-depth gauge and its high-water mark.
 func (c *Chain) observePoolDepth() {
 	if c.reg == nil {
@@ -463,11 +478,18 @@ func (c *Chain) ApplyBlock(txs []*types.Transaction, now uint64, proposer hashin
 		}
 	}
 	c.mu.Unlock()
-	for _, l := range listeners {
-		l(block, receipts)
+	fire := func() {
+		for _, l := range listeners {
+			l(block, receipts)
+		}
+		for _, f := range fired {
+			f.l(f.rec, block)
+		}
 	}
-	for _, f := range fired {
-		f.l(f.rec, block)
+	if c.dispatch != nil && (len(listeners) > 0 || len(fired) > 0) {
+		c.dispatch(fire)
+	} else {
+		fire()
 	}
 	c.observeParallel(pstats)
 	c.observeScheduled(sstats)

@@ -4,14 +4,21 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Counters is a set of named monotonic event counters. The chaos tooling
 // uses one shared set per universe to surface fault-injection and recovery
 // events (message drops, duplicates, relayer retries, recoveries, timed-out
-// moves) next to the throughput/latency metrics. Like everything on the
-// simulation scheduler it is single-threaded by design.
+// moves) next to the throughput/latency metrics.
+//
+// A mutex guards the map: laned universes increment shared counters from
+// concurrent per-chain wave workers. Addition commutes, so final values are
+// deterministic even though increment order is not; reads that must be
+// consistent (Snapshot, String) happen after the run, like everything else
+// that inspects results.
 type Counters struct {
+	mu   sync.Mutex
 	vals map[string]uint64
 }
 
@@ -25,14 +32,22 @@ func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Add adds n to the named counter.
 func (c *Counters) Add(name string, n uint64) {
+	c.mu.Lock()
 	c.vals[name] += n
+	c.mu.Unlock()
 }
 
 // Get returns the named counter's value (zero if never incremented).
-func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+func (c *Counters) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
 
 // Names returns every counter name in sorted order.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	names := make([]string, 0, len(c.vals))
 	for name := range c.vals {
 		names = append(names, name)
@@ -43,6 +58,8 @@ func (c *Counters) Names() []string {
 
 // Snapshot returns a copy of the current counter values.
 func (c *Counters) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[string]uint64, len(c.vals))
 	for name, v := range c.vals {
 		out[name] = v
@@ -53,6 +70,8 @@ func (c *Counters) Snapshot() map[string]uint64 {
 // Sum returns the total of every counter whose name starts with prefix
 // (e.g. Sum("relay.") for all relayer events).
 func (c *Counters) Sum(prefix string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var sum uint64
 	for name, v := range c.vals {
 		if strings.HasPrefix(name, prefix) {
@@ -66,7 +85,7 @@ func (c *Counters) Sum(prefix string) uint64 {
 func (c *Counters) String() string {
 	t := NewTable("counter", "value")
 	for _, name := range c.Names() {
-		t.AddRow(name, fmt.Sprintf("%d", c.vals[name]))
+		t.AddRow(name, fmt.Sprintf("%d", c.Get(name)))
 	}
 	return t.String()
 }

@@ -1,0 +1,221 @@
+package simclock
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Clock is the scheduling surface subsystems depend on. Both the Scheduler
+// (global events) and a Lane (per-chain events) implement it, so a
+// consensus cluster, WAN instance, or block producer can be wired onto
+// either without knowing whether the universe is laned.
+type Clock interface {
+	Now() time.Duration
+	NowUnix() uint64
+	At(t time.Duration, fn func())
+	After(d time.Duration, fn func())
+}
+
+// Lane is a per-chain scheduling handle. Events scheduled through a lane
+// are tagged as confined to it: they touch only that lane's state (one
+// chain, its consensus cluster, and its WAN instance) plus thread-safe
+// commutative sinks such as counters. RunUntilParallel exploits the tag to
+// execute same-timestamp events of distinct lanes concurrently; the plain
+// serial driver ignores it, so a laned simulation runs bit-identically
+// under either driver.
+//
+// A lane is owned by exactly one wave worker goroutine at a time; outside
+// waves every method runs on the driver goroutine. Lane methods must only
+// be called from that lane's own events (or from global contexts).
+type Lane struct {
+	s *Scheduler
+	// curSlot is the batch-slot index of the lane event currently
+	// executing; valid only while a wave is active. The wave worker sets it
+	// before invoking each of the lane's events, so children scheduled
+	// during the event land in the slot's staging buffer.
+	curSlot int
+}
+
+// NewLane returns a fresh lane handle on this scheduler.
+func (s *Scheduler) NewLane() *Lane {
+	l := &Lane{s: s}
+	s.lanes = append(s.lanes, l)
+	return l
+}
+
+// Now returns the current simulated time.
+func (l *Lane) Now() time.Duration { return l.s.now }
+
+// NowUnix returns the simulated time as unix-style seconds.
+func (l *Lane) NowUnix() uint64 { return l.s.NowUnix() }
+
+// At schedules fn at absolute time t as an event confined to this lane.
+// During a wave the event is staged in the current slot's buffer and
+// merged into the heap in slot order after the wave joins — exactly the
+// sequence numbers a serial run would have assigned.
+func (l *Lane) At(t time.Duration, fn func()) {
+	if w := l.s.wave; w != nil {
+		if t < l.s.now {
+			t = l.s.now
+		}
+		w.staged[l.curSlot] = append(w.staged[l.curSlot], stagedEvent{at: t, fn: fn, lane: l})
+		return
+	}
+	l.s.insert(t, fn, l)
+}
+
+// After schedules fn to run d from now on this lane.
+func (l *Lane) After(d time.Duration, fn func()) { l.At(l.s.now+d, fn) }
+
+// Post schedules fn as a global event at the current simulated time: the
+// escape hatch for work started inside a lane event that must touch
+// cross-lane state (block listeners feeding header relays, movers, and
+// workload callbacks). Under the parallel driver globals are barriers, so
+// the posted work runs strictly after every event of the current wave.
+func (l *Lane) Post(fn func()) {
+	if w := l.s.wave; w != nil {
+		w.staged[l.curSlot] = append(w.staged[l.curSlot], stagedEvent{at: l.s.now, fn: fn, lane: nil})
+		return
+	}
+	l.s.insert(l.s.now, fn, nil)
+}
+
+// stagedEvent is one event scheduled during a wave, pending merge.
+type stagedEvent struct {
+	at   time.Duration
+	fn   func()
+	lane *Lane
+}
+
+// waveState buffers events scheduled while a multi-lane wave executes.
+// staged is indexed by batch-slot: each slot is written only by the single
+// goroutine running that slot's lane, so no locking is needed.
+type waveState struct {
+	staged [][]stagedEvent
+}
+
+// RunUntilParallel executes events with time ≤ deadline like RunUntil, but
+// within each timestamp, maximal runs of consecutive lane-tagged events
+// ("waves") execute concurrently on at most workers goroutines (one per
+// lane; workers ≤ 0 means GOMAXPROCS). Global events are serial barriers
+// between waves. Per-lane event order is preserved, and events scheduled
+// during a wave are merged in batch-slot order with sequentially assigned
+// sequence numbers — the exact heap state a serial RunUntil would have
+// produced. Provided lane events touch only lane-local state plus
+// commutative thread-safe sinks, the simulation is therefore bit-identical
+// to the serial driver at any worker count.
+func (s *Scheduler) RunUntilParallel(deadline time.Duration, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var batch []event
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		t := s.queue[0].at
+		s.now = t
+		// Pop every event already queued at t, in seq order. Events
+		// scheduled at t during this batch form the next batch.
+		batch = batch[:0]
+		for len(s.queue) > 0 && s.queue[0].at == t {
+			batch = append(batch, s.pop())
+		}
+		for i := 0; i < len(batch); {
+			if batch[i].lane == nil {
+				batch[i].fn()
+				batch[i].fn = nil
+				i++
+				continue
+			}
+			j := i + 1
+			for j < len(batch) && batch[j].lane != nil {
+				j++
+			}
+			s.runWave(batch[i:j], workers)
+			for k := i; k < j; k++ {
+				batch[k].fn = nil
+			}
+			i = j
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// runWave executes one maximal run of lane-tagged same-timestamp events.
+// Slots of the same lane run in order on one goroutine; distinct lanes run
+// concurrently. The single-lane case — the overwhelmingly common one, since
+// most timestamps carry one chain's traffic — executes inline on the
+// driver goroutine with direct scheduling, which is equivalent ordering
+// with zero staging overhead.
+func (s *Scheduler) runWave(slots []event, workers int) {
+	single := true
+	for i := 1; i < len(slots); i++ {
+		if slots[i].lane != slots[0].lane {
+			single = false
+			break
+		}
+	}
+	if single {
+		for i := range slots {
+			slots[i].fn()
+		}
+		return
+	}
+
+	// Group slot indices by lane, in first-appearance order.
+	laneOrder := make([]*Lane, 0, 8)
+	laneSlots := make(map[*Lane][]int, 8)
+	for i := range slots {
+		ln := slots[i].lane
+		if _, ok := laneSlots[ln]; !ok {
+			laneOrder = append(laneOrder, ln)
+		}
+		laneSlots[ln] = append(laneSlots[ln], i)
+	}
+
+	wave := &waveState{staged: make([][]stagedEvent, len(slots))}
+	s.wave = wave
+	if workers > len(laneOrder) {
+		workers = len(laneOrder)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Round-robin lane assignment: worker w owns lanes w, w+workers, …
+			// Assignment cannot affect results — lanes are independent and
+			// staging is per-slot — it only balances load.
+			for li := w; li < len(laneOrder); li += workers {
+				ln := laneOrder[li]
+				for _, si := range laneSlots[ln] {
+					ln.curSlot = si
+					slots[si].fn()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.wave = nil
+	// Merge staged children in slot order: sequence numbers are assigned in
+	// exactly the order a serial execution of the slots would have.
+	for _, staged := range wave.staged {
+		for _, st := range staged {
+			s.insert(st.at, st.fn, st.lane)
+		}
+	}
+}
+
+// pop removes and returns the heap minimum without running it.
+func (s *Scheduler) pop() event {
+	ev := s.queue[0]
+	last := len(s.queue) - 1
+	s.queue[0] = s.queue[last]
+	s.queue[last] = event{} // release the closure for GC
+	s.queue = s.queue[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return ev
+}

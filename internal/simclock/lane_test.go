@@ -1,0 +1,147 @@
+package simclock
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// laneSim builds a randomized lane workload: nLanes lanes each run
+// self-rescheduling chains of events that append to a per-lane log and
+// occasionally Post global events that append to a shared log. The final
+// logs fully determine the execution order, so comparing them between the
+// serial and parallel drivers (at several worker counts) proves
+// bit-identical scheduling.
+func laneSim(t *testing.T, parallel bool, workers int) (perLane []string, global string) {
+	t.Helper()
+	s := New()
+	const nLanes = 5
+	lanes := make([]*Lane, nLanes)
+	logs := make([]string, nLanes)
+	var mu sync.Mutex // guards the global log (a commutative sink it is not — Posts run serially)
+	for i := range lanes {
+		lanes[i] = s.NewLane()
+	}
+	for i := range lanes {
+		i := i
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		var tick func(step int)
+		tick = func(step int) {
+			logs[i] += fmt.Sprintf("%d@%d ", step, s.Now()/time.Millisecond)
+			if step >= 40 {
+				return
+			}
+			// Occasionally hand work to the global timeline, like a block
+			// listener would.
+			if step%7 == 0 {
+				lanes[i].Post(func() {
+					mu.Lock()
+					global += fmt.Sprintf("L%d:%d ", i, step)
+					mu.Unlock()
+					// Globals may schedule back onto any lane.
+					lanes[(i+1)%nLanes].After(time.Duration(step)*time.Millisecond, func() {})
+				})
+			}
+			lanes[i].After(time.Duration(1+rng.Intn(9))*time.Millisecond, func() { tick(step + 1) })
+		}
+		// All lanes start aligned so every early timestamp is a multi-lane wave.
+		lanes[i].At(10*time.Millisecond, func() { tick(0) })
+	}
+	// A recurring pure global event interleaved between waves.
+	var beat func()
+	beat = func() {
+		mu.Lock()
+		global += "g "
+		mu.Unlock()
+		if s.Now() < 300*time.Millisecond {
+			s.After(25*time.Millisecond, beat)
+		}
+	}
+	s.After(10*time.Millisecond, beat)
+
+	if parallel {
+		s.RunUntilParallel(time.Second, workers)
+	} else {
+		s.RunUntil(time.Second)
+	}
+	return logs, global
+}
+
+// TestRunUntilParallelMatchesSerial proves the parallel per-tick driver
+// reproduces the serial scheduler's execution order exactly, at several
+// worker counts, on a randomized workload of aligned multi-lane waves,
+// global barriers, and cross-lane rescheduling.
+func TestRunUntilParallelMatchesSerial(t *testing.T) {
+	wantLogs, wantGlobal := laneSim(t, false, 0)
+	for _, workers := range []int{1, 2, 3, 8} {
+		gotLogs, gotGlobal := laneSim(t, true, workers)
+		if gotGlobal != wantGlobal {
+			t.Fatalf("workers=%d: global order diverged\nserial:   %s\nparallel: %s", workers, wantGlobal, gotGlobal)
+		}
+		for i := range wantLogs {
+			if gotLogs[i] != wantLogs[i] {
+				t.Fatalf("workers=%d: lane %d order diverged\nserial:   %s\nparallel: %s", workers, i, wantLogs[i], gotLogs[i])
+			}
+		}
+	}
+}
+
+// TestLaneWavePreservesSlotOrderForStagedChildren pins the merge rule:
+// children staged during a wave get sequence numbers in batch-slot order,
+// so two lanes scheduling at the same future time fire in the order their
+// parents were scheduled, not in lane-completion order.
+func TestLaneWavePreservesSlotOrderForStagedChildren(t *testing.T) {
+	s := New()
+	a, b := s.NewLane(), s.NewLane()
+	var order string
+	// Slot 0 (lane a) stages global x; slot 1 (lane b) stages global y.
+	// Globals run serially in sequence order, so the merge must yield x
+	// before y regardless of which lane's goroutine finished first.
+	a.At(time.Millisecond, func() {
+		a.Post(func() { order += "x" })
+	})
+	b.At(time.Millisecond, func() {
+		b.Post(func() { order += "y" })
+	})
+	s.RunUntilParallel(time.Second, 4)
+	if order != "xy" {
+		t.Fatalf("staged children ran out of slot order: %q", order)
+	}
+}
+
+// TestSchedulerAtPanicsDuringWave pins the purity assertion: a lane event
+// reaching for the global scheduler mid-wave is a design violation.
+func TestSchedulerAtPanicsDuringWave(t *testing.T) {
+	s := New()
+	a, b := s.NewLane(), s.NewLane()
+	var recovered any
+	a.At(time.Millisecond, func() {
+		defer func() { recovered = recover() }()
+		s.At(2*time.Millisecond, func() {})
+	})
+	b.At(time.Millisecond, func() {})
+	s.RunUntilParallel(time.Second, 4)
+	if recovered == nil {
+		t.Fatal("Scheduler.At inside a wave did not panic")
+	}
+}
+
+// TestLaneSerialDriverIgnoresTags checks a laned workload runs unchanged
+// under the plain serial driver (lane tags are inert there).
+func TestLaneSerialDriverIgnoresTags(t *testing.T) {
+	s := New()
+	l := s.NewLane()
+	var got string
+	l.At(2*time.Millisecond, func() { got += "b" })
+	s.At(time.Millisecond, func() { got += "a" })
+	l.After(3*time.Millisecond, func() { got += "c" })
+	s.RunUntil(time.Second)
+	if got != "abc" {
+		t.Fatalf("serial driver order: %q", got)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock not advanced to deadline: %v", s.Now())
+	}
+}

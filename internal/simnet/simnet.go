@@ -115,7 +115,7 @@ func (c Config) faults() LinkFaults {
 // Network delivers messages between registered nodes over the simulated
 // clock. It is single-threaded, like everything on the scheduler.
 type Network struct {
-	sched *simclock.Scheduler
+	sched simclock.Clock
 	cfg   Config
 	rng   *rand.Rand
 
@@ -132,6 +132,12 @@ type Network struct {
 
 	counters *metrics.Counters
 	reg      *metrics.Registry // optional; feeds in-flight gauges
+	// gInflight/gPeak are the in-flight gauge names ("wan.inflight" by
+	// default), precomputed so the per-message send/delivery paths never
+	// build strings. Laned universes run one Network per chain and give
+	// each a per-chain label, keeping gauge high-water marks lane-local
+	// and thus deterministic under the parallel driver.
+	gInflight, gPeak string
 }
 
 type nodeInfo struct {
@@ -139,8 +145,10 @@ type nodeInfo struct {
 	handler Handler
 }
 
-// New returns an empty network on the given scheduler.
-func New(sched *simclock.Scheduler, cfg Config) *Network {
+// New returns an empty network on the given clock (the global scheduler,
+// or a per-chain lane in a laned universe — each consensus cluster's WAN
+// traffic is confined to its own chain).
+func New(sched simclock.Clock, cfg Config) *Network {
 	return &Network{
 		sched:      sched,
 		cfg:        cfg,
@@ -149,6 +157,8 @@ func New(sched *simclock.Scheduler, cfg Config) *Network {
 		down:       make(map[NodeID]bool),
 		cut:        make(map[[2]NodeID]bool),
 		linkFaults: make(map[[2]NodeID]LinkFaults),
+		gInflight:  "wan.inflight",
+		gPeak:      "wan.inflight.peak",
 	}
 }
 
@@ -157,10 +167,18 @@ func New(sched *simclock.Scheduler, cfg Config) *Network {
 func (n *Network) Observe(c *metrics.Counters) { n.counters = c }
 
 // SetRegistry attaches an observability registry: the network then tracks
-// the number of WAN messages in flight ("wan.inflight") and its high-water
-// mark ("wan.inflight.peak"). Updates happen inside send/delivery paths that
-// already run, so enabling them cannot perturb simulated results.
+// the number of WAN messages in flight ("<label>.inflight") and its
+// high-water mark ("<label>.inflight.peak"). Updates happen inside
+// send/delivery paths that already run, so enabling them cannot perturb
+// simulated results.
 func (n *Network) SetRegistry(reg *metrics.Registry) { n.reg = reg }
+
+// SetGaugeLabel overrides the gauge name prefix (default "wan"). Per-chain
+// networks use "wan.<chain>" so their in-flight peaks never share a key.
+func (n *Network) SetGaugeLabel(label string) {
+	n.gInflight = label + ".inflight"
+	n.gPeak = label + ".inflight.peak"
+}
 
 func (n *Network) count(event string, field *uint64) {
 	*field++
@@ -253,11 +271,13 @@ func (n *Network) Send(from, to NodeID, payload any) {
 			n.count("reordered", &n.reordered)
 		}
 		if n.reg.Enabled() {
-			n.reg.AddGauge("wan.inflight", 1)
-			n.reg.MaxGauge("wan.inflight.peak", n.reg.Gauge("wan.inflight"))
+			n.reg.AddGauge(n.gInflight, 1)
+			n.reg.MaxGauge(n.gPeak, n.reg.Gauge(n.gInflight))
 		}
 		n.sched.After(delay, func() {
-			n.reg.AddGauge("wan.inflight", -1)
+			if n.reg.Enabled() {
+				n.reg.AddGauge(n.gInflight, -1)
+			}
 			// Down-state and handler are re-checked at delivery time so crashes
 			// that happen while the message is in flight take effect.
 			info, ok := n.nodes[to]

@@ -1,0 +1,142 @@
+package universe
+
+import (
+	"testing"
+	"time"
+
+	"scmove/internal/hashing"
+	"scmove/internal/u256"
+)
+
+// TestLazyRelayMeshIsOActivePairs pins the scaling contract of LazyRelays:
+// a 64-chain universe builds with zero relay links, the first mover
+// materializes exactly its pair (both directions), and an eager universe
+// of the same shape pays for the full quadratic mesh.
+func TestLazyRelayMeshIsOActivePairs(t *testing.T) {
+	const shards = 64
+	cfg := ShardedScaleConfig(shards, 4, 0)
+	cfg.Clients = 1
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if got := u.RelayLinkCount(); got != 0 {
+		t.Fatalf("lazy 64-chain universe built %d relay links, want 0", got)
+	}
+	u.Mover(1, 2)
+	if got := u.RelayLinkCount(); got != 2 {
+		t.Fatalf("one mover materialized %d relay links, want 2", got)
+	}
+	// Idempotent: a second mover over the same pair creates nothing new.
+	u.Mover(2, 1)
+	if got := u.RelayLinkCount(); got != 2 {
+		t.Fatalf("repeat mover grew the mesh to %d links, want 2", got)
+	}
+	if u.RelayLink(1, 2) == nil || u.RelayLink(2, 1) == nil {
+		t.Fatal("materialized links not visible via RelayLink")
+	}
+	if u.RelayLink(1, 3) != nil {
+		t.Fatal("untouched pair has a link")
+	}
+
+	eager := ShardedConfig(8, 1)
+	ue, err := New(eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ue.Close()
+	if got := ue.RelayLinkCount(); got != 8*7 {
+		t.Fatalf("eager 8-chain universe has %d links, want %d", got, 8*7)
+	}
+}
+
+// TestLazyRelaySeedsArePositionDerived pins that a lazily created link's
+// fault stream does not depend on materialization order: two universes
+// touching pairs in different orders end with identical link seeds, which
+// the test observes through identical delivery schedules.
+func TestLazyRelaySeedsArePositionDerived(t *testing.T) {
+	build := func(order [][2]hashing.ChainID) map[[2]hashing.ChainID]uint64 {
+		cfg := ShardedScaleConfig(6, 4, 0)
+		cfg.Clients = 1
+		u, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer u.Close()
+		for _, p := range order {
+			u.EnsureRelay(p[0], p[1])
+		}
+		// Push traffic through every link and compare delivery counts after
+		// a fixed horizon: with jitter active, a seed difference shows up as
+		// a different schedule.
+		u.Start()
+		u.Run(2 * time.Minute)
+		out := make(map[[2]hashing.ChainID]uint64)
+		for _, p := range order {
+			out[p] = u.RelayLink(p[0], p[1]).Stats().Delivered
+		}
+		return out
+	}
+	pairs := [][2]hashing.ChainID{{1, 2}, {3, 5}, {2, 6}}
+	rev := [][2]hashing.ChainID{{2, 6}, {3, 5}, {1, 2}}
+	a := build(pairs)
+	b := build(rev)
+	for p, n := range a {
+		if b[p] != n {
+			t.Fatalf("link %v delivered %d vs %d depending on creation order", p, n, b[p])
+		}
+	}
+}
+
+// TestBulkUserProvisioning pins the streamed keyed-user genesis: users land
+// funded on exactly their home chain, and the universe never retains their
+// keys (UserClient re-derives on demand and can immediately spend).
+func TestBulkUserProvisioning(t *testing.T) {
+	const shards, users = 4, 10_000
+	cfg := ShardedScaleConfig(shards, 4, users)
+	cfg.Clients = 1
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if u.Users() != users {
+		t.Fatalf("Users() = %d, want %d", u.Users(), users)
+	}
+	// Spot-check boundaries and a stride of interior users.
+	for _, i := range []int{0, 1, shards - 1, shards, 4_321, users - 2, users - 1} {
+		home := u.UserHome(i)
+		addr := UserKey(i).Address()
+		got := u.Chain(home).StateDB().GetBalance(addr)
+		if got.IsZero() {
+			t.Fatalf("user %d unfunded on home chain %s", i, home)
+		}
+		if want := u256.FromUint64(1 << 50); got.Cmp(want) != 0 {
+			t.Fatalf("user %d home balance = %s, want %s", i, got, want)
+		}
+		for _, id := range u.ChainIDs() {
+			if id == home {
+				continue
+			}
+			if b := u.Chain(id).StateDB().GetBalance(addr); !b.IsZero() {
+				t.Fatalf("user %d funded off-home on %s: %s", i, id, b)
+			}
+		}
+	}
+}
+
+// TestLanedConfigValidation pins the laned mode's compatibility matrix.
+func TestLanedConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Lanes = true
+	cfg.Realtime = true
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Lanes+Realtime accepted")
+	}
+	cfg = DefaultConfig(1)
+	cfg.ParallelTick = true
+	if _, err := New(cfg); err == nil {
+		t.Fatal("ParallelTick without Lanes accepted")
+	}
+}

@@ -173,6 +173,40 @@ type Config struct {
 	// encoded frames between validator goroutines — instead of the
 	// discrete-event network. Requires Realtime.
 	TCPWan bool
+	// Lanes confines each chain — its consensus cluster, WAN instance, and
+	// block commits — to its own scheduler lane: same-timestamp events of
+	// distinct chains may then execute concurrently under the parallel
+	// per-tick driver (ParallelTick) with results bit-identical to the
+	// serial driver. Block listeners and tx waiters are re-dispatched onto
+	// the global timeline, so cross-chain callbacks (header relays, movers,
+	// workload drivers) are unaffected. Incompatible with Realtime/TCPWan.
+	Lanes bool
+	// LazyRelays skips building the O(chains²) bidirectional header-relay
+	// mesh at construction: links come into existence on first use, when
+	// Mover (or EnsureRelay) touches a pair. Setup cost becomes
+	// O(active pairs) — at 64 chains the eager mesh is 4032 links and
+	// listeners, almost all of which a sharded workload never exercises.
+	// Link fault seeds derive from the chain pair's positions, not creation
+	// order, so lazily created links behave identically no matter which
+	// order traffic first touches them.
+	LazyRelays bool
+	// Users is the number of synthetic keyed user accounts, beyond Clients.
+	// User i's key derives from a fixed seed offset (UserKey) and is funded
+	// at genesis only on its home chain (position i mod chains), in streamed
+	// batches — addresses are not retained, so a million-user universe
+	// builds with bounded RSS. Workloads re-derive keys for the users they
+	// actually drive (UserClient).
+	Users int
+	// UserFunds is each user's genesis balance on its home chain (defaults
+	// to ClientFunds when zero).
+	UserFunds u256.Int
+	// ParallelTick runs the simulation with the parallel per-tick driver:
+	// within one simulated timestamp, events of distinct chains execute on a
+	// bounded worker pool. Requires Lanes. Results are bit-identical to the
+	// serial driver.
+	ParallelTick bool
+	// TickWorkers bounds the parallel driver's worker pool (0 = GOMAXPROCS).
+	TickWorkers int
 }
 
 // DefaultConfig returns a two-chain (Ethereum + Burrow) universe matching
@@ -210,10 +244,73 @@ func ShardedConfig(shards, clients int) Config {
 	return cfg
 }
 
+// ShardedScaleConfig returns an S-shard Burrow deployment tuned for the
+// scaling experiments: laned chains under the parallel per-tick driver, a
+// lazily built header-relay mesh, and a keyed user population funded across
+// the shards. validators ≤ 0 keeps the paper's 10 per shard; the scaling
+// grid uses 4 to keep the consensus message volume proportionate at 64
+// chains. A handful of regular clients ride along as relayer/deployer
+// identities.
+func ShardedScaleConfig(shards, validators, users int) Config {
+	cfg := ShardedConfig(shards, 4)
+	cfg.Lanes = true
+	cfg.LazyRelays = true
+	cfg.ParallelTick = true
+	cfg.Users = users
+	cfg.UserFunds = u256.FromUint64(1 << 50)
+	if validators > 0 {
+		for i := range cfg.Specs {
+			cfg.Specs[i].Validators = validators
+		}
+	}
+	return cfg
+}
+
 // ClientKey returns the deterministic key pair of the i-th universe client;
 // genesis allocations and workloads use it to know client addresses before
 // the universe exists.
 func ClientKey(i int) *keys.KeyPair { return keys.Deterministic(uint64(1000 + i)) }
+
+// userSeedBase offsets user key seeds far above the client range.
+const userSeedBase = 10_000_000
+
+// UserKey returns the deterministic key pair of the i-th synthetic user
+// (Config.Users). Derivation is pure, so workloads re-derive the keys of
+// the users they drive instead of the universe retaining a million pairs.
+func UserKey(i int) *keys.KeyPair { return keys.Deterministic(uint64(userSeedBase + i)) }
+
+// userBatch is the streaming granularity of bulk user provisioning: only
+// one batch of derived keys is alive at a time per chain genesis.
+const userBatch = 2048
+
+// fundUsers credits every user homed on the chain at position pos (user i
+// lives on chain i mod stride). Keys are derived in parallel batches on the
+// shared crypto pool and the addresses discarded immediately after funding,
+// so provisioning a million users costs bounded memory: one batch of key
+// pairs, ever.
+func fundUsers(db *state.DB, pos, stride, users int, funds u256.Int) {
+	addrs := make([]hashing.Address, userBatch)
+	var wg sync.WaitGroup
+	for base := pos; base < users; base += stride * userBatch {
+		n := (users - base + stride - 1) / stride
+		if n > userBatch {
+			n = userBatch
+		}
+		wg.Add(n)
+		for k := 0; k < n; k++ {
+			k := k
+			idx := base + k*stride
+			keys.SharedPool().Go(func() {
+				defer wg.Done()
+				addrs[k] = UserKey(idx).Address()
+			})
+		}
+		wg.Wait()
+		for k := 0; k < n; k++ {
+			db.AddBalance(addrs[k], funds)
+		}
+	}
+}
 
 // Universe is a running multi-chain simulation.
 type Universe struct {
@@ -233,6 +330,19 @@ type Universe struct {
 	submitLinks map[hashing.ChainID]*simnet.Link
 	relayLinks  map[[2]hashing.ChainID]*simnet.Link
 
+	// Laned/scaling state (Config.Lanes, LazyRelays, Users, ParallelTick).
+	lanes        map[hashing.ChainID]*simclock.Lane
+	pos          map[hashing.ChainID]int // chain position in configuration order
+	lazyRelays   bool
+	relayDelay   time.Duration
+	relayFaults  simnet.LinkFaults
+	relayWindow  int
+	relaySeed    int64
+	users        int
+	submitDelay  time.Duration
+	parallelTick bool
+	tickWorkers  int
+
 	driver  *simclock.Realtime // non-nil with Config.Realtime
 	tcp     *simnet.TCP        // non-nil with Config.TCPWan
 	rpcs    map[hashing.ChainID]*rpc.Server
@@ -249,6 +359,12 @@ func New(cfg Config) (*Universe, error) {
 	}
 	if cfg.Realtime && cfg.Chaos != nil {
 		return nil, errors.New("universe: Chaos is a discrete-event feature, incompatible with Realtime")
+	}
+	if cfg.Lanes && cfg.Realtime {
+		return nil, errors.New("universe: Lanes is a discrete-event feature, incompatible with Realtime")
+	}
+	if cfg.ParallelTick && !cfg.Lanes {
+		return nil, errors.New("universe: ParallelTick requires Lanes")
 	}
 	sched := simclock.New()
 	netCfg := simnet.Config{JitterFrac: 0.1, Seed: cfg.NetSeed}
@@ -281,6 +397,18 @@ func New(cfg Config) (*Universe, error) {
 		moverCfg:    relay.DefaultMoverConfig(),
 		submitLinks: make(map[hashing.ChainID]*simnet.Link, len(cfg.Specs)),
 		relayLinks:  make(map[[2]hashing.ChainID]*simnet.Link),
+		pos:         make(map[hashing.ChainID]int, len(cfg.Specs)),
+		lazyRelays:  cfg.LazyRelays,
+		relayDelay:  cfg.RelayDelay,
+		relaySeed:   chaosSeed,
+		relayWindow: 1,
+		users:       cfg.Users,
+		submitDelay: cfg.SubmitDelay,
+	}
+	if cfg.Lanes {
+		u.lanes = make(map[hashing.ChainID]*simclock.Lane, len(cfg.Specs))
+		u.parallelTick = cfg.ParallelTick
+		u.tickWorkers = cfg.TickWorkers
 	}
 	net.Observe(u.counters)
 	if cfg.Realtime {
@@ -345,10 +473,21 @@ func New(cfg Config) (*Universe, error) {
 		}
 		u.clients = append(u.clients, cl)
 	}
+	userFunds := cfg.UserFunds
+	if userFunds.IsZero() {
+		userFunds = cfg.ClientFunds
+	}
+	posOf := make(map[hashing.ChainID]int, len(cfg.Specs))
+	for i, spec := range cfg.Specs {
+		posOf[spec.Config.ChainID] = i
+	}
 	genesisFor := func(id hashing.ChainID) func(db *state.DB) {
 		return func(db *state.DB) {
 			for _, kp := range clientKeys {
 				db.AddBalance(kp.Address(), cfg.ClientFunds)
+			}
+			if cfg.Users > 0 {
+				fundUsers(db, posOf[id], len(cfg.Specs), cfg.Users, userFunds)
 			}
 			if cfg.ExtraGenesis != nil {
 				cfg.ExtraGenesis(id, db)
@@ -363,7 +502,7 @@ func New(cfg Config) (*Universe, error) {
 	}
 
 	var nextNodeID simnet.NodeID = 1
-	for _, spec := range cfg.Specs {
+	for pos, spec := range cfg.Specs {
 		if spec.Config.State == (state.Options{}) && cfg.State != (state.Options{}) {
 			// Inherit the universe default; file-backed chains each get
 			// their own subdirectory so segment files never collide.
@@ -378,9 +517,36 @@ func New(cfg Config) (*Universe, error) {
 		}
 		u.chains[spec.Config.ChainID] = c
 		u.order = append(u.order, spec.Config.ChainID)
+		u.pos[spec.Config.ChainID] = pos
 		c.Headers().Observe(u.counters)
 		if u.reg != nil {
 			c.SetObserver(u.reg, sched.Now)
+		}
+
+		// In laned mode each chain gets its own lane and its own WAN
+		// instance built on it: consensus timers, validator message
+		// deliveries, and block commits all become lane events, executable
+		// concurrently with other chains' same-timestamp events. Block
+		// listeners and tx waiters are re-dispatched onto the global
+		// timeline via Post — cross-chain callbacks must run between waves,
+		// and routing them in both drivers keeps the serial and parallel
+		// event streams identical.
+		clk := simclock.Clock(sched)
+		tp := transport
+		if cfg.Lanes {
+			lane := sched.NewLane()
+			u.lanes[spec.Config.ChainID] = lane
+			clk = lane
+			laneNetCfg := netCfg
+			laneNetCfg.Seed = netCfg.Seed + int64(pos)*1_000_003 + 11
+			cnet := simnet.New(lane, laneNetCfg)
+			cnet.Observe(u.counters)
+			cnet.SetGaugeLabel("wan." + spec.Config.ChainID.String())
+			if u.reg != nil {
+				cnet.SetRegistry(u.reg)
+			}
+			tp = cnet
+			c.SetDispatcher(lane.Post)
 		}
 
 		switch spec.Consensus {
@@ -395,7 +561,7 @@ func New(cfg Config) (*Universe, error) {
 			}
 			tmCfg := tendermint.DefaultConfig()
 			tmCfg.Interval = spec.Config.BlockInterval
-			node, err := chain.NewBFTNode(sched, transport, c, tmCfg, ids, regions)
+			node, err := chain.NewBFTNode(clk, tp, c, tmCfg, ids, regions)
 			if err != nil {
 				return nil, fmt.Errorf("universe: %w", err)
 			}
@@ -410,7 +576,7 @@ func New(cfg Config) (*Universe, error) {
 			}
 			u.bft = append(u.bft, node)
 		case ConsensusPoW:
-			u.pow = append(u.pow, chain.NewPoWNode(sched, c, spec.Seed, spec.Validators))
+			u.pow = append(u.pow, chain.NewPoWNode(clk, c, spec.Seed, spec.Validators))
 		default:
 			return nil, fmt.Errorf("universe: unknown consensus kind %d", spec.Consensus)
 		}
@@ -428,18 +594,28 @@ func New(cfg Config) (*Universe, error) {
 			window = 8
 		}
 	}
-	pair := 0
-	for _, a := range u.order {
-		for _, b := range u.order {
-			if a != b {
-				link := simnet.NewLink(sched, cfg.RelayDelay, relayFaults, chaosSeed+int64(pair)*104729+2)
-				link.Observe(u.counters, "headers")
-				if u.reg != nil {
-					link.SetRegistry(u.reg)
+	u.relayFaults = relayFaults
+	u.relayWindow = window
+	if !cfg.LazyRelays {
+		pair := 0
+		for _, a := range u.order {
+			for _, b := range u.order {
+				if a != b {
+					clk := simclock.Clock(sched)
+					if lane, ok := u.lanes[b]; ok {
+						// Deliveries touch only the destination chain's
+						// header store; build the link on its lane.
+						clk = lane
+					}
+					link := simnet.NewLink(clk, cfg.RelayDelay, relayFaults, chaosSeed+int64(pair)*104729+2)
+					link.Observe(u.counters, "headers")
+					if u.reg != nil {
+						link.SetRegistry(u.reg)
+					}
+					u.relayLinks[[2]hashing.ChainID{a, b}] = link
+					chain.ConnectHeaderRelayVia(u.chains[a], u.chains[b], link, window)
+					pair++
 				}
-				u.relayLinks[[2]hashing.ChainID{a, b}] = link
-				chain.ConnectHeaderRelayVia(u.chains[a], u.chains[b], link, window)
-				pair++
 			}
 		}
 	}
@@ -485,9 +661,42 @@ func (u *Universe) Metrics() *metrics.Registry { return u.reg }
 // isolate clients from the chain).
 func (u *Universe) SubmitLink(id hashing.ChainID) *simnet.Link { return u.submitLinks[id] }
 
-// RelayLink returns the header relay link from chain a to chain b.
+// RelayLink returns the header relay link from chain a to chain b, or nil
+// when it does not exist yet (Config.LazyRelays defers creation to first
+// use; see EnsureRelay).
 func (u *Universe) RelayLink(a, b hashing.ChainID) *simnet.Link {
 	return u.relayLinks[[2]hashing.ChainID{a, b}]
+}
+
+// RelayLinkCount returns how many header-relay links exist right now. With
+// LazyRelays it measures the active pair set; the eager mesh is always
+// chains×(chains−1).
+func (u *Universe) RelayLinkCount() int { return len(u.relayLinks) }
+
+// EnsureRelay returns the a→b header relay link, creating it (and
+// registering its OnBlock forwarder) on first use. The link's fault seed
+// derives from the pair's configuration positions, so a lazily built mesh
+// behaves identically no matter which order traffic first touches the
+// pairs. Must be called from a global context (not inside a lane event):
+// it registers a block listener on chain a.
+func (u *Universe) EnsureRelay(a, b hashing.ChainID) *simnet.Link {
+	key := [2]hashing.ChainID{a, b}
+	if link, ok := u.relayLinks[key]; ok {
+		return link
+	}
+	clk := simclock.Clock(u.Sched)
+	if lane, ok := u.lanes[b]; ok {
+		clk = lane
+	}
+	seed := u.relaySeed + (int64(u.pos[a])*int64(len(u.order))+int64(u.pos[b]))*104729 + 2
+	link := simnet.NewLink(clk, u.relayDelay, u.relayFaults, seed)
+	link.Observe(u.counters, "headers")
+	if u.reg != nil {
+		link.SetRegistry(u.reg)
+	}
+	u.relayLinks[key] = link
+	chain.ConnectHeaderRelayVia(u.chains[a], u.chains[b], link, u.relayWindow)
+	return link
 }
 
 // SetRelayerCut severs (or heals) every relayer-facing link in the
@@ -589,20 +798,65 @@ func (u *Universe) ChainIDs() []hashing.ChainID {
 // Client returns the i-th pre-funded client.
 func (u *Universe) Client(i int) *relay.Client { return u.clients[i] }
 
+// Users returns the configured synthetic user population size.
+func (u *Universe) Users() int { return u.users }
+
+// UserHome returns the chain the i-th synthetic user is funded on.
+func (u *Universe) UserHome(i int) hashing.ChainID {
+	return u.order[i%len(u.order)]
+}
+
+// UserClient builds a client over the i-th synthetic user's key, wired to
+// every chain's submission link and the shared signing pool. The universe
+// does not retain it — workloads create clients for exactly the users they
+// drive, which is what keeps a million-user universe cheap.
+func (u *Universe) UserClient(i int) *relay.Client {
+	cl := relay.NewClient(UserKey(i), u.Sched, u.submitDelay)
+	cl.SetSigner(keys.SharedPool())
+	for id, link := range u.submitLinks {
+		cl.SetSubmitLink(id, link)
+	}
+	return cl
+}
+
 // Mover returns a mover from src to dst, tuned by the chaos config (when
 // set) and wired into the universe's shared counters. Each call returns a
 // fresh mover with its own journal; hold on to one to exercise
 // crash-recovery via Crash/Recover.
 func (u *Universe) Mover(src, dst hashing.ChainID) *relay.Mover {
+	if u.lazyRelays {
+		// A move needs headers flowing both ways: the destination verifies
+		// the Move1 proof against src headers, and the relayer confirms the
+		// Move2 result with dst headers on the source side.
+		u.EnsureRelay(src, dst)
+		u.EnsureRelay(dst, src)
+	}
 	m := relay.NewMoverWith(u.Sched, u.chains[src], u.chains[dst],
 		u.moverCfg, relay.NewJournal(), u.counters)
 	m.SetRegistry(u.reg)
 	return m
 }
 
+// SetParallelTick switches the parallel per-tick driver on or off (only
+// meaningful in a laned universe; workers ≤ 0 means GOMAXPROCS). Results
+// are bit-identical either way — this is purely a wall-clock knob.
+func (u *Universe) SetParallelTick(on bool, workers int) {
+	u.parallelTick = on && u.lanes != nil
+	u.tickWorkers = workers
+}
+
 // Run advances the simulation by d.
 func (u *Universe) Run(d time.Duration) {
-	u.Sched.RunUntil(u.Sched.Now() + d)
+	u.runTo(u.Sched.Now() + d)
+}
+
+// runTo advances to an absolute simulated time on the configured driver.
+func (u *Universe) runTo(t time.Duration) {
+	if u.parallelTick {
+		u.Sched.RunUntilParallel(t, u.tickWorkers)
+		return
+	}
+	u.Sched.RunUntil(t)
 }
 
 // RunUntil advances the simulation until cond holds or the timeout elapses,
@@ -613,7 +867,7 @@ func (u *Universe) RunUntil(cond func() bool, timeout time.Duration) bool {
 		if cond() {
 			return true
 		}
-		u.Sched.RunUntil(u.Sched.Now() + 100*time.Millisecond)
+		u.runTo(u.Sched.Now() + 100*time.Millisecond)
 	}
 	return cond()
 }

@@ -5,10 +5,10 @@ import (
 	"time"
 
 	"scmove/internal/contracts"
-	"scmove/internal/core"
 	"scmove/internal/hashing"
 	"scmove/internal/metrics"
 	"scmove/internal/relay"
+	"scmove/internal/shard"
 	"scmove/internal/types"
 	"scmove/internal/u256"
 	"scmove/internal/universe"
@@ -17,8 +17,8 @@ import (
 // RebalanceConfig parameterizes the load-balancing extension: the paper's
 // conclusion names "decentralized load balancing smart contracts for
 // sharded blockchains" as the natural next step on top of the Move
-// primitive (§X); this workload implements and measures a centralized
-// version of that policy.
+// primitive (§X); this workload drives the shard.Engine's load-shedding
+// policy against a congested shard and measures the recovery.
 type RebalanceConfig struct {
 	Shards int
 	// Contracts are deployed (all on shard 1, the hot spot) and hammered by
@@ -65,17 +65,18 @@ type RebalanceResult struct {
 	FinalDistribution map[hashing.ChainID]int
 }
 
-// rebalanceState tracks one managed contract.
+// rebalanceContract tracks one managed contract.
 type rebalanceContract struct {
-	addr   hashing.Address
-	shard  hashing.ChainID
-	moving bool
-	owner  *relay.Client
+	addr  hashing.Address
+	owner *relay.Client
 }
 
 // RunRebalance measures a hot shard with and without Move-based load
-// balancing: all contracts start on shard 1; the rebalancer migrates
-// contracts from the most- to the least-loaded shard every Interval.
+// balancing: all contracts start on shard 1; the shard.Engine's greedy
+// load-shedding policy migrates contracts from the deepest transaction
+// pool to the shallowest every Interval. This is the same engine and
+// policy code path the scaling experiments run — the workload only differs
+// in traffic shape.
 func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
 	if cfg.Shards < 2 {
 		return nil, fmt.Errorf("workload: rebalancing needs at least two shards")
@@ -108,7 +109,7 @@ func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		cts[i] = &rebalanceContract{addr: addr, shard: 1, owner: cl}
+		cts[i] = &rebalanceContract{addr: addr, owner: cl}
 	}
 
 	startAt := u.Sched.Now()
@@ -130,17 +131,43 @@ func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
 		})
 	}
 
-	// Closed-loop writers, one per contract.
+	// The rebalancer is the shared migration engine under its pure
+	// load-shedding policy (no caller-home affinity — the clients here are
+	// not homed anywhere).
+	var eng *shard.Engine
+	loc := func(ct *rebalanceContract) hashing.ChainID { return 1 }
+	if cfg.Enabled {
+		ecfg := shard.Config{
+			Clock:    u.Sched,
+			Mover:    u.Mover,
+			Interval: cfg.Interval,
+			Policy:   &shard.Greedy{Capacity: cfg.ShardCapacity, MaxMoves: 16},
+			Counters: u.Counters(),
+			Registry: u.Metrics(),
+		}
+		for _, id := range u.ChainIDs() {
+			ecfg.Chains = append(ecfg.Chains, u.Chain(id))
+		}
+		eng = shard.New(ecfg)
+		for _, ct := range cts {
+			eng.Track(ct.addr, 1, ct.owner)
+		}
+		eng.Start()
+		loc = func(ct *rebalanceContract) hashing.ChainID { return eng.Location(ct.addr) }
+	}
+
+	// Closed-loop writers, one per contract; traffic follows the contract
+	// and pauses while it is mid-move.
 	var drive func(ct *rebalanceContract, i uint64)
 	drive = func(ct *rebalanceContract, i uint64) {
 		if u.Sched.Now() >= endAt {
 			return
 		}
-		if ct.moving {
+		if eng != nil && eng.IsMoving(ct.addr) {
 			u.Sched.After(time.Second, func() { drive(ct, i) })
 			return
 		}
-		c := u.Chain(ct.shard)
+		c := u.Chain(loc(ct))
 		var v [32]byte
 		v[31] = byte(i%250) + 1
 		txid, err := ct.owner.Call(c, ct.addr,
@@ -154,61 +181,14 @@ func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
 		drive(ct, 0)
 	}
 
-	// The rebalancer: every Interval, move one batch of contracts from the
-	// most-loaded shard to the least-loaded one.
-	if cfg.Enabled {
-		var tick func()
-		tick = func() {
-			if u.Sched.Now() >= endAt {
-				return
-			}
-			counts := make(map[hashing.ChainID]int, cfg.Shards)
-			for _, ct := range cts {
-				counts[ct.shard]++
-			}
-			hotID, coldID := hashing.ChainID(1), hashing.ChainID(1)
-			for s := 0; s < cfg.Shards; s++ {
-				id := hashing.ChainID(s + 1)
-				if counts[id] > counts[hotID] {
-					hotID = id
-				}
-				if counts[id] < counts[coldID] {
-					coldID = id
-				}
-			}
-			// Move enough contracts to halve the imbalance, a few at a time.
-			quota := (counts[hotID] - counts[coldID]) / 2
-			if quota > 16 {
-				quota = 16
-			}
-			for _, ct := range cts {
-				if quota == 0 {
-					break
-				}
-				if ct.shard != hotID || ct.moving {
-					continue
-				}
-				quota--
-				ct.moving = true
-				dst := coldID
-				res.MovesIssued++
-				u.Mover(ct.shard, dst).Move(ct.owner, ct.addr, core.MoveToInput(dst),
-					func(r *relay.MoveResult) {
-						ct.moving = false
-						if r.Err == nil {
-							ct.shard = dst
-						}
-					})
-			}
-			u.Sched.After(cfg.Interval, tick)
-		}
-		u.Sched.After(cfg.Interval, tick)
-	}
-
 	u.RunUntil(func() bool { return u.Sched.Now() >= endAt+time.Minute }, cfg.Duration+20*time.Minute)
 	res.Throughput = float64(res.Timeline.Total()) / cfg.Duration.Seconds()
+	if eng != nil {
+		res.MovesIssued = int(eng.Stats().Issued)
+		eng.Stop()
+	}
 	for _, ct := range cts {
-		res.FinalDistribution[ct.shard]++
+		res.FinalDistribution[loc(ct)]++
 	}
 	return res, nil
 }

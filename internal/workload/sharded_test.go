@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestShardedScalingCrossGOMAXPROCSDeterminism pins the parallel-tick
+// driver's central claim: a 16-chain policy-on scaling cell produces a
+// bit-identical fingerprint (state roots, contract locations, move stats,
+// deterministic counters) whether ticks run serially or on the worker
+// pool, at every GOMAXPROCS. Wired into `make detsmoke`.
+func TestShardedScalingCrossGOMAXPROCSDeterminism(t *testing.T) {
+	cell := func(parallel bool, procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := DefaultShardedScalingConfig(16, true)
+		cfg.Users = 320 // provisioning scale has its own gate (shardsmoke)
+		cfg.Duration = 2 * time.Minute
+		cfg.ParallelTick = parallel
+		res, err := RunShardedScaling(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Moves.Completed == 0 {
+			t.Fatal("cell completed no migrations; determinism check would be vacuous")
+		}
+		return res.Fingerprint
+	}
+	want := cell(false, 1)
+	procs := []int{1, 2, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, p := range procs {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if got := cell(true, p); got != want {
+			t.Fatalf("parallel driver at GOMAXPROCS=%d diverged from serial:\nserial:\n%.800s\n\nparallel:\n%.800s", p, want, got)
+		}
+	}
+}
+
+// TestShardedScalingPolicyGain pins the experiment's headline: with every
+// contract deployed on one congested shard, turning the migration engine
+// on spreads contracts toward their callers and raises committed
+// throughput.
+func TestShardedScalingPolicyGain(t *testing.T) {
+	run := func(policy bool) *ShardedScalingResult {
+		cfg := DefaultShardedScalingConfig(4, policy)
+		cfg.Users = 64
+		cfg.Duration = 3 * time.Minute
+		res, err := RunShardedScaling(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(false)
+	on := run(true)
+	if off.FinalSpread != 1 {
+		t.Fatalf("baseline spread = %d, want 1 (all contracts stay on the hot shard)", off.FinalSpread)
+	}
+	if on.Moves.Completed == 0 {
+		t.Fatal("policy run completed no migrations")
+	}
+	if on.FinalSpread < 2 {
+		t.Fatalf("policy run spread = %d, want >= 2", on.FinalSpread)
+	}
+	if on.Committed <= off.Committed {
+		t.Fatalf("policy gain = %d/%d <= 1; migration should relieve the hot shard",
+			on.Committed, off.Committed)
+	}
+	t.Logf("policy gain %.2f (%d vs %d committed), %d moves, spread %d",
+		float64(on.Committed)/float64(off.Committed), on.Committed, off.Committed,
+		on.Moves.Completed, on.FinalSpread)
+}
+
+// TestShardSmoke is the full-scale gate behind `make shardsmoke`: a
+// 64-chain universe with a 100k keyed-user population (SCMOVE_SHARDSMOKE_USERS
+// scales it up to the 1M target), lazy relay mesh, parallel-tick driver, and
+// the migration engine live. The run must complete with migrations landing.
+func TestShardSmoke(t *testing.T) {
+	if os.Getenv("SCMOVE_SHARDSMOKE") == "" {
+		t.Skip("set SCMOVE_SHARDSMOKE=1 (make shardsmoke) to run")
+	}
+	users := 100_000
+	if s := os.Getenv("SCMOVE_SHARDSMOKE_USERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SCMOVE_SHARDSMOKE_USERS %q", s)
+		}
+		users = n
+	}
+	cfg := DefaultShardedScalingConfig(64, true)
+	cfg.Users = users
+	cfg.Duration = 3 * time.Minute
+	res, err := RunShardedScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if res.Moves.Completed == 0 {
+		t.Fatal("policy completed no migrations at 64 chains")
+	}
+	if res.FinalSpread < 2 {
+		t.Fatalf("contracts never left the hot shard (spread %d)", res.FinalSpread)
+	}
+	t.Logf("64 chains, %d users: %d committed (%.1f tx/s sim), %d/%d moves, spread %d, wall %s",
+		users, res.Committed, res.Throughput, res.Moves.Completed, res.Moves.Issued,
+		res.FinalSpread, res.Wall.Round(time.Millisecond))
+}
